@@ -1,0 +1,47 @@
+//! Criterion bench for E2 (§III-K): wall-clock cost of one nanoBench
+//! invocation (NOP, unroll=100, loop=0, nMeasurements=10, 4 events),
+//! kernel vs user version. The paper reports ~15 ms vs ~50 ms on real
+//! hardware; the reproduction checks the *relative* shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nanobench_core::NanoBench;
+use nanobench_uarch::port::MicroArch;
+
+const CFG: &str = "\
+0E.01 UOPS_ISSUED.ANY
+A1.01 UOPS_DISPATCHED_PORT.PORT_0
+A1.02 UOPS_DISPATCHED_PORT.PORT_1
+D1.01 MEM_LOAD_RETIRED.L1_HIT
+";
+
+fn setup(kernel: bool) -> NanoBench {
+    let mut nb = if kernel {
+        NanoBench::kernel(MicroArch::CoffeeLake)
+    } else {
+        NanoBench::user(MicroArch::CoffeeLake)
+    };
+    nb.asm("nop")
+        .unwrap()
+        .config_str(CFG)
+        .unwrap()
+        .unroll_count(100)
+        .n_measurements(10);
+    nb
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nanobench_invocation");
+    group.sample_size(10);
+    let mut kernel = setup(true);
+    group.bench_function("kernel_nop_u100_n10", |b| {
+        b.iter(|| kernel.run().expect("runs"))
+    });
+    let mut user = setup(false);
+    group.bench_function("user_nop_u100_n10", |b| {
+        b.iter(|| user.run().expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

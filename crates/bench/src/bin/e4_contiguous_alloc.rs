@@ -1,0 +1,35 @@
+//! E4 — §IV-D physically-contiguous memory allocation.
+//!
+//! kmalloc is limited to 4 MB; the greedy algorithm assembles larger
+//! regions from adjacent kmalloc results, succeeding on a freshly booted
+//! system and failing (with reboot advice) on a fragmented one.
+
+use nanobench_machine::{Machine, Mode};
+use nanobench_uarch::port::MicroArch;
+
+fn main() {
+    println!("== E4: §IV-D greedy physically-contiguous allocation ==");
+    let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 99);
+    for mb in [4u64, 8, 16, 32, 64] {
+        let r = m.alloc_contiguous(mb << 20);
+        println!("fresh boot, {mb:>2} MB: {}", match &r {
+            Ok(a) => format!("ok at {a:#x}"),
+            Err(e) => format!("FAILED: {e}"),
+        });
+        assert!(r.is_ok(), "fresh systems must satisfy large requests");
+    }
+    m.fragment_memory();
+    let r = m.alloc_contiguous(64 << 20);
+    println!("fragmented, 64 MB: {}", match &r {
+        Ok(a) => format!("ok at {a:#x}"),
+        Err(e) => format!("{e}"),
+    });
+    assert!(r.is_err(), "fragmented memory must fail and propose a reboot");
+    m.reboot();
+    let r = m.alloc_contiguous(64 << 20);
+    println!("after reboot, 64 MB: {}", match &r {
+        Ok(a) => format!("ok at {a:#x}"),
+        Err(e) => format!("FAILED: {e}"),
+    });
+    assert!(r.is_ok(), "a reboot must restore adjacency (§IV-D)");
+}

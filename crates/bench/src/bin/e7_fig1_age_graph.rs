@@ -1,0 +1,42 @@
+//! E7 — Figure 1: Ivy Bridge age graph for `<WBINVD> B0 ... B11`.
+//!
+//! Measured on the probabilistic leader range (sets 768-831, policy
+//! QLRU_H11_MR161_R1_U2). Expected shape per §VI-D: the curves for Bi and
+//! Bi+1 (i > 0) are similar but shifted by about 16 fresh blocks, and for
+//! B0 about 15/16 of the mass disappears as soon as the first fresh block
+//! arrives while the remaining 1/16 stays resident for a long time.
+
+use nanobench_cache::presets::cpu_by_microarch;
+use nanobench_cache_tools::{age_graph, CacheSeq, Level};
+
+fn main() {
+    println!("== E7: Figure 1 — Ivy Bridge age graph (set 800, slice 0) ==");
+    let cpu = cpu_by_microarch("Ivy Bridge").expect("preset exists");
+    let k = cpu.l3_assoc; // 12, as in the figure
+    let n_values: Vec<usize> = (0..=200).step_by(20).collect();
+    let reps = 24;
+    let mut cs = CacheSeq::new(&cpu, Level::L3, 800, Some(0), k + 200 + 1, 3)
+        .expect("cacheSeq setup");
+    let g = age_graph(&mut cs, k, &n_values, reps).expect("age graph runs");
+    println!("{}", g.to_table());
+
+    // Shape check 1: B0 loses most of its mass at the first fresh block
+    // but a small fraction survives for a long time (probabilistic
+    // insertion with p=1/16).
+    let b0 = &g.series[0];
+    let at_20 = b0[1] as f64 / reps as f64;
+    assert!(at_20 < 0.45, "B0 should mostly be evicted early, got {at_20}");
+    let tail: u64 = b0[5..].iter().sum();
+    println!("B0: survival at n=20: {:.2}; tail mass (n>=100): {tail}", at_20);
+
+    // Shape check 2: later blocks survive longer than earlier ones on
+    // average (curves shifted right).
+    let mass = |b: usize| -> u64 { g.series[b].iter().sum() };
+    assert!(
+        mass(k - 1) > mass(1),
+        "B11 must survive longer than B1: {} vs {}",
+        mass(k - 1),
+        mass(1)
+    );
+    println!("total survival mass: B1 = {}, B11 = {}", mass(1), mass(k - 1));
+}

@@ -1,0 +1,55 @@
+//! E8 — §VI-D set-dueling findings.
+//!
+//! Paper: Ivy Bridge has leader sets 512-575 and 768-831 in ALL slices;
+//! Haswell has the same ranges but only in slice 0; Broadwell swaps the
+//! two ranges between its slices; Skylake is not adaptive. The detector
+//! scans the relevant window and reports the dedicated sets per slice.
+
+use nanobench_cache::presets::cpu_by_microarch;
+use nanobench_cache_tools::find_dedicated_sets;
+use nanobench_machine::{Machine, Mode};
+
+fn scan(name: &str) -> nanobench_cache_tools::DuelingReport {
+    let cpu = cpu_by_microarch(name).expect("preset exists");
+    let mut m = Machine::from_cpu(&cpu, Mode::Kernel, 5);
+    m.hierarchy_mut().prefetchers_mut().disable_all();
+    let slices = m.hierarchy().config().l3.slices as u64;
+    let sets = m.hierarchy().config().l3.sets_per_slice() as u64;
+    let assoc = m.hierarchy().config().l3.assoc as u64;
+    let size = (2 * assoc + 8) * sets * slices * 64 * 2;
+    let base = m.alloc_contiguous(size).expect("contiguous region");
+    let report = find_dedicated_sets(&mut m, base, size, 480..860, 8);
+    println!("{name}:");
+    for (slice, r) in report.per_slice.iter().enumerate() {
+        println!("  slice {slice}: deterministic leaders {:?}, probabilistic leaders {:?}",
+            r.leader_a, r.leader_b);
+    }
+    report
+}
+
+fn main() {
+    println!("== E8: §VI-D dedicated (leader) sets ==");
+    let ivy = scan("Ivy Bridge");
+    for r in &ivy.per_slice {
+        let b: usize = r.leader_b.iter().map(|x| x.len()).sum();
+        assert!(b >= 48, "Ivy Bridge: probabilistic leaders in every slice");
+    }
+    let hsw = scan("Haswell");
+    let b0: usize = hsw.per_slice[0].leader_b.iter().map(|x| x.len()).sum();
+    assert!(b0 >= 48, "Haswell slice 0 has the leaders");
+    for r in &hsw.per_slice[1..] {
+        let b: usize = r.leader_b.iter().map(|x| x.len()).sum();
+        assert_eq!(b, 0, "Haswell: no leaders outside slice 0 (§VI-D)");
+    }
+    let bdw = scan("Broadwell");
+    // Broadwell: probabilistic range at 768-831 in slice 0 and 512-575 in
+    // slice 1 (ranges swapped, §VI-D).
+    let in_range = |r: &nanobench_cache_tools::SliceReport, lo: usize, hi: usize| -> usize {
+        r.leader_b.iter().filter(|x| x.start >= lo && x.end <= hi).map(|x| x.len()).sum()
+    };
+    assert!(in_range(&bdw.per_slice[0], 768, 832) >= 48);
+    assert!(in_range(&bdw.per_slice[1], 512, 576) >= 48);
+    let sky = scan("Skylake");
+    assert!(!sky.is_adaptive(), "Skylake is not adaptive");
+    println!("\nall dueling findings match §VI-D");
+}

@@ -1,0 +1,1 @@
+//! Experiment harness for the nanoBench reproduction; see the `bin` targets (e1..e9) and the `overhead` criterion bench.

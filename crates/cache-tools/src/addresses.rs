@@ -1,0 +1,212 @@
+//! Address selection for cache microbenchmarks.
+//!
+//! cacheSeq needs blocks "that map to the same cache set" (§VI-C) — and,
+//! for the L3, to the same slice — plus *eviction addresses* that flush a
+//! line out of the higher-level caches without touching the target set, so
+//! that an access actually reaches the cache under analysis. All of this
+//! requires control over physical addresses, hence the kernel version's
+//! physically-contiguous memory (§III-G, §IV-D).
+
+use nanobench_cache::hierarchy::HitLevel;
+use nanobench_machine::Machine;
+
+/// The cache level a tool targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// L1 data cache.
+    L1,
+    /// Private L2.
+    L2,
+    /// Shared L3 (specific slice).
+    L3,
+}
+
+impl Level {
+    /// The hit level measured for accesses served by this cache.
+    pub fn hit_level(self) -> HitLevel {
+        match self {
+            Level::L1 => HitLevel::L1,
+            Level::L2 => HitLevel::L2,
+            Level::L3 => HitLevel::L3,
+        }
+    }
+
+    /// The PMU event name counting hits at this level.
+    pub fn hit_event(self) -> &'static str {
+        match self {
+            Level::L1 => "MEM_LOAD_RETIRED.L1_HIT",
+            Level::L2 => "MEM_LOAD_RETIRED.L2_HIT",
+            Level::L3 => "MEM_LOAD_RETIRED.L3_HIT",
+        }
+    }
+
+    /// Counter configuration line for [`Level::hit_event`].
+    pub fn hit_event_config(self) -> &'static str {
+        match self {
+            Level::L1 => "D1.01 MEM_LOAD_RETIRED.L1_HIT",
+            Level::L2 => "D1.02 MEM_LOAD_RETIRED.L2_HIT",
+            Level::L3 => "D1.04 MEM_LOAD_RETIRED.L3_HIT",
+        }
+    }
+}
+
+/// A pool of addresses for one target (level, set, slice).
+#[derive(Debug, Clone)]
+pub struct AddrPool {
+    /// Distinct block addresses mapping to the target set (and slice).
+    pub target_blocks: Vec<u64>,
+    /// Addresses that evict the target set's lines from the levels above
+    /// the target without touching the target set itself.
+    pub evictors: Vec<u64>,
+    /// The target level.
+    pub level: Level,
+    /// Target set index (in the target level).
+    pub set: usize,
+    /// Target slice (L3 only).
+    pub slice: Option<usize>,
+}
+
+/// Builds an address pool by scanning a physically-contiguous region.
+///
+/// `n_blocks` target blocks are collected. For L2/L3 targets, enough
+/// evictors are collected to displace the L1 (and L2) copies of target
+/// lines (`4 ×` the respective associativity, applied twice by the
+/// sequence generator).
+///
+/// # Panics
+///
+/// Panics if the region is too small to find the requested addresses —
+/// grow the contiguous allocation instead of handling this at runtime.
+pub fn build_pool(
+    machine: &mut Machine,
+    region_base: u64,
+    region_size: u64,
+    level: Level,
+    set: usize,
+    slice: Option<usize>,
+    n_blocks: usize,
+) -> AddrPool {
+    let mut target_blocks = Vec::with_capacity(n_blocks);
+    let mut evictors = Vec::new();
+    let h = machine.hierarchy();
+    let l1_assoc = h.config().l1.assoc;
+    let l2_assoc = h.config().l2.assoc;
+    let n_evictors = match level {
+        Level::L1 => 0,
+        Level::L2 => 4 * l1_assoc,
+        Level::L3 => 4 * l2_assoc.max(l1_assoc),
+    };
+
+    let mut addr = region_base;
+    let end = region_base + region_size;
+    // The reference L2 set of the target blocks (fixed once the first
+    // target block is found; all same-L3-set blocks share it).
+    let mut target_l2_set = None;
+    while addr + 64 <= end && (target_blocks.len() < n_blocks || evictors.len() < n_evictors) {
+        let paddr = machine.translate(addr).expect("region is mapped");
+        let h = machine.hierarchy();
+        let is_target = match level {
+            Level::L1 => h.l1_set(paddr) == set,
+            Level::L2 => h.l2_set(paddr) == set,
+            Level::L3 => {
+                let (sl, st) = h.l3_location(paddr);
+                st == set && slice.map_or(true, |want| sl == want)
+            }
+        };
+        if is_target {
+            if target_blocks.len() < n_blocks {
+                if target_l2_set.is_none() {
+                    target_l2_set = Some(h.l2_set(paddr));
+                }
+                target_blocks.push(addr);
+            }
+        } else if evictors.len() < n_evictors {
+            let good_evictor = match level {
+                Level::L1 => false,
+                // Evict from L1: same L1 set, different L2 set.
+                Level::L2 => {
+                    h.l1_set(paddr) == (set % h.config().l1.num_sets())
+                        && h.l2_set(paddr) != set
+                }
+                // Evict from L1+L2: same L2 set as the targets, different
+                // L3 set or slice.
+                Level::L3 => match target_l2_set {
+                    Some(l2s) => {
+                        h.l2_set(paddr) == l2s && {
+                            let (sl, st) = h.l3_location(paddr);
+                            st != set || slice.map_or(false, |want| sl != want)
+                        }
+                    }
+                    None => false,
+                },
+            };
+            if good_evictor {
+                evictors.push(addr);
+            }
+        }
+        addr += 64;
+    }
+    assert!(
+        target_blocks.len() >= n_blocks,
+        "region too small: found {} of {} target blocks for set {set}",
+        target_blocks.len(),
+        n_blocks
+    );
+    assert!(
+        evictors.len() >= n_evictors,
+        "region too small: found {} of {n_evictors} evictors",
+        evictors.len()
+    );
+    AddrPool {
+        target_blocks,
+        evictors,
+        level,
+        set,
+        slice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobench_cache::presets::cpu_by_microarch;
+    use nanobench_machine::Mode;
+
+    fn machine() -> Machine {
+        let cpu = cpu_by_microarch("Skylake").unwrap();
+        Machine::from_cpu(&cpu, Mode::Kernel, 3)
+    }
+
+    #[test]
+    fn l1_pool_blocks_map_to_set() {
+        let mut m = machine();
+        let base = m.alloc_contiguous(4 << 20).unwrap();
+        let pool = build_pool(&mut m, base, 4 << 20, Level::L1, 5, None, 16);
+        for &a in &pool.target_blocks {
+            let p = m.translate(a).unwrap();
+            assert_eq!(m.hierarchy().l1_set(p), 5);
+        }
+        assert_eq!(pool.target_blocks.len(), 16);
+    }
+
+    #[test]
+    fn l3_pool_has_same_l2_set_evictors() {
+        let mut m = machine();
+        let base = m.alloc_contiguous(32 << 20).unwrap();
+        let pool = build_pool(&mut m, base, 32 << 20, Level::L3, 100, Some(0), 20);
+        let p0 = m.translate(pool.target_blocks[0]).unwrap();
+        let l2s = m.hierarchy().l2_set(p0);
+        for &a in &pool.target_blocks {
+            let p = m.translate(a).unwrap();
+            let (sl, st) = m.hierarchy().l3_location(p);
+            assert_eq!((sl, st), (0, 100));
+            assert_eq!(m.hierarchy().l2_set(p), l2s, "same L3 set implies same L2 set");
+        }
+        for &a in &pool.evictors {
+            let p = m.translate(a).unwrap();
+            assert_eq!(m.hierarchy().l2_set(p), l2s);
+            let (sl, st) = m.hierarchy().l3_location(p);
+            assert!((sl, st) != (0, 100), "evictors must not touch the target set");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Age graphs (§VI-C2, Figure 1 of the paper).
+//!
+//! "This tool generates a graph showing the 'ages' of all blocks of an
+//! access sequence. [...] For each block B of an access sequence, we first
+//! execute the access sequence, then we access n fresh blocks, and finally
+//! we measure the number of hits when accessing B again." Age graphs are
+//! the instrument for *non-deterministic* policies like the probabilistic
+//! QLRU insertion on Ivy Bridge's L3 (QLRU_H11_MR161_R1_U2).
+
+use crate::cacheseq::{AccessSeq, CacheSeq, SeqItem};
+use nanobench_core::NbError;
+
+/// One age graph: hit counts per (block, n-fresh-blocks) pair.
+#[derive(Debug, Clone)]
+pub struct AgeGraph {
+    /// The x-axis: numbers of fresh blocks.
+    pub n_values: Vec<usize>,
+    /// `series[b][i]` = hits of block `b` (out of `reps`) after
+    /// `n_values[i]` fresh blocks.
+    pub series: Vec<Vec<u64>>,
+    /// Repetitions per data point.
+    pub reps: usize,
+}
+
+impl AgeGraph {
+    /// Renders the graph as a gnuplot-ready data table (one column per
+    /// block).
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("# n");
+        for b in 0..self.series.len() {
+            out.push_str(&format!("\tB{b}"));
+        }
+        out.push('\n');
+        for (i, n) in self.n_values.iter().enumerate() {
+            out.push_str(&format!("{n}"));
+            for series in &self.series {
+                out.push_str(&format!("\t{}", series[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Measures the age graph of the sequence `<WBINVD> B0 ... B(k-1)`
+/// (Figure 1 uses k = 12 on Ivy Bridge, whose L3 associativity is 12).
+///
+/// Fresh blocks use pool indices `k..k+max(n_values)`, so the pool must
+/// hold `k + max(n) + 1` blocks.
+///
+/// # Errors
+///
+/// Propagates measurement errors.
+pub fn age_graph(
+    cs: &mut CacheSeq,
+    k: usize,
+    n_values: &[usize],
+    reps: usize,
+) -> Result<AgeGraph, NbError> {
+    let mut series = vec![vec![0u64; n_values.len()]; k];
+    for (i, &n) in n_values.iter().enumerate() {
+        for b in 0..k {
+            let mut hits = 0u64;
+            for _ in 0..reps {
+                let mut items: Vec<SeqItem> = (0..k)
+                    .map(|blk| SeqItem {
+                        block: blk,
+                        measured: false,
+                    })
+                    .collect();
+                items.extend((0..n).map(|f| SeqItem {
+                    block: k + f,
+                    measured: false,
+                }));
+                items.push(SeqItem {
+                    block: b,
+                    measured: true,
+                });
+                let seq = AccessSeq {
+                    wbinvd: true,
+                    items,
+                };
+                hits += cs.run_hits(&seq)?;
+            }
+            series[b][i] = hits;
+        }
+    }
+    Ok(AgeGraph {
+        n_values: n_values.to_vec(),
+        series,
+        reps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addresses::Level;
+    use nanobench_cache::presets::cpu_by_microarch;
+
+    #[test]
+    fn skylake_l3_ages_are_deterministic_steps() {
+        // On a deterministic policy every repetition gives the same
+        // outcome: each data point is 0 or `reps`.
+        let cpu = cpu_by_microarch("Skylake").unwrap();
+        let mut cs = CacheSeq::new(&cpu, Level::L3, 32, Some(0), 16 + 8 + 1, 17).unwrap();
+        let g = age_graph(&mut cs, 4, &[0, 4, 8], 3).unwrap();
+        for series in &g.series {
+            for &v in series {
+                assert!(v == 0 || v == 3, "deterministic policy, got {v}");
+            }
+        }
+        // With n = 0 fresh blocks every block still hits.
+        for series in &g.series {
+            assert_eq!(series[0], 3);
+        }
+    }
+
+    #[test]
+    fn ivy_bridge_leader_b_sets_are_probabilistic() {
+        // Figure 1's set range 768-831 uses QLRU_H11_MR161_R1_U2: with
+        // enough repetitions, intermediate hit counts appear — the
+        // signature of the non-deterministic policy.
+        let cpu = cpu_by_microarch("Ivy Bridge").unwrap();
+        let assoc = cpu.l3_assoc; // 12
+        let mut cs = CacheSeq::new(&cpu, Level::L3, 800, Some(0), assoc + 30 + 1, 17).unwrap();
+        let g = age_graph(&mut cs, assoc, &[14, 20, 26], 12).unwrap();
+        let intermediate = g
+            .series
+            .iter()
+            .flatten()
+            .any(|&v| v > 0 && v < 12);
+        assert!(
+            intermediate,
+            "probabilistic insertion must yield intermediate hit counts: {:?}",
+            g.series
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Replacement-policy identification by random access sequences (§VI-C1).
+//!
+//! "The second tool generates random access sequences, and compares the
+//! number of hits obtained by executing them with cacheSeq with the number
+//! of hits in a simulation of different replacement policies, including
+//! common policies like LRU, PLRU, and FIFO, as well as all meaningful QLRU
+//! variants. If there is only one policy that agrees with all measurement
+//! results, the tool concludes that this is likely the policy actually
+//! used."
+
+use crate::cacheseq::{AccessSeq, CacheSeq};
+use nanobench_cache::policy::{all_meaningful_qlru_variants, simulate_sequence, PolicyKind};
+use nanobench_core::NbError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The candidate library: LRU, FIFO, PLRU (power-of-two associativity
+/// only), MRU, the Sandy Bridge MRU variant, and all meaningful
+/// deterministic QLRU variants (§VI-B2).
+pub fn candidate_library(assoc: usize) -> Vec<PolicyKind> {
+    let mut out = vec![PolicyKind::Lru, PolicyKind::Fifo];
+    if assoc.is_power_of_two() {
+        out.push(PolicyKind::Plru);
+    }
+    out.push(PolicyKind::Mru {
+        fill_sets_all_ones: false,
+    });
+    out.push(PolicyKind::Mru {
+        fill_sets_all_ones: true,
+    });
+    out.extend(all_meaningful_qlru_variants().into_iter().map(PolicyKind::Qlru));
+    out
+}
+
+/// Groups candidates into observational-equivalence classes by simulating
+/// a battery of random sequences; returns one representative per class
+/// (plus the full class). Some QLRU combinations are observationally
+/// equivalent (§VI-B2 notes e.g. R0/R1 with U0), so exact-match inference
+/// can only identify classes.
+pub fn equivalence_classes(
+    candidates: &[PolicyKind],
+    assoc: usize,
+    battery: usize,
+    seed: u64,
+) -> Vec<Vec<PolicyKind>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let universe = assoc as u64 + 2;
+    let seqs: Vec<Vec<u64>> = (0..battery)
+        .map(|_| {
+            let len = assoc * 3 + rng.gen_range(0..assoc);
+            (0..len).map(|_| rng.gen_range(0..universe)).collect()
+        })
+        .collect();
+    let mut classes: Vec<(Vec<Vec<bool>>, Vec<PolicyKind>)> = Vec::new();
+    for cand in candidates {
+        let signature: Vec<Vec<bool>> = seqs
+            .iter()
+            .map(|s| simulate_sequence(cand, assoc, 0, s))
+            .collect();
+        match classes.iter_mut().find(|(sig, _)| *sig == signature) {
+            Some((_, members)) => members.push(cand.clone()),
+            None => classes.push((signature, vec![cand.clone()])),
+        }
+    }
+    classes.into_iter().map(|(_, members)| members).collect()
+}
+
+/// Result of a policy-fitting run.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Surviving equivalence classes (each a set of behaviourally
+    /// identical policies); ideally exactly one.
+    pub matching: Vec<Vec<PolicyKind>>,
+    /// Number of random sequences evaluated on the hardware.
+    pub sequences_tested: usize,
+}
+
+impl FitResult {
+    /// Whether exactly one equivalence class survived.
+    pub fn is_unique(&self) -> bool {
+        self.matching.len() == 1
+    }
+
+    /// Whether the (ground truth) policy is among the survivors.
+    pub fn contains(&self, kind: &PolicyKind) -> bool {
+        self.matching.iter().any(|class| class.contains(kind))
+    }
+
+    /// A short human-readable summary, naming one representative per
+    /// surviving class.
+    pub fn summary(&self) -> String {
+        if self.matching.is_empty() {
+            return "no deterministic candidate matches (non-deterministic policy?)".to_string();
+        }
+        let names: Vec<String> = self
+            .matching
+            .iter()
+            .map(|class| {
+                if class.len() == 1 {
+                    class[0].name()
+                } else {
+                    format!("{} (+{} equivalent)", class[0].name(), class.len() - 1)
+                }
+            })
+            .collect();
+        names.join(", ")
+    }
+}
+
+/// Runs the inference: random sequences through cacheSeq vs. simulation.
+///
+/// # Errors
+///
+/// Propagates measurement errors from cacheSeq.
+pub fn fit_policy(
+    cs: &mut CacheSeq,
+    assoc: usize,
+    max_sequences: usize,
+    seed: u64,
+) -> Result<FitResult, NbError> {
+    let candidates = candidate_library(assoc);
+    let mut classes = equivalence_classes(&candidates, assoc, 40, seed ^ 0xC1A55);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let universe = assoc + 2;
+    let mut tested = 0usize;
+    while tested < max_sequences && classes.len() > 1 {
+        // Actively search (in simulation, which is cheap) for a random
+        // sequence on which the surviving classes disagree; only such
+        // sequences are worth measuring. If none is found, the remaining
+        // classes are observationally equivalent and we stop.
+        let mut chosen: Option<Vec<usize>> = None;
+        for _ in 0..4000 {
+            let len = assoc * 3 + rng.gen_range(0..assoc);
+            let blocks: Vec<usize> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+            let blocks_u64: Vec<u64> = blocks.iter().map(|b| *b as u64).collect();
+            let counts: Vec<usize> = classes
+                .iter()
+                .map(|class| {
+                    simulate_sequence(&class[0], assoc, 0, &blocks_u64)
+                        .iter()
+                        .filter(|h| **h)
+                        .count()
+                })
+                .collect();
+            if counts.windows(2).any(|w| w[0] != w[1]) {
+                chosen = Some(blocks);
+                break;
+            }
+        }
+        let Some(blocks) = chosen else {
+            break; // surviving classes cannot be separated by hit counts
+        };
+        let seq = AccessSeq::measured_all(&blocks);
+        let measured = cs.run_hits(&seq)?;
+        tested += 1;
+        let blocks_u64: Vec<u64> = blocks.iter().map(|b| *b as u64).collect();
+        classes.retain(|class| {
+            let sim = simulate_sequence(&class[0], assoc, 0, &blocks_u64)
+                .iter()
+                .filter(|h| **h)
+                .count() as u64;
+            sim == measured
+        });
+    }
+    Ok(FitResult {
+        matching: classes,
+        sequences_tested: tested,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addresses::Level;
+    use nanobench_cache::presets::cpu_by_microarch;
+
+    #[test]
+    fn library_size_and_content() {
+        let lib = candidate_library(8);
+        assert!(lib.contains(&PolicyKind::Plru));
+        assert_eq!(lib.len(), 5 + 480);
+        let lib12 = candidate_library(12);
+        assert!(!lib12.contains(&PolicyKind::Plru));
+    }
+
+    #[test]
+    fn equivalence_classes_are_partition() {
+        let lib = candidate_library(4);
+        let classes = equivalence_classes(&lib, 4, 30, 1);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, lib.len());
+        assert!(classes.len() > 10, "should distinguish many candidates");
+        assert!(
+            classes.len() < lib.len(),
+            "some QLRU variants must be observationally equivalent"
+        );
+    }
+
+    #[test]
+    fn fits_l1_plru_on_skylake() {
+        let cpu = cpu_by_microarch("Skylake").unwrap();
+        let mut cs = CacheSeq::new(&cpu, Level::L1, 7, None, 12, 11).unwrap();
+        let fit = fit_policy(&mut cs, cpu.l1_assoc, 60, 5).unwrap();
+        assert!(
+            fit.contains(&PolicyKind::Plru),
+            "PLRU must survive, got: {}",
+            fit.summary()
+        );
+        assert!(fit.is_unique(), "got: {}", fit.summary());
+    }
+}

@@ -1,0 +1,447 @@
+//! A single set-associative cache.
+
+use crate::policy::{PolicyKind, SetPolicy};
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+/// Cache line size in bytes (64 on all CPUs in Table I).
+pub const LINE_SIZE: u64 = 64;
+
+/// Geometry and policy of a single cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+}
+
+impl CacheConfig {
+    /// Number of sets (`size / (assoc * 64)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero or non-power-of-two
+    /// set count).
+    pub fn num_sets(&self) -> usize {
+        let sets = self.size_bytes / (self.assoc as u64 * LINE_SIZE);
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        sets as usize
+    }
+}
+
+/// Aggregate hit/miss statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Number of valid lines evicted by fills.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    tags: Vec<Option<u64>>,
+    policy: Box<dyn SetPolicy>,
+}
+
+impl CacheSet {
+    fn occupied(&self) -> Vec<bool> {
+        self.tags.iter().map(Option::is_some).collect()
+    }
+}
+
+/// Shared policy-selector state for set dueling (§VI-B3).
+///
+/// Leader sets increment/decrement the counter on misses; follower sets
+/// consult [`PselCounter::use_policy_b`].
+#[derive(Debug, Default)]
+pub struct PselCounter(AtomicI32);
+
+/// Saturation bound of the 10-bit PSEL counter.
+const PSEL_MAX: i32 = 1023;
+/// Initial / threshold value.
+const PSEL_MID: i32 = 512;
+
+impl PselCounter {
+    /// Creates a counter at the midpoint.
+    pub fn new() -> Arc<PselCounter> {
+        Arc::new(PselCounter(AtomicI32::new(PSEL_MID)))
+    }
+
+    /// Records a miss in a leader set of policy A (pushes toward B).
+    pub fn miss_in_a(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some((v + 1).min(PSEL_MAX))
+            });
+    }
+
+    /// Records a miss in a leader set of policy B (pushes toward A).
+    pub fn miss_in_b(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some((v - 1).max(0))
+            });
+    }
+
+    /// Whether follower sets should currently use policy B.
+    pub fn use_policy_b(&self) -> bool {
+        self.0.load(Ordering::Relaxed) > PSEL_MID
+    }
+
+    /// Raw counter value (for tests and debugging).
+    pub fn value(&self) -> i32 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to the midpoint.
+    pub fn reset(&self) {
+        self.0.store(PSEL_MID, Ordering::Relaxed);
+    }
+}
+
+/// A leader-set wrapper: delegates to `inner` and reports misses to the
+/// PSEL counter.
+#[derive(Debug, Clone)]
+pub struct LeaderPolicy {
+    inner: Box<dyn SetPolicy>,
+    psel: Arc<PselCounter>,
+    /// `true` if this leader runs policy A.
+    is_a: bool,
+}
+
+impl LeaderPolicy {
+    /// Wraps `inner` as a leader for policy A (`is_a`) or B.
+    pub fn new(inner: Box<dyn SetPolicy>, psel: Arc<PselCounter>, is_a: bool) -> LeaderPolicy {
+        LeaderPolicy { inner, psel, is_a }
+    }
+}
+
+impl SetPolicy for LeaderPolicy {
+    fn on_hit(&mut self, way: usize, occupied: &[bool]) {
+        self.inner.on_hit(way, occupied);
+    }
+
+    fn on_miss(&mut self, occupied: &[bool]) -> usize {
+        if self.is_a {
+            self.psel.miss_in_a();
+        } else {
+            self.psel.miss_in_b();
+        }
+        self.inner.on_miss(occupied)
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.inner.on_invalidate(way);
+    }
+
+    fn on_flush(&mut self) {
+        self.inner.on_flush();
+    }
+
+    fn box_clone(&self) -> Box<dyn SetPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// A follower-set wrapper: holds state for both candidate policies and
+/// routes each decision to whichever one the PSEL counter currently favours
+/// (the inactive policy's state freezes, like hardware reinterpreting the
+/// same status bits).
+#[derive(Debug, Clone)]
+pub struct FollowerPolicy {
+    a: Box<dyn SetPolicy>,
+    b: Box<dyn SetPolicy>,
+    psel: Arc<PselCounter>,
+}
+
+impl FollowerPolicy {
+    /// Creates a follower over the two candidate policies.
+    pub fn new(
+        a: Box<dyn SetPolicy>,
+        b: Box<dyn SetPolicy>,
+        psel: Arc<PselCounter>,
+    ) -> FollowerPolicy {
+        FollowerPolicy { a, b, psel }
+    }
+
+    fn active(&mut self) -> &mut Box<dyn SetPolicy> {
+        if self.psel.use_policy_b() {
+            &mut self.b
+        } else {
+            &mut self.a
+        }
+    }
+}
+
+impl SetPolicy for FollowerPolicy {
+    fn on_hit(&mut self, way: usize, occupied: &[bool]) {
+        self.active().on_hit(way, occupied);
+    }
+
+    fn on_miss(&mut self, occupied: &[bool]) -> usize {
+        self.active().on_miss(occupied)
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.a.on_invalidate(way);
+        self.b.on_invalidate(way);
+    }
+
+    fn on_flush(&mut self) {
+        self.a.on_flush();
+        self.b.on_flush();
+    }
+
+    fn box_clone(&self) -> Box<dyn SetPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// A single set-associative cache level (or one L3 slice).
+#[derive(Debug)]
+pub struct Cache {
+    sets: Vec<CacheSet>,
+    assoc: usize,
+    set_bits: u32,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from a configuration; `seed` feeds probabilistic
+    /// policies (each set derives its own stream).
+    pub fn new(config: &CacheConfig, seed: u64) -> Cache {
+        Cache::with_policies(config.num_sets(), config.assoc, |set| {
+            config
+                .policy
+                .instantiate(config.assoc, seed ^ (set as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+    }
+
+    /// Builds a cache with a custom per-set policy factory (used for set
+    /// dueling, where leader and follower sets differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or `assoc` is zero.
+    pub fn with_policies(
+        num_sets: usize,
+        assoc: usize,
+        mut factory: impl FnMut(usize) -> Box<dyn SetPolicy>,
+    ) -> Cache {
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(assoc > 0);
+        let sets = (0..num_sets)
+            .map(|s| CacheSet {
+                tags: vec![None; assoc],
+                policy: factory(s),
+            })
+            .collect();
+        Cache {
+            sets,
+            assoc,
+            set_bits: num_sets.trailing_zeros(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// The set index of a physical address.
+    pub fn set_index(&self, paddr: u64) -> usize {
+        ((paddr / LINE_SIZE) & ((1 << self.set_bits) - 1)) as usize
+    }
+
+    /// Looks up `paddr` without changing any state.
+    pub fn probe(&self, paddr: u64) -> bool {
+        let block = paddr / LINE_SIZE;
+        let set = &self.sets[self.set_index(paddr)];
+        set.tags.contains(&Some(block))
+    }
+
+    /// Performs a lookup, updating replacement state on a hit. Returns
+    /// `true` on a hit. On a miss, no fill happens — the caller decides
+    /// (this separation lets the hierarchy fill multiple levels coherently).
+    pub fn access(&mut self, paddr: u64) -> bool {
+        let block = paddr / LINE_SIZE;
+        let idx = self.set_index(paddr);
+        let set = &mut self.sets[idx];
+        let occupied = set.occupied();
+        if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
+            set.policy.on_hit(way, &occupied);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts the line for `paddr`, returning the physical block address
+    /// of the evicted line if a valid line was displaced.
+    pub fn fill(&mut self, paddr: u64) -> Option<u64> {
+        let block = paddr / LINE_SIZE;
+        let idx = self.set_index(paddr);
+        let set = &mut self.sets[idx];
+        if set.tags.contains(&Some(block)) {
+            return None; // already present (e.g. racing prefetch)
+        }
+        let occupied = set.occupied();
+        let way = set.policy.on_miss(&occupied);
+        let evicted = set.tags[way].take();
+        set.tags[way] = Some(block);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        evicted.map(|b| b * LINE_SIZE)
+    }
+
+    /// Invalidates the line containing `paddr` if present; returns whether
+    /// it was present.
+    pub fn invalidate(&mut self, paddr: u64) -> bool {
+        let block = paddr / LINE_SIZE;
+        let idx = self.set_index(paddr);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
+            set.tags[way] = None;
+            set.policy.on_invalidate(way);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes the entire cache (as `WBINVD` does).
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.tags.fill(None);
+            set.policy.on_flush();
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics to zero (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The blocks currently cached in `set` (by way).
+    pub fn set_contents(&self, set: usize) -> Vec<Option<u64>> {
+        self.sets[set].tags.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        Cache::new(
+            &CacheConfig {
+                size_bytes: 4 * 64 * 8, // 8 sets x 4 ways
+                assoc: 4,
+                policy: PolicyKind::Lru,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small_cache();
+        assert_eq!(c.num_sets(), 8);
+        assert_eq!(c.assoc(), 4);
+        assert_eq!(c.set_index(0), 0);
+        assert_eq!(c.set_index(64), 1);
+        assert_eq!(c.set_index(64 * 8), 0);
+        assert_eq!(c.set_index(63), 0);
+    }
+
+    #[test]
+    fn access_fill_evict() {
+        let mut c = small_cache();
+        assert!(!c.access(0x0));
+        c.fill(0x0);
+        assert!(c.access(0x0));
+        // Fill 4 more conflicting lines (same set 0: stride = 8 * 64).
+        let stride = 8 * 64u64;
+        let mut evicted = Vec::new();
+        for i in 1..=4u64 {
+            c.access(i * stride);
+            if let Some(e) = c.fill(i * stride) {
+                evicted.push(e);
+            }
+        }
+        assert_eq!(evicted, vec![0x0]); // LRU evicts the first line
+        assert!(!c.probe(0x0));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 5);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = small_cache();
+        c.fill(0x40);
+        assert!(c.probe(0x40));
+        assert!(c.invalidate(0x40));
+        assert!(!c.invalidate(0x40));
+        c.fill(0x40);
+        c.flush_all();
+        assert!(!c.probe(0x40));
+    }
+
+    #[test]
+    fn psel_saturation() {
+        let psel = PselCounter::new();
+        for _ in 0..2000 {
+            psel.miss_in_a();
+        }
+        assert_eq!(psel.value(), 1023);
+        assert!(psel.use_policy_b());
+        for _ in 0..4000 {
+            psel.miss_in_b();
+        }
+        assert_eq!(psel.value(), 0);
+        assert!(!psel.use_policy_b());
+    }
+
+    #[test]
+    fn follower_switches_with_psel() {
+        use crate::policy::PolicyKind;
+        let psel = PselCounter::new();
+        let a = PolicyKind::Lru.instantiate(4, 0);
+        let b = PolicyKind::Fifo.instantiate(4, 0);
+        let mut f = FollowerPolicy::new(a, b, Arc::clone(&psel));
+        let occ = [true; 4];
+        // With PSEL at midpoint, policy A (LRU) is active: hits reorder.
+        f.on_hit(0, &occ);
+        // Push PSEL toward B and verify misses now follow FIFO order
+        // regardless of the hit we just made on way 0.
+        for _ in 0..600 {
+            psel.miss_in_a();
+        }
+        assert!(psel.use_policy_b());
+        let way = f.on_miss(&occ);
+        assert_eq!(way, 0, "FIFO (policy B) ignores the earlier hit");
+    }
+}

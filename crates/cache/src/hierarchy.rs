@@ -1,0 +1,541 @@
+//! The three-level cache hierarchy: per-core L1/L2 and a sliced, inclusive
+//! L3 with C-Box lookup counters and (optional) adaptive replacement via set
+//! dueling.
+
+use crate::cache::{Cache, CacheConfig, CacheStats, FollowerPolicy, LeaderPolicy, PselCounter};
+use crate::policy::PolicyKind;
+use crate::prefetch::Prefetchers;
+use crate::slice::SliceHash;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Which level of the memory hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the private L2.
+    L2,
+    /// Served by the shared L3.
+    L3,
+    /// Served by main memory.
+    Memory,
+}
+
+/// The outcome of one data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessResult {
+    /// The level that served the access.
+    pub level: HitLevel,
+    /// Load-to-use latency in core cycles.
+    pub latency: u64,
+    /// The L3 slice looked up, when the access reached the L3.
+    pub slice: Option<usize>,
+}
+
+/// Load-to-use latencies per level, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// L1 data cache hit latency (4 cycles on all Table I parts; this is
+    /// the number §III-A's example measures).
+    pub l1: u64,
+    /// L2 hit latency.
+    pub l2: u64,
+    /// L3 hit latency.
+    pub l3: u64,
+    /// Main-memory latency.
+    pub mem: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            l1: 4,
+            l2: 12,
+            l3: 42,
+            mem: 200,
+        }
+    }
+}
+
+/// Leader-set ranges of one L3 slice for set dueling (§VI-B3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SliceLeaders {
+    /// Set ranges dedicated to policy A.
+    pub a: Vec<Range<usize>>,
+    /// Set ranges dedicated to policy B.
+    pub b: Vec<Range<usize>>,
+}
+
+impl SliceLeaders {
+    fn role_of(&self, set: usize) -> SetRole {
+        if self.a.iter().any(|r| r.contains(&set)) {
+            SetRole::LeaderA
+        } else if self.b.iter().any(|r| r.contains(&set)) {
+            SetRole::LeaderB
+        } else {
+            SetRole::Follower
+        }
+    }
+}
+
+/// The dueling role of an L3 set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRole {
+    /// Dedicated to policy A.
+    LeaderA,
+    /// Dedicated to policy B.
+    LeaderB,
+    /// Follows the currently winning policy.
+    Follower,
+}
+
+/// L3 replacement configuration: a single policy, or set dueling between
+/// two policies with per-slice leader ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L3PolicyConfig {
+    /// All sets use one policy.
+    Uniform(PolicyKind),
+    /// Set dueling (Ivy Bridge / Haswell / Broadwell in Table I).
+    Adaptive {
+        /// Policy run by the A leader sets (and followers when A wins).
+        policy_a: PolicyKind,
+        /// Policy run by the B leader sets.
+        policy_b: PolicyKind,
+        /// Leader ranges, indexed by slice. Slices beyond the vector's
+        /// length have no leaders (all sets are followers).
+        leaders: Vec<SliceLeaders>,
+    },
+}
+
+/// Geometry and policy of the sliced L3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L3Config {
+    /// Total capacity across all slices, in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub assoc: usize,
+    /// Number of slices (1, 2, 4 or 8).
+    pub slices: usize,
+    /// Replacement configuration.
+    pub policy: L3PolicyConfig,
+}
+
+impl L3Config {
+    /// Sets per slice.
+    pub fn sets_per_slice(&self) -> usize {
+        let per_slice = self.size_bytes / self.slices as u64;
+        (per_slice / (self.assoc as u64 * 64)) as usize
+    }
+}
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// Shared, sliced L3.
+    pub l3: L3Config,
+    /// Per-level latencies.
+    pub latencies: Latencies,
+    /// Whether the L3 is inclusive (evictions back-invalidate L1/L2);
+    /// true for all Table I parts.
+    pub inclusive_l3: bool,
+}
+
+/// The simulated cache hierarchy of one core + shared L3.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: Vec<Cache>,
+    hash: SliceHash,
+    psel: Arc<PselCounter>,
+    prefetchers: Prefetchers,
+    uncore_lookups: Vec<u64>,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy; `seed` drives probabilistic replacement.
+    pub fn new(config: &HierarchyConfig, seed: u64) -> CacheHierarchy {
+        let psel = PselCounter::new();
+        let sets_per_slice = config.l3.sets_per_slice();
+        assert!(
+            sets_per_slice.is_power_of_two(),
+            "L3 sets per slice must be a power of two (got {sets_per_slice})"
+        );
+        let mut l3 = Vec::with_capacity(config.l3.slices);
+        for slice in 0..config.l3.slices {
+            let slice_seed = seed ^ ((slice as u64 + 1) << 48);
+            let cache = match &config.l3.policy {
+                L3PolicyConfig::Uniform(kind) => Cache::with_policies(
+                    sets_per_slice,
+                    config.l3.assoc,
+                    |set| kind.instantiate(config.l3.assoc, slice_seed ^ set as u64),
+                ),
+                L3PolicyConfig::Adaptive {
+                    policy_a,
+                    policy_b,
+                    leaders,
+                } => {
+                    let slice_leaders = leaders.get(slice).cloned().unwrap_or_default();
+                    let psel = Arc::clone(&psel);
+                    Cache::with_policies(sets_per_slice, config.l3.assoc, move |set| {
+                        let sa = policy_a.instantiate(config.l3.assoc, slice_seed ^ set as u64);
+                        let sb = policy_b
+                            .instantiate(config.l3.assoc, slice_seed ^ set as u64 ^ 0xB00B);
+                        match slice_leaders.role_of(set) {
+                            SetRole::LeaderA => {
+                                Box::new(LeaderPolicy::new(sa, Arc::clone(&psel), true))
+                            }
+                            SetRole::LeaderB => {
+                                Box::new(LeaderPolicy::new(sb, Arc::clone(&psel), false))
+                            }
+                            SetRole::Follower => {
+                                Box::new(FollowerPolicy::new(sa, sb, Arc::clone(&psel)))
+                            }
+                        }
+                    })
+                }
+            };
+            l3.push(cache);
+        }
+        CacheHierarchy {
+            l1: Cache::new(&config.l1, seed ^ 0x11),
+            l2: Cache::new(&config.l2, seed ^ 0x22),
+            l3,
+            hash: SliceHash::new(config.l3.slices),
+            psel,
+            prefetchers: Prefetchers::new(),
+            uncore_lookups: vec![0; config.l3.slices],
+            config: config.clone(),
+        }
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs a data access (load or store — both allocate on miss).
+    pub fn access(&mut self, paddr: u64) -> MemAccessResult {
+        let lat = self.config.latencies;
+        let l1_hit = self.l1.access(paddr);
+        let l1_pref = self.prefetchers.observe_l1_access(paddr, l1_hit);
+        if l1_hit {
+            self.apply_prefetches(l1_pref.into_l1, l1_pref.into_l2);
+            return MemAccessResult {
+                level: HitLevel::L1,
+                latency: lat.l1,
+                slice: None,
+            };
+        }
+        let l2_hit = self.l2.access(paddr);
+        let l2_pref = self.prefetchers.observe_l2_access(paddr, l2_hit);
+        if l2_hit {
+            self.l1.fill(paddr);
+            self.apply_prefetches(l1_pref.into_l1, l2_pref.into_l2);
+            return MemAccessResult {
+                level: HitLevel::L2,
+                latency: lat.l2,
+                slice: None,
+            };
+        }
+        let slice = self.hash.slice_of(paddr);
+        self.uncore_lookups[slice] += 1;
+        let l3_hit = self.l3[slice].access(paddr);
+        if l3_hit {
+            self.l2.fill(paddr);
+            self.l1.fill(paddr);
+            self.apply_prefetches(l1_pref.into_l1, l2_pref.into_l2);
+            return MemAccessResult {
+                level: HitLevel::L3,
+                latency: lat.l3,
+                slice: Some(slice),
+            };
+        }
+        self.fill_l3(paddr);
+        self.l2.fill(paddr);
+        self.l1.fill(paddr);
+        self.apply_prefetches(l1_pref.into_l1, l2_pref.into_l2);
+        MemAccessResult {
+            level: HitLevel::Memory,
+            latency: lat.mem,
+            slice: Some(slice),
+        }
+    }
+
+    /// Fills a block into the L3, back-invalidating inner levels if an
+    /// inclusive eviction displaces a block.
+    fn fill_l3(&mut self, paddr: u64) {
+        let slice = self.hash.slice_of(paddr);
+        if let Some(evicted) = self.l3[slice].fill(paddr) {
+            if self.config.inclusive_l3 {
+                self.l2.invalidate(evicted);
+                self.l1.invalidate(evicted);
+            }
+        }
+    }
+
+    fn apply_prefetches(&mut self, into_l1: Vec<u64>, into_l2: Vec<u64>) {
+        for paddr in into_l2 {
+            if !self.l2.probe(paddr) {
+                let slice = self.hash.slice_of(paddr);
+                if !self.l3[slice].probe(paddr) {
+                    self.uncore_lookups[slice] += 1;
+                    self.fill_l3(paddr);
+                }
+                self.l2.fill(paddr);
+            }
+        }
+        for paddr in into_l1 {
+            if !self.l1.probe(paddr) {
+                if !self.l2.probe(paddr) {
+                    let slice = self.hash.slice_of(paddr);
+                    if !self.l3[slice].probe(paddr) {
+                        self.uncore_lookups[slice] += 1;
+                        self.fill_l3(paddr);
+                    }
+                    self.l2.fill(paddr);
+                }
+                self.l1.fill(paddr);
+            }
+        }
+    }
+
+    /// `WBINVD`: writes back and invalidates all caches (§VI-C).
+    pub fn wbinvd(&mut self) {
+        self.l1.flush_all();
+        self.l2.flush_all();
+        for slice in &mut self.l3 {
+            slice.flush_all();
+        }
+        self.prefetchers.reset_streams();
+    }
+
+    /// `CLFLUSH`: invalidates one line from every level.
+    pub fn clflush(&mut self, paddr: u64) {
+        self.l1.invalidate(paddr);
+        self.l2.invalidate(paddr);
+        let slice = self.hash.slice_of(paddr);
+        self.l3[slice].invalidate(paddr);
+    }
+
+    /// Non-destructive probe: the level that would serve an access now.
+    pub fn probe_level(&self, paddr: u64) -> HitLevel {
+        if self.l1.probe(paddr) {
+            HitLevel::L1
+        } else if self.l2.probe(paddr) {
+            HitLevel::L2
+        } else if self.l3[self.hash.slice_of(paddr)].probe(paddr) {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        }
+    }
+
+    /// The prefetcher bank (MSR 0x1A4 is routed here by the machine).
+    pub fn prefetchers_mut(&mut self) -> &mut Prefetchers {
+        &mut self.prefetchers
+    }
+
+    /// Read-only access to the prefetcher bank.
+    pub fn prefetchers(&self) -> &Prefetchers {
+        &self.prefetchers
+    }
+
+    /// Per-slice C-Box lookup counts (uncore counters, §II-B).
+    pub fn uncore_lookups(&self) -> &[u64] {
+        &self.uncore_lookups
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Combined L3 statistics across slices.
+    pub fn l3_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for slice in &self.l3 {
+            let s = slice.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+        }
+        total
+    }
+
+    /// Resets all statistics (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        for slice in &mut self.l3 {
+            slice.reset_stats();
+        }
+        self.uncore_lookups.fill(0);
+    }
+
+    /// The (slice, set) an address maps to in the L3.
+    pub fn l3_location(&self, paddr: u64) -> (usize, usize) {
+        let slice = self.hash.slice_of(paddr);
+        (slice, self.l3[slice].set_index(paddr))
+    }
+
+    /// The L1 set index of an address.
+    pub fn l1_set(&self, paddr: u64) -> usize {
+        self.l1.set_index(paddr)
+    }
+
+    /// The L2 set index of an address.
+    pub fn l2_set(&self, paddr: u64) -> usize {
+        self.l2.set_index(paddr)
+    }
+
+    /// The PSEL counter (exposed for the set-dueling experiments).
+    pub fn psel(&self) -> &Arc<PselCounter> {
+        &self.psel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 4 * 1024, // 8 sets x 8 ways
+                assoc: 8,
+                policy: PolicyKind::Plru,
+            },
+            l2: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                policy: PolicyKind::Plru,
+            },
+            l3: L3Config {
+                size_bytes: 256 * 1024,
+                assoc: 16,
+                slices: 2,
+                policy: L3PolicyConfig::Uniform(PolicyKind::Qlru(
+                    crate::policy::QlruVariant::parse("QLRU_H11_M1_R0_U0").unwrap(),
+                )),
+            },
+            latencies: Latencies::default(),
+            inclusive_l3: true,
+        }
+    }
+
+    #[test]
+    fn miss_then_hits_walk_down_the_hierarchy() {
+        let mut h = CacheHierarchy::new(&small_config(), 1);
+        h.prefetchers_mut().disable_all();
+        let r = h.access(0x1000);
+        assert_eq!(r.level, HitLevel::Memory);
+        assert_eq!(r.latency, 200);
+        let r = h.access(0x1000);
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(r.latency, 4);
+        // Evict from L1 by filling its set (same L1 set: stride 8*64=512B;
+        // L1 has 8 sets -> same-set stride 512).
+        for i in 1..=8u64 {
+            h.access(0x1000 + i * 512);
+        }
+        let r = h.access(0x1000);
+        assert!(
+            matches!(r.level, HitLevel::L2 | HitLevel::L3),
+            "after L1 eviction the block must still be in an outer level, got {:?}",
+            r.level
+        );
+    }
+
+    #[test]
+    fn wbinvd_empties_everything() {
+        let mut h = CacheHierarchy::new(&small_config(), 1);
+        h.prefetchers_mut().disable_all();
+        h.access(0x4000);
+        assert_eq!(h.probe_level(0x4000), HitLevel::L1);
+        h.wbinvd();
+        assert_eq!(h.probe_level(0x4000), HitLevel::Memory);
+    }
+
+    #[test]
+    fn clflush_removes_single_line() {
+        let mut h = CacheHierarchy::new(&small_config(), 1);
+        h.prefetchers_mut().disable_all();
+        h.access(0x4000);
+        h.access(0x8000);
+        h.clflush(0x4000);
+        assert_eq!(h.probe_level(0x4000), HitLevel::Memory);
+        assert_eq!(h.probe_level(0x8000), HitLevel::L1);
+    }
+
+    #[test]
+    fn inclusive_l3_back_invalidates() {
+        let mut cfg = small_config();
+        // Tiny L3 so we can evict from it easily: 2 slices x 64 sets x 2 ways.
+        cfg.l3 = L3Config {
+            size_bytes: 2 * 64 * 2 * 64,
+            assoc: 2,
+            slices: 2,
+            policy: L3PolicyConfig::Uniform(PolicyKind::Lru),
+        };
+        let mut h = CacheHierarchy::new(&cfg, 1);
+        h.prefetchers_mut().disable_all();
+        h.access(0x0);
+        // Generate many conflicting L3 lines until 0x0 is back-invalidated.
+        let (slice0, set0) = h.l3_location(0x0);
+        let mut conflicts = 0;
+        let mut addr = 0x0u64;
+        while conflicts < 8 {
+            addr += 64 * 64; // same L3 set index (64 sets per slice)
+            if h.l3_location(addr) == (slice0, set0) {
+                h.access(addr);
+                conflicts += 1;
+            }
+        }
+        assert_eq!(
+            h.probe_level(0x0),
+            HitLevel::Memory,
+            "inclusive eviction must remove the block from L1/L2 too"
+        );
+    }
+
+    #[test]
+    fn uncore_lookups_count_l3_traffic() {
+        let mut h = CacheHierarchy::new(&small_config(), 1);
+        h.prefetchers_mut().disable_all();
+        h.access(0x100000);
+        let total: u64 = h.uncore_lookups().iter().sum();
+        assert_eq!(total, 1);
+        h.access(0x100000); // L1 hit; no L3 lookup
+        let total: u64 = h.uncore_lookups().iter().sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn prefetcher_perturbs_measurements() {
+        // With prefetchers on, a sequential scan takes fewer memory-level
+        // hits than with them off — the reason §IV-A2 recommends disabling
+        // them for cache benchmarks.
+        let count_mem = |disable: bool| {
+            let mut h = CacheHierarchy::new(&small_config(), 1);
+            if disable {
+                h.prefetchers_mut().disable_all();
+            }
+            (0..32u64)
+                .filter(|i| h.access(i * 64).level == HitLevel::Memory)
+                .count()
+        };
+        assert!(count_mem(false) < count_mem(true));
+    }
+}

@@ -1,0 +1,288 @@
+//! Cache replacement policies.
+//!
+//! This module implements every policy family the paper discusses (§VI-B):
+//! permutation-based policies (LRU, FIFO, tree-based PLRU, and arbitrary
+//! permutation specifications), the one-bit MRU/NRU policy with the Sandy
+//! Bridge WBINVD variant, the fully parameterized QLRU family with the
+//! paper's naming scheme (`QLRU_Hxy_Mz_Rr_Uu[_UMO]`), and a random policy.
+//!
+//! A policy instance manages one cache set. "Locations" (ways) are indexed
+//! from 0; the paper's "leftmost" is way 0.
+
+mod basic;
+mod mru;
+mod permutation;
+mod qlru;
+
+pub use basic::{Fifo, Lru, Plru, RandomPolicy};
+pub use mru::Mru;
+pub use permutation::{fifo_spec, lru_spec, plru_spec, Perm, PermutationPolicy, PermutationSpec};
+pub use qlru::{all_meaningful_qlru_variants, HitFunc, InsertAge, QlruPolicy, QlruVariant, RVariant, UVariant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-set replacement policy state machine.
+///
+/// The cache set tells the policy about hits and asks it for a placement
+/// location on misses; the policy never sees addresses, only way indices and
+/// the current occupancy. This mirrors how real replacement logic only
+/// observes per-line status bits.
+pub trait SetPolicy: fmt::Debug + Send {
+    /// Called when an access hits the block at `way`.
+    ///
+    /// `occupied[w]` indicates which ways currently hold valid lines.
+    fn on_hit(&mut self, way: usize, occupied: &[bool]);
+
+    /// Called on a miss; returns the way where the new block is placed
+    /// (evicting any valid line there) and updates internal state as if the
+    /// new block had been inserted.
+    fn on_miss(&mut self, occupied: &[bool]) -> usize;
+
+    /// Called when the line at `way` is invalidated (e.g. `CLFLUSH`).
+    fn on_invalidate(&mut self, way: usize);
+
+    /// Called when the whole cache is flushed (e.g. `WBINVD`).
+    fn on_flush(&mut self);
+
+    /// Clones the policy into a fresh box (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn SetPolicy>;
+}
+
+impl Clone for Box<dyn SetPolicy> {
+    fn clone(&self) -> Box<dyn SetPolicy> {
+        self.box_clone()
+    }
+}
+
+/// A policy selector: everything needed to instantiate per-set policy state.
+///
+/// `PolicyKind` is the configuration-level description used by cache
+/// configurations ([Table I presets](crate::presets)) and by the candidate
+/// library of the policy-inference tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Least-recently-used.
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Tree-based pseudo-LRU (associativity must be a power of two).
+    Plru,
+    /// One-bit MRU / bit-PLRU / NRU (§VI-B2). `fill_sets_all_ones` selects
+    /// the Sandy Bridge variant that keeps all status bits set while the
+    /// cache is not yet full after a WBINVD (reported as `MRU*` in Table I).
+    Mru {
+        /// Sandy Bridge WBINVD variant flag.
+        fill_sets_all_ones: bool,
+    },
+    /// A QLRU variant per the paper's naming scheme (§VI-B2).
+    Qlru(QlruVariant),
+    /// An arbitrary permutation policy given by its A+1 permutations.
+    Permutation(PermutationSpec),
+    /// Uniformly random replacement.
+    Random,
+}
+
+impl PolicyKind {
+    /// Short human-readable name, matching the paper's naming scheme
+    /// (`PLRU`, `MRU`, `MRU*`, `QLRU_H11_M1_R0_U0`, ...).
+    pub fn name(&self) -> String {
+        match self {
+            PolicyKind::Lru => "LRU".to_string(),
+            PolicyKind::Fifo => "FIFO".to_string(),
+            PolicyKind::Plru => "PLRU".to_string(),
+            PolicyKind::Mru {
+                fill_sets_all_ones: false,
+            } => "MRU".to_string(),
+            PolicyKind::Mru {
+                fill_sets_all_ones: true,
+            } => "MRU*".to_string(),
+            PolicyKind::Qlru(v) => v.name(),
+            PolicyKind::Permutation(_) => "PERMUTATION".to_string(),
+            PolicyKind::Random => "RANDOM".to_string(),
+        }
+    }
+
+    /// Parses a policy name produced by [`PolicyKind::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the name is not recognized.
+    pub fn parse(name: &str) -> Result<PolicyKind, String> {
+        match name {
+            "LRU" => Ok(PolicyKind::Lru),
+            "FIFO" => Ok(PolicyKind::Fifo),
+            "PLRU" => Ok(PolicyKind::Plru),
+            "MRU" => Ok(PolicyKind::Mru {
+                fill_sets_all_ones: false,
+            }),
+            "MRU*" => Ok(PolicyKind::Mru {
+                fill_sets_all_ones: true,
+            }),
+            "RANDOM" => Ok(PolicyKind::Random),
+            other if other.starts_with("QLRU_") => QlruVariant::parse(other).map(PolicyKind::Qlru),
+            other => Err(format!("unknown policy name `{other}`")),
+        }
+    }
+
+    /// Whether the policy makes probabilistic decisions.
+    pub fn is_probabilistic(&self) -> bool {
+        match self {
+            PolicyKind::Random => true,
+            PolicyKind::Qlru(v) => v.is_probabilistic(),
+            _ => false,
+        }
+    }
+
+    /// Instantiates per-set state for a set with `assoc` ways.
+    ///
+    /// `seed` provides determinism for probabilistic policies; derive it
+    /// from (cache seed, set index) so different sets draw independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0, or if the policy is PLRU and `assoc` is not
+    /// a power of two.
+    pub fn instantiate(&self, assoc: usize, seed: u64) -> Box<dyn SetPolicy> {
+        assert!(assoc > 0, "associativity must be positive");
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(assoc)),
+            PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
+            PolicyKind::Plru => Box::new(Plru::new(assoc)),
+            PolicyKind::Mru { fill_sets_all_ones } => {
+                Box::new(Mru::new(assoc, *fill_sets_all_ones))
+            }
+            PolicyKind::Qlru(v) => Box::new(QlruPolicy::new(assoc, *v, SmallRng::seed_from_u64(seed))),
+            PolicyKind::Permutation(spec) => Box::new(PermutationPolicy::new(spec.clone())),
+            PolicyKind::Random => Box::new(RandomPolicy::new(assoc, SmallRng::seed_from_u64(seed))),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Simulates an access sequence of abstract blocks against a policy on a
+/// single cache set, returning per-access hit/miss.
+///
+/// Blocks are identified by arbitrary `u64` ids; the set starts empty. This
+/// is the "simulation of different replacement policies" the paper's
+/// inference tool compares measurements against (§VI-C1).
+///
+/// # Examples
+///
+/// ```
+/// use nanobench_cache::policy::{simulate_sequence, PolicyKind};
+/// // 2-way LRU: A B A -> miss miss hit
+/// let hits = simulate_sequence(&PolicyKind::Lru, 2, 0, &[0, 1, 0]);
+/// assert_eq!(hits, vec![false, false, true]);
+/// ```
+pub fn simulate_sequence(
+    kind: &PolicyKind,
+    assoc: usize,
+    seed: u64,
+    blocks: &[u64],
+) -> Vec<bool> {
+    let mut sim = SetSim::new(kind, assoc, seed);
+    blocks.iter().map(|b| sim.access(*b)).collect()
+}
+
+/// A standalone single-set simulator (contents + policy).
+#[derive(Debug, Clone)]
+pub struct SetSim {
+    tags: Vec<Option<u64>>,
+    policy: Box<dyn SetPolicy>,
+}
+
+impl SetSim {
+    /// Creates an empty set with `assoc` ways governed by `kind`.
+    pub fn new(kind: &PolicyKind, assoc: usize, seed: u64) -> SetSim {
+        SetSim {
+            tags: vec![None; assoc],
+            policy: kind.instantiate(assoc, seed),
+        }
+    }
+
+    /// Accesses `block`; returns `true` on a hit.
+    pub fn access(&mut self, block: u64) -> bool {
+        let occupied: Vec<bool> = self.tags.iter().map(Option::is_some).collect();
+        if let Some(way) = self.tags.iter().position(|t| *t == Some(block)) {
+            self.policy.on_hit(way, &occupied);
+            true
+        } else {
+            let way = self.policy.on_miss(&occupied);
+            assert!(way < self.tags.len(), "policy returned way out of range");
+            self.tags[way] = Some(block);
+            false
+        }
+    }
+
+    /// Returns `true` if `block` is currently cached (without touching
+    /// policy state).
+    pub fn contains(&self, block: u64) -> bool {
+        self.tags.contains(&Some(block))
+    }
+
+    /// Empties the set, as after `WBINVD`.
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+        self.policy.on_flush();
+    }
+
+    /// The current contents by way (left = way 0).
+    pub fn contents(&self) -> &[Option<u64>] {
+        &self.tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        let kinds = [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Plru,
+            PolicyKind::Mru {
+                fill_sets_all_ones: false,
+            },
+            PolicyKind::Mru {
+                fill_sets_all_ones: true,
+            },
+            PolicyKind::Random,
+        ];
+        for kind in kinds {
+            assert_eq!(PolicyKind::parse(&kind.name()).unwrap(), kind);
+        }
+        for v in all_meaningful_qlru_variants() {
+            let kind = PolicyKind::Qlru(v);
+            assert_eq!(PolicyKind::parse(&kind.name()).unwrap(), kind, "{}", kind);
+        }
+    }
+
+    #[test]
+    fn simulate_lru_basics() {
+        // 2-way LRU, sequence A B C A: C evicts A (LRU), so final A misses.
+        let hits = simulate_sequence(&PolicyKind::Lru, 2, 0, &[0, 1, 2, 0]);
+        assert_eq!(hits, vec![false, false, false, false]);
+        // A B A C B: A hit; C evicts B? no, evicts LRU=B after A touched. B misses.
+        let hits = simulate_sequence(&PolicyKind::Lru, 2, 0, &[0, 1, 0, 2, 1]);
+        assert_eq!(hits, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn set_sim_flush() {
+        let mut sim = SetSim::new(&PolicyKind::Lru, 4, 0);
+        sim.access(1);
+        assert!(sim.contains(1));
+        sim.flush();
+        assert!(!sim.contains(1));
+        assert!(!sim.access(1));
+    }
+}

@@ -1,0 +1,217 @@
+//! Hardware prefetcher models, disableable via MSR 0x1A4.
+//!
+//! §IV-A2 of the paper: "for microbenchmarks that measure properties of
+//! caches ... it can be helpful to disable cache prefetching. On Intel CPUs,
+//! this can be achieved by setting specific bits in a model-specific
+//! register." We model the two L2 prefetchers and the two L1 (DCU)
+//! prefetchers controlled by `MSR_MISC_FEATURE_CONTROL` (0x1A4):
+//!
+//! | bit | prefetcher                  |
+//! |-----|-----------------------------|
+//! | 0   | L2 hardware (streamer)      |
+//! | 1   | L2 adjacent cache line      |
+//! | 2   | DCU (L1 next-line streamer) |
+//! | 3   | DCU IP (stride)             |
+
+use std::collections::HashMap;
+
+/// MSR address of the prefetcher-control register.
+pub const MSR_MISC_FEATURE_CONTROL: u32 = 0x1A4;
+
+/// Per-4KB-page stream tracking state.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// Prefetch decisions produced for one demand access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchRequests {
+    /// Physical addresses to prefetch into L2 (and L3).
+    pub into_l2: Vec<u64>,
+    /// Physical addresses to prefetch into L1.
+    pub into_l1: Vec<u64>,
+}
+
+/// The prefetcher bank of one core.
+#[derive(Debug, Default)]
+pub struct Prefetchers {
+    /// Bits of MSR 0x1A4: a set bit *disables* the corresponding prefetcher.
+    disable_bits: u64,
+    l2_streams: HashMap<u64, Stream>,
+    l1_streams: HashMap<u64, Stream>,
+}
+
+impl Prefetchers {
+    /// Creates the prefetcher bank with all prefetchers enabled.
+    pub fn new() -> Prefetchers {
+        Prefetchers::default()
+    }
+
+    /// Writes the MSR 0x1A4 value (set bits disable prefetchers).
+    pub fn set_disable_bits(&mut self, value: u64) {
+        self.disable_bits = value;
+    }
+
+    /// Reads back the MSR 0x1A4 value.
+    pub fn disable_bits(&self) -> u64 {
+        self.disable_bits
+    }
+
+    /// Convenience: disables all four prefetchers (value 0xF), as the
+    /// paper's cache tools do before measuring.
+    pub fn disable_all(&mut self) {
+        self.disable_bits = 0xF;
+    }
+
+    fn l2_streamer_enabled(&self) -> bool {
+        self.disable_bits & 0x1 == 0
+    }
+
+    fn adjacent_line_enabled(&self) -> bool {
+        self.disable_bits & 0x2 == 0
+    }
+
+    fn dcu_enabled(&self) -> bool {
+        self.disable_bits & 0x4 == 0
+    }
+
+    /// Observes a demand access to `paddr` that reached the L2 (i.e. missed
+    /// L1). `l2_hit` tells whether it hit in L2. Returns prefetches to issue.
+    pub fn observe_l2_access(&mut self, paddr: u64, l2_hit: bool) -> PrefetchRequests {
+        let mut reqs = PrefetchRequests::default();
+        let block = paddr / 64;
+        let page = paddr >> 12;
+
+        if self.adjacent_line_enabled() && !l2_hit {
+            // Adjacent-line: fetch the other half of the 128-byte pair.
+            reqs.into_l2.push((block ^ 1) * 64);
+        }
+        if self.l2_streamer_enabled() {
+            let stream = self.l2_streams.entry(page).or_insert(Stream {
+                last_block: block,
+                stride: 0,
+                confidence: 0,
+            });
+            let stride = block as i64 - stream.last_block as i64;
+            if stride != 0 && stride == stream.stride {
+                stream.confidence = stream.confidence.saturating_add(1);
+            } else if stride != 0 {
+                stream.stride = stride;
+                stream.confidence = 0;
+            }
+            stream.last_block = block;
+            if stream.confidence >= 1 && stream.stride != 0 {
+                // Prefetch the next two blocks of the stream, staying in
+                // the page (hardware prefetchers do not cross 4KB pages).
+                for k in 1..=2i64 {
+                    let next = block as i64 + stream.stride * k;
+                    if next >= 0 && (next as u64 * 64) >> 12 == page {
+                        reqs.into_l2.push(next as u64 * 64);
+                    }
+                }
+            }
+        }
+        reqs
+    }
+
+    /// Observes a demand access at the L1 level; returns L1 prefetches.
+    pub fn observe_l1_access(&mut self, paddr: u64, l1_hit: bool) -> PrefetchRequests {
+        let mut reqs = PrefetchRequests::default();
+        if !self.dcu_enabled() || l1_hit {
+            return reqs;
+        }
+        let block = paddr / 64;
+        let page = paddr >> 12;
+        let stream = self.l1_streams.entry(page).or_insert(Stream {
+            last_block: block,
+            stride: 0,
+            confidence: 0,
+        });
+        let stride = block as i64 - stream.last_block as i64;
+        if stride == 1 {
+            stream.confidence = stream.confidence.saturating_add(1);
+        } else if stride != 0 {
+            stream.confidence = 0;
+        }
+        stream.last_block = block;
+        if stream.confidence >= 1 && ((block + 1) * 64) >> 12 == page {
+            // DCU streamer fetches the next sequential line.
+            reqs.into_l1.push((block + 1) * 64);
+        }
+        reqs
+    }
+
+    /// Clears stream-detection state (contents of MSR persist).
+    pub fn reset_streams(&mut self) {
+        self.l2_streams.clear();
+        self.l1_streams.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_prefetchers_do_nothing() {
+        let mut p = Prefetchers::new();
+        p.disable_all();
+        assert_eq!(p.disable_bits(), 0xF);
+        for i in 0..10u64 {
+            let r = p.observe_l2_access(i * 64, false);
+            assert!(r.into_l2.is_empty());
+            let r = p.observe_l1_access(i * 64, false);
+            assert!(r.into_l1.is_empty());
+        }
+    }
+
+    #[test]
+    fn adjacent_line_pairs() {
+        let mut p = Prefetchers::new();
+        p.set_disable_bits(0b0101); // only adjacent-line enabled among L2
+        let r = p.observe_l2_access(0x80, false); // block 2 -> buddy block 3
+        assert_eq!(r.into_l2, vec![0xC0]);
+        let r = p.observe_l2_access(0xC0, false); // block 3 -> buddy block 2
+        assert_eq!(r.into_l2, vec![0x80]);
+    }
+
+    #[test]
+    fn streamer_detects_sequential_pattern() {
+        let mut p = Prefetchers::new();
+        p.set_disable_bits(0b1110); // only the L2 streamer enabled
+        let mut prefetched = Vec::new();
+        for i in 0..8u64 {
+            prefetched.extend(p.observe_l2_access(i * 64, false).into_l2);
+        }
+        // After two same-stride deltas the streamer starts prefetching ahead.
+        assert!(prefetched.contains(&(3 * 64)));
+        assert!(!prefetched.is_empty());
+    }
+
+    #[test]
+    fn streamer_does_not_cross_pages() {
+        let mut p = Prefetchers::new();
+        p.set_disable_bits(0b1110);
+        let base = 4096 - 3 * 64;
+        let mut prefetched = Vec::new();
+        for i in 0..3u64 {
+            prefetched.extend(p.observe_l2_access(base + i * 64, false).into_l2);
+        }
+        assert!(
+            prefetched.iter().all(|a| *a < 4096),
+            "prefetches must stay within the 4KB page: {prefetched:?}"
+        );
+    }
+
+    #[test]
+    fn dcu_next_line() {
+        let mut p = Prefetchers::new();
+        p.set_disable_bits(0b1011); // only DCU enabled
+        assert!(p.observe_l1_access(0, false).into_l1.is_empty());
+        let r = p.observe_l1_access(64, false);
+        assert_eq!(r.into_l1, vec![128]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Code generation for microbenchmarks — Algorithm 1 of the paper.
+//!
+//! The generated function:
+//!
+//! ```text
+//! 1  saveRegs
+//! 2  codeInit
+//! 3  m1 <- readPerfCtrs      (does not clobber benchmark registers)
+//! 4  for j <- 0 to loopCount (omitted if loopCount = 0; counter in R15)
+//! 5..9  code x localUnrollCount
+//! 10 m2 <- readPerfCtrs
+//! 11 restoreRegs
+//! ```
+//!
+//! Registers RSP, RBP, RDI, RSI and R14 are initialized to point into
+//! dedicated memory areas of 1 MB each that the microbenchmark may freely
+//! modify (§III-G). In `noMem` mode (§III-I) the counter values are
+//! accumulated in registers R8–R13 instead of being written to memory.
+
+use nanobench_x86::inst::{Instruction, Mnemonic};
+use nanobench_x86::operand::{MemRef, Operand};
+use nanobench_x86::reg::{Gpr, Width};
+
+/// Size of each dedicated memory area (§III-G: "1 MB each").
+pub const ARENA_SIZE: u64 = 1 << 20;
+
+/// The registers nanoBench points into dedicated memory areas.
+pub const ARENA_REGS: [Gpr; 5] = [Gpr::Rsp, Gpr::Rbp, Gpr::Rdi, Gpr::Rsi, Gpr::R14];
+
+/// Registers that accumulate counter values in `noMem` mode; the
+/// microbenchmark must not modify them (§III-I).
+pub const NO_MEM_ACC_REGS: [Gpr; 6] = [Gpr::R8, Gpr::R9, Gpr::R10, Gpr::R11, Gpr::R12, Gpr::R13];
+
+/// Memory layout used by the generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arenas {
+    /// Register save area (16 qwords).
+    pub save_area: u64,
+    /// Scratch for RAX/RCX/RDX around counter reads (3 qwords).
+    pub scratch: u64,
+    /// First counter-read results (one qword per counter).
+    pub m1: u64,
+    /// Second counter-read results.
+    pub m2: u64,
+    /// Base of each dedicated register arena, in [`ARENA_REGS`] order.
+    pub arena_bases: [u64; 5],
+}
+
+/// One generated benchmark function.
+#[derive(Debug, Clone)]
+pub struct GeneratedCode {
+    /// The instruction sequence.
+    pub program: Vec<Instruction>,
+    /// RDPMC selectors measured, in result-slot order.
+    pub selectors: Vec<u32>,
+    /// Whether results live in registers (noMem) or in the m1/m2 areas.
+    pub no_mem: bool,
+}
+
+/// Configuration for one code generation (one `localUnrollCount` version).
+#[derive(Debug, Clone)]
+pub struct CodegenRequest<'a> {
+    /// Initialization part of the microbenchmark (not measured).
+    pub init: &'a [Instruction],
+    /// The main part of the microbenchmark.
+    pub code: &'a [Instruction],
+    /// `localUnrollCount` — number of copies of `code`.
+    pub local_unroll: usize,
+    /// `loopCount` — 0 omits the loop entirely.
+    pub loop_count: u64,
+    /// RDPMC selectors to read (fixed counters use bit 30).
+    pub selectors: &'a [u32],
+    /// Store results in registers instead of memory (§III-I).
+    pub no_mem: bool,
+    /// Memory layout.
+    pub arenas: Arenas,
+}
+
+fn abs_mem(addr: u64) -> Operand {
+    Operand::Mem(MemRef::absolute(addr, Width::Q))
+}
+
+fn mov_to_mem(addr: u64, reg: Gpr) -> Instruction {
+    Instruction::binary(Mnemonic::Mov, abs_mem(addr), Operand::gpr(reg))
+}
+
+fn mov_from_mem(reg: Gpr, addr: u64) -> Instruction {
+    Instruction::binary(Mnemonic::Mov, Operand::gpr(reg), abs_mem(addr))
+}
+
+fn mov_imm(reg: Gpr, value: u64) -> Instruction {
+    Instruction::binary(Mnemonic::Mov, Operand::gpr(reg), Operand::imm(value as i64))
+}
+
+/// Emits the counter-read sequence (line 4 / line 10 of Algorithm 1).
+///
+/// Memory mode: saves RAX/RCX/RDX to scratch, reads each counter behind
+/// LFENCE pairs, stores the 64-bit values to `results`, restores the
+/// clobbered registers — so benchmark register state is preserved (§III-B).
+///
+/// noMem mode: subtracts (for m1) or adds (for m2) each counter value
+/// into R8+slot, clobbering only RAX/RCX/RDX which the benchmark must not
+/// rely on in this mode.
+fn emit_read_counters(out: &mut Vec<Instruction>, req: &CodegenRequest, first: bool) {
+    let results = if first { req.arenas.m1 } else { req.arenas.m2 };
+    let scratch = req.arenas.scratch;
+    if !req.no_mem {
+        out.push(mov_to_mem(scratch, Gpr::Rax));
+        out.push(mov_to_mem(scratch + 8, Gpr::Rcx));
+        out.push(mov_to_mem(scratch + 16, Gpr::Rdx));
+    }
+    for (slot, sel) in req.selectors.iter().enumerate() {
+        out.push(Instruction::new(Mnemonic::Lfence));
+        out.push(mov_imm(Gpr::Rcx, *sel as u64));
+        out.push(Instruction::new(Mnemonic::Rdpmc));
+        out.push(Instruction::binary(
+            Mnemonic::Shl,
+            Operand::gpr(Gpr::Rdx),
+            Operand::imm(32),
+        ));
+        out.push(Instruction::binary(
+            Mnemonic::Or,
+            Operand::gpr(Gpr::Rax),
+            Operand::gpr(Gpr::Rdx),
+        ));
+        if req.no_mem {
+            let acc = NO_MEM_ACC_REGS[slot];
+            let op = if first { Mnemonic::Sub } else { Mnemonic::Add };
+            out.push(Instruction::binary(
+                op,
+                Operand::gpr(acc),
+                Operand::gpr(Gpr::Rax),
+            ));
+        } else {
+            out.push(mov_to_mem(results + 8 * slot as u64, Gpr::Rax));
+        }
+    }
+    out.push(Instruction::new(Mnemonic::Lfence));
+    if !req.no_mem {
+        out.push(mov_from_mem(Gpr::Rax, scratch));
+        out.push(mov_from_mem(Gpr::Rcx, scratch + 8));
+        out.push(mov_from_mem(Gpr::Rdx, scratch + 16));
+    }
+}
+
+/// Generates the benchmark function per Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if `selectors` exceeds the noMem accumulator registers in noMem
+/// mode (callers multiplex counters across runs instead, §III-J).
+pub fn generate(req: &CodegenRequest) -> GeneratedCode {
+    assert!(
+        !req.no_mem || req.selectors.len() <= NO_MEM_ACC_REGS.len(),
+        "noMem mode supports at most {} counters per run",
+        NO_MEM_ACC_REGS.len()
+    );
+    let mut out = Vec::new();
+
+    // Line 2: saveRegs — all 16 GPRs to the save area.
+    for reg in Gpr::ALL {
+        out.push(mov_to_mem(req.arenas.save_area + 8 * reg.number() as u64, reg));
+    }
+    // §III-G: point RSP/RBP/RDI/RSI/R14 into their dedicated areas. RSP
+    // points into the middle of its area so both pushes and positive
+    // offsets stay inside.
+    for (i, reg) in ARENA_REGS.iter().enumerate() {
+        let base = req.arenas.arena_bases[i];
+        let target = if *reg == Gpr::Rsp {
+            base + ARENA_SIZE / 2
+        } else {
+            base
+        };
+        out.push(mov_imm(*reg, target));
+    }
+    if req.no_mem {
+        for acc in NO_MEM_ACC_REGS.iter().take(req.selectors.len()) {
+            out.push(Instruction::binary(
+                Mnemonic::Xor,
+                Operand::gpr(*acc),
+                Operand::gpr(*acc),
+            ));
+        }
+    }
+
+    // Line 3: codeInit.
+    out.extend_from_slice(req.init);
+
+    // Line 4: m1 <- readPerfCtrs.
+    emit_read_counters(&mut out, req, true);
+
+    // Lines 5–9: optional loop around the unrolled body. The loop counter
+    // lives in R15, which the benchmark must not modify when looping
+    // (§III-B).
+    if req.loop_count > 0 {
+        out.push(mov_imm(Gpr::R15, req.loop_count));
+        let loop_top = out.len();
+        for _ in 0..req.local_unroll {
+            out.extend_from_slice(req.code);
+        }
+        out.push(Instruction::unary(Mnemonic::Dec, Operand::gpr(Gpr::R15)));
+        out.push(Instruction::unary(Mnemonic::Jnz, Operand::Label(loop_top)));
+    } else {
+        for _ in 0..req.local_unroll {
+            out.extend_from_slice(req.code);
+        }
+    }
+
+    // Line 10: m2 <- readPerfCtrs.
+    emit_read_counters(&mut out, req, false);
+
+    // In noMem mode the deltas live in R8..; spill them to the m2 area
+    // before the registers are restored (measurement is already complete
+    // here, so these stores cannot perturb the counters).
+    if req.no_mem {
+        for (slot, acc) in NO_MEM_ACC_REGS.iter().take(req.selectors.len()).enumerate() {
+            out.push(mov_to_mem(req.arenas.m2 + 8 * slot as u64, *acc));
+        }
+    }
+
+    // Line 11: restoreRegs.
+    for reg in Gpr::ALL {
+        out.push(mov_from_mem(reg, req.arenas.save_area + 8 * reg.number() as u64));
+    }
+
+    GeneratedCode {
+        program: out,
+        selectors: req.selectors.to_vec(),
+        no_mem: req.no_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobench_x86::asm::parse_asm;
+
+    fn arenas() -> Arenas {
+        Arenas {
+            save_area: 0x1000,
+            scratch: 0x1100,
+            m1: 0x1200,
+            m2: 0x1300,
+            arena_bases: [0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000, 0x50_0000],
+        }
+    }
+
+    #[test]
+    fn structure_matches_algorithm1() {
+        let code = parse_asm("mov R14, [R14]").unwrap();
+        let init = parse_asm("mov [R14], R14").unwrap();
+        let req = CodegenRequest {
+            init: &init,
+            code: &code,
+            local_unroll: 3,
+            loop_count: 0,
+            selectors: &[1 << 30],
+            no_mem: false,
+            arenas: arenas(),
+        };
+        let g = generate(&req);
+        // 16 saves + 5 arena inits + 1 init + 2 counter reads + 3 copies
+        // + 16 restores; counter reads bracket the body.
+        let body_count = g
+            .program
+            .iter()
+            .filter(|i| **i == code[0])
+            .count();
+        assert_eq!(body_count, 3);
+        let rdpmc_count = g
+            .program
+            .iter()
+            .filter(|i| i.mnemonic == Mnemonic::Rdpmc)
+            .count();
+        assert_eq!(rdpmc_count, 2);
+        // First instruction saves RAX; last restores R15.
+        assert_eq!(g.program[0], mov_to_mem(0x1000, Gpr::Rax));
+        assert_eq!(
+            *g.program.last().unwrap(),
+            mov_from_mem(Gpr::R15, 0x1000 + 8 * 15)
+        );
+    }
+
+    #[test]
+    fn loop_uses_r15() {
+        let code = parse_asm("nop").unwrap();
+        let req = CodegenRequest {
+            init: &[],
+            code: &code,
+            local_unroll: 2,
+            loop_count: 10,
+            selectors: &[1 << 30],
+            no_mem: false,
+            arenas: arenas(),
+        };
+        let g = generate(&req);
+        let has_dec_r15 = g
+            .program
+            .iter()
+            .any(|i| i.mnemonic == Mnemonic::Dec && i.dst() == Some(&Operand::gpr(Gpr::R15)));
+        assert!(has_dec_r15);
+        let jnz = g
+            .program
+            .iter()
+            .find(|i| i.mnemonic == Mnemonic::Jnz)
+            .expect("loop branch");
+        let target = match jnz.dst() {
+            Some(Operand::Label(t)) => *t,
+            other => panic!("expected label, got {other:?}"),
+        };
+        // The branch targets the first body instruction.
+        assert_eq!(g.program[target].mnemonic, Mnemonic::Nop);
+    }
+
+    #[test]
+    fn no_mem_uses_accumulators_and_no_result_stores() {
+        let code = parse_asm("nop").unwrap();
+        let req = CodegenRequest {
+            init: &[],
+            code: &code,
+            local_unroll: 1,
+            loop_count: 0,
+            selectors: &[1 << 30, (1 << 30) | 1],
+            no_mem: true,
+            arenas: arenas(),
+        };
+        let g = generate(&req);
+        let subs = g
+            .program
+            .iter()
+            .filter(|i| i.mnemonic == Mnemonic::Sub)
+            .count();
+        let adds = g
+            .program
+            .iter()
+            .filter(|i| i.mnemonic == Mnemonic::Add)
+            .count();
+        assert_eq!(subs, 2);
+        assert_eq!(adds, 2);
+        // The only stores to the result areas are the two post-measurement
+        // accumulator spills.
+        let result_stores = g
+            .program
+            .iter()
+            .filter(|i| {
+                matches!(i.dst(), Some(Operand::Mem(m)) if (0x1200..0x1400).contains(&m.disp))
+            })
+            .count();
+        assert_eq!(result_stores, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "noMem mode supports")]
+    fn no_mem_counter_limit() {
+        let req = CodegenRequest {
+            init: &[],
+            code: &[],
+            local_unroll: 0,
+            loop_count: 0,
+            selectors: &[0, 1, 2, 3, 4, 5, 6],
+            no_mem: true,
+            arenas: arenas(),
+        };
+        let _ = generate(&req);
+    }
+}

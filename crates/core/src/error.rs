@@ -1,0 +1,71 @@
+//! Error type of the nanoBench library.
+
+use nanobench_pmu::ParseConfigError;
+use nanobench_uarch::bus::CpuFault;
+use nanobench_x86::asm::ParseAsmError;
+use nanobench_x86::encode::DecodeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NbError {
+    /// The simulated CPU faulted (privilege violation, page fault, ...).
+    Fault(CpuFault),
+    /// The `-asm`/`-asm_init` text did not parse.
+    Asm(ParseAsmError),
+    /// The performance-counter configuration did not parse.
+    Config(ParseConfigError),
+    /// Binary microbenchmark code did not decode.
+    Decode(DecodeError),
+    /// An option value was invalid.
+    InvalidOption(String),
+}
+
+impl fmt::Display for NbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NbError::Fault(e) => write!(f, "cpu fault: {e}"),
+            NbError::Asm(e) => write!(f, "{e}"),
+            NbError::Config(e) => write!(f, "{e}"),
+            NbError::Decode(e) => write!(f, "{e}"),
+            NbError::InvalidOption(s) => write!(f, "invalid option: {s}"),
+        }
+    }
+}
+
+impl Error for NbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NbError::Fault(e) => Some(e),
+            NbError::Asm(e) => Some(e),
+            NbError::Config(e) => Some(e),
+            NbError::Decode(e) => Some(e),
+            NbError::InvalidOption(_) => None,
+        }
+    }
+}
+
+impl From<CpuFault> for NbError {
+    fn from(e: CpuFault) -> NbError {
+        NbError::Fault(e)
+    }
+}
+
+impl From<ParseAsmError> for NbError {
+    fn from(e: ParseAsmError) -> NbError {
+        NbError::Asm(e)
+    }
+}
+
+impl From<ParseConfigError> for NbError {
+    fn from(e: ParseConfigError) -> NbError {
+        NbError::Config(e)
+    }
+}
+
+impl From<DecodeError> for NbError {
+    fn from(e: DecodeError) -> NbError {
+        NbError::Decode(e)
+    }
+}

@@ -1,0 +1,190 @@
+//! Shell-style interface mirroring `nanoBench.sh` / `kernel-nanoBench.sh`
+//! (§III-E: "a unified interface to the user-space and the kernel-space
+//! version in the form of two shell scripts ... that have mostly the same
+//! command-line options").
+
+use crate::error::NbError;
+use crate::nanobench::NanoBench;
+use crate::result::BenchmarkResult;
+use crate::runner::Aggregate;
+use nanobench_uarch::port::MicroArch;
+
+/// Splits a command line into tokens, honouring double and single quotes.
+pub fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match (c, quote) {
+            (q, Some(open)) if q == open => quote = None,
+            ('"', None) | ('\'', None) => quote = Some(c),
+            (c, None) if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            (c, _) => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Resolves a `-config` value: the name of a built-in configuration file
+/// or inline configuration text.
+fn resolve_config(value: &str) -> &str {
+    match value.trim_end_matches(".txt") {
+        "cfg_Skylake" | "configs/cfg_Skylake" => nanobench_pmu::config::cfg_skylake(),
+        "cfg_example" => nanobench_pmu::config::cfg_example(),
+        _ => value,
+    }
+}
+
+/// Applies `nanoBench.sh`-style options to a runner.
+///
+/// Supported options (subset of the real tool's, §III-E):
+/// `-asm`, `-asm_init`, `-config`, `-unroll_count`, `-loop_count`,
+/// `-n_measurements`, `-warm_up_count`, `-min`, `-median`, `-avg`,
+/// `-basic_mode`, `-no_mem`.
+///
+/// # Errors
+///
+/// Returns [`NbError::InvalidOption`] for unknown options or malformed
+/// values, and parse errors for `-asm`/`-config` payloads.
+pub fn apply_options(nb: &mut NanoBench, line: &str) -> Result<(), NbError> {
+    let tokens = tokenize(line);
+    let mut i = 0usize;
+    let value = |i: &mut usize, name: &str| -> Result<String, NbError> {
+        *i += 1;
+        tokens
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| NbError::InvalidOption(format!("{name} needs a value")))
+    };
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "-asm" => {
+                let v = value(&mut i, "-asm")?;
+                nb.asm(&v)?;
+            }
+            "-asm_init" => {
+                let v = value(&mut i, "-asm_init")?;
+                nb.asm_init(&v)?;
+            }
+            "-config" => {
+                let v = value(&mut i, "-config")?;
+                nb.config_str(resolve_config(&v))?;
+            }
+            "-unroll_count" => {
+                let v = value(&mut i, "-unroll_count")?;
+                nb.unroll_count(parse_num(&v)?);
+            }
+            "-loop_count" => {
+                let v = value(&mut i, "-loop_count")?;
+                nb.loop_count(parse_num(&v)? as u64);
+            }
+            "-n_measurements" => {
+                let v = value(&mut i, "-n_measurements")?;
+                nb.n_measurements(parse_num(&v)?);
+            }
+            "-warm_up_count" => {
+                let v = value(&mut i, "-warm_up_count")?;
+                nb.warm_up_count(parse_num(&v)?);
+            }
+            "-min" => {
+                nb.aggregate(Aggregate::Min);
+            }
+            "-median" => {
+                nb.aggregate(Aggregate::Median);
+            }
+            "-avg" => {
+                nb.aggregate(Aggregate::TrimmedMean);
+            }
+            "-basic_mode" => {
+                nb.basic_mode(true);
+            }
+            "-no_mem" => {
+                nb.no_mem(true);
+            }
+            other => {
+                return Err(NbError::InvalidOption(format!("unknown option `{other}`")));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+fn parse_num(v: &str) -> Result<usize, NbError> {
+    v.parse()
+        .map_err(|_| NbError::InvalidOption(format!("`{v}` is not a number")))
+}
+
+/// Runs `./kernel-nanoBench.sh <options>` on a fresh machine.
+///
+/// # Errors
+///
+/// Propagates option and benchmark errors.
+///
+/// # Examples
+///
+/// ```
+/// use nanobench_core::shell::kernel_nanobench;
+/// use nanobench_uarch::port::MicroArch;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let out = kernel_nanobench(
+///     MicroArch::Skylake,
+///     r#"-asm "mov R14, [R14]" -asm_init "mov [R14], R14" -config cfg_example -unroll_count 100 -warm_up_count 1"#,
+/// )?;
+/// assert!(out.to_string().contains("Core cycles: 4.00"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn kernel_nanobench(uarch: MicroArch, options: &str) -> Result<BenchmarkResult, NbError> {
+    let mut nb = NanoBench::kernel(uarch);
+    apply_options(&mut nb, options)?;
+    nb.run()
+}
+
+/// Runs `./nanoBench.sh <options>` (user-space version) on a fresh machine.
+///
+/// # Errors
+///
+/// Propagates option and benchmark errors. Benchmarks containing
+/// privileged instructions fail with a CPU fault here — use
+/// [`kernel_nanobench`] for those (§III-D).
+pub fn user_nanobench(uarch: MicroArch, options: &str) -> Result<BenchmarkResult, NbError> {
+    let mut nb = NanoBench::user(uarch);
+    apply_options(&mut nb, options)?;
+    nb.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_handles_quotes() {
+        let t = tokenize(r#"-asm "mov R14, [R14]" -unroll_count 10"#);
+        assert_eq!(t, vec!["-asm", "mov R14, [R14]", "-unroll_count", "10"]);
+        let t = tokenize("-asm 'add rax, 1; nop'");
+        assert_eq!(t, vec!["-asm", "add rax, 1; nop"]);
+    }
+
+    #[test]
+    fn unknown_option_is_error() {
+        let mut nb = NanoBench::kernel(MicroArch::Skylake);
+        let err = apply_options(&mut nb, "-frobnicate 3").unwrap_err();
+        assert!(err.to_string().contains("unknown option"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let mut nb = NanoBench::kernel(MicroArch::Skylake);
+        assert!(apply_options(&mut nb, "-unroll_count").is_err());
+        assert!(apply_options(&mut nb, "-loop_count abc").is_err());
+    }
+}

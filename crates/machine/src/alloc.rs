@@ -1,0 +1,202 @@
+//! Kernel memory allocation: `kmalloc` and the greedy physically-contiguous
+//! allocator of §IV-D.
+//!
+//! The paper: "In Linux kernel code, the kmalloc function can be used to
+//! allocate physically-contiguous memory. With recent kernel versions, this
+//! is limited to at most 4 MB. [...] we noticed that in many cases,
+//! subsequent calls to kmalloc yield adjacent memory areas. This is, in
+//! particular, the case if the system was rebooted recently. [...] we
+//! implemented a greedy algorithm that tries to find a physically-contiguous
+//! memory area of the requested size by performing multiple calls to
+//! kmalloc. If this does not succeed, the tool proposes a reboot."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// `kmalloc`'s maximum allocation size on recent kernels (4 MB).
+pub const KMALLOC_MAX: u64 = 4 * 1024 * 1024;
+
+/// Error from the contiguous allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// A single `kmalloc` request exceeded [`KMALLOC_MAX`].
+    TooLarge {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// The greedy algorithm could not find a contiguous region; the tool
+    /// proposes a reboot (§IV-D).
+    Fragmented {
+        /// Size that was requested.
+        requested: u64,
+        /// Largest contiguous run found.
+        best_found: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::TooLarge { requested } => {
+                write!(f, "kmalloc cannot allocate {requested} bytes (max 4 MB)")
+            }
+            AllocError::Fragmented {
+                requested,
+                best_found,
+            } => write!(
+                f,
+                "no contiguous region of {requested} bytes found (best {best_found}); try rebooting"
+            ),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// The kernel's physical allocator.
+///
+/// Freshly booted, `kmalloc` calls return adjacent areas; as the simulated
+/// uptime grows (or after [`KernelAllocator::fragment`]), allocations skip
+/// unpredictably, making large contiguous regions hard to assemble — the
+/// situation the paper's greedy algorithm and reboot advice address.
+#[derive(Debug)]
+pub struct KernelAllocator {
+    next: u64,
+    rng: SmallRng,
+    /// Probability (percent) that the next kmalloc is NOT adjacent.
+    skip_percent: u32,
+    allocations: u64,
+}
+
+/// Start of the kernel heap in physical memory.
+const HEAP_BASE: u64 = 0x0100_0000;
+
+impl KernelAllocator {
+    /// Creates a freshly-booted allocator.
+    pub fn new(seed: u64) -> KernelAllocator {
+        KernelAllocator {
+            next: HEAP_BASE,
+            rng: SmallRng::seed_from_u64(seed),
+            skip_percent: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Simulates prolonged uptime: subsequent `kmalloc` calls frequently
+    /// land in non-adjacent areas.
+    pub fn fragment(&mut self) {
+        self.skip_percent = 60;
+    }
+
+    /// Simulates a reboot (§IV-D: "the tool proposes a reboot").
+    pub fn reboot(&mut self) {
+        self.next = HEAP_BASE;
+        self.skip_percent = 0;
+        self.allocations = 0;
+    }
+
+    /// `kmalloc(size)`: returns the physical address of a contiguous area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::TooLarge`] for requests over 4 MB.
+    pub fn kmalloc(&mut self, size: u64) -> Result<u64, AllocError> {
+        if size == 0 || size > KMALLOC_MAX {
+            return Err(AllocError::TooLarge { requested: size });
+        }
+        self.allocations += 1;
+        // Uptime slowly fragments the heap even without explicit calls.
+        if self.allocations % 512 == 0 && self.skip_percent < 40 {
+            self.skip_percent += 1;
+        }
+        if self.rng.gen_range(0..100) < self.skip_percent {
+            // Non-adjacent: skip a pseudo-random number of pages.
+            let skip_pages = self.rng.gen_range(2u64..64);
+            self.next += skip_pages * 4096;
+        }
+        let addr = self.next;
+        self.next += size.div_ceil(4096) * 4096;
+        Ok(addr)
+    }
+
+    /// The greedy algorithm of §IV-D: builds a physically-contiguous region
+    /// of `size` bytes out of repeated ≤4 MB `kmalloc` calls, keeping runs
+    /// of adjacent areas and restarting when a gap appears.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::Fragmented`] after `max_attempts` kmalloc
+    /// calls without a sufficient run, mirroring the tool's reboot advice.
+    pub fn alloc_contiguous(&mut self, size: u64, max_attempts: u32) -> Result<u64, AllocError> {
+        if size <= KMALLOC_MAX {
+            return self.kmalloc(size);
+        }
+        let chunk = KMALLOC_MAX;
+        let mut run_start = None::<u64>;
+        let mut run_len = 0u64;
+        let mut best = 0u64;
+        for _ in 0..max_attempts {
+            let addr = self.kmalloc(chunk)?;
+            match run_start {
+                Some(start) if addr == start + run_len => {
+                    run_len += chunk;
+                }
+                _ => {
+                    run_start = Some(addr);
+                    run_len = chunk;
+                }
+            }
+            best = best.max(run_len);
+            if run_len >= size {
+                return Ok(run_start.expect("run just extended"));
+            }
+        }
+        Err(AllocError::Fragmented {
+            requested: size,
+            best_found: best,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmalloc_is_adjacent_after_boot() {
+        let mut a = KernelAllocator::new(1);
+        let x = a.kmalloc(4096).unwrap();
+        let y = a.kmalloc(4096).unwrap();
+        assert_eq!(y, x + 4096);
+    }
+
+    #[test]
+    fn kmalloc_rejects_oversize() {
+        let mut a = KernelAllocator::new(1);
+        assert!(matches!(
+            a.kmalloc(KMALLOC_MAX + 1),
+            Err(AllocError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn contiguous_succeeds_after_boot() {
+        let mut a = KernelAllocator::new(1);
+        // 16 MB out of 4 MB chunks — possible on a fresh heap.
+        let addr = a.alloc_contiguous(16 * 1024 * 1024, 64).unwrap();
+        assert_eq!(addr % 4096, 0);
+    }
+
+    #[test]
+    fn contiguous_fails_when_fragmented_then_reboot_helps() {
+        let mut a = KernelAllocator::new(42);
+        a.fragment();
+        let err = a.alloc_contiguous(64 * 1024 * 1024, 40).unwrap_err();
+        assert!(matches!(err, AllocError::Fragmented { .. }));
+        assert!(err.to_string().contains("reboot"));
+        a.reboot();
+        assert!(a.alloc_contiguous(64 * 1024 * 1024, 40).is_ok());
+    }
+}

@@ -1,0 +1,483 @@
+//! The virtual machine: a simulated core plus its environment, in kernel
+//! or user mode (§III-D of the paper).
+
+use crate::alloc::{AllocError, KernelAllocator};
+use crate::phys::{PhysMem, PAGE_SIZE};
+use nanobench_cache::hierarchy::{CacheHierarchy, HierarchyConfig, MemAccessResult};
+use nanobench_cache::presets::{table1_cpus, CpuSpec};
+use nanobench_pmu::Pmu;
+use nanobench_uarch::bus::{Bus, CpuFault, InterruptEvent};
+use nanobench_uarch::engine::{Engine, RunStats};
+use nanobench_uarch::port::MicroArch;
+use nanobench_uarch::state::CpuState;
+use nanobench_x86::inst::Instruction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Execution mode of the machine (§III-D: nanoBench has a user-space and a
+/// kernel-space version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// CPL 0: privileged instructions allowed, interrupts disabled during
+    /// measurements, physically-contiguous allocation available.
+    Kernel,
+    /// CPL 3: privileged instructions fault, timer interrupts and
+    /// preemptions perturb measurements, pages map to scattered frames.
+    User,
+}
+
+/// Mean cycles between user-mode interrupts.
+const INTERRUPT_MEAN: u64 = 120_000;
+
+/// The environment of the core: memory, caches, privilege, interrupts.
+#[derive(Debug)]
+pub struct Env {
+    mode: Mode,
+    phys: PhysMem,
+    hierarchy: CacheHierarchy,
+    alloc: KernelAllocator,
+    user_map: HashMap<u64, u64>,
+    rng: SmallRng,
+    interrupts_enabled: bool,
+    cr4_pce: bool,
+    next_interrupt: u64,
+    uncore_seen: Vec<u64>,
+}
+
+impl Env {
+    fn translate(&self, vaddr: u64) -> Option<u64> {
+        match self.mode {
+            Mode::Kernel => Some(vaddr),
+            Mode::User => {
+                let page = vaddr / PAGE_SIZE;
+                let frame = self.user_map.get(&page)?;
+                Some(frame * PAGE_SIZE + vaddr % PAGE_SIZE)
+            }
+        }
+    }
+
+    fn translate_or_fault(&self, vaddr: u64) -> Result<u64, CpuFault> {
+        self.translate(vaddr).ok_or(CpuFault::PageFault { vaddr })
+    }
+}
+
+impl Bus for Env {
+    fn read(&mut self, vaddr: u64, len: u8) -> Result<u64, CpuFault> {
+        let paddr = self.translate_or_fault(vaddr)?;
+        Ok(self.phys.read(paddr, len))
+    }
+
+    fn write(&mut self, vaddr: u64, len: u8, value: u64) -> Result<(), CpuFault> {
+        let paddr = self.translate_or_fault(vaddr)?;
+        self.phys.write(paddr, len, value);
+        Ok(())
+    }
+
+    fn access(&mut self, vaddr: u64, _is_write: bool) -> Result<MemAccessResult, CpuFault> {
+        let paddr = self.translate_or_fault(vaddr)?;
+        Ok(self.hierarchy.access(paddr))
+    }
+
+    fn is_kernel(&self) -> bool {
+        self.mode == Mode::Kernel
+    }
+
+    fn rdpmc_allowed(&self) -> bool {
+        self.cr4_pce
+    }
+
+    fn rdmsr(&mut self, addr: u32) -> Result<u64, CpuFault> {
+        match addr {
+            nanobench_pmu::msr::MSR_MISC_FEATURE_CONTROL => {
+                Ok(self.hierarchy.prefetchers().disable_bits())
+            }
+            _ => Err(CpuFault::BadMsr { addr }),
+        }
+    }
+
+    fn wrmsr(&mut self, addr: u32, value: u64) -> Result<(), CpuFault> {
+        match addr {
+            nanobench_pmu::msr::MSR_MISC_FEATURE_CONTROL => {
+                self.hierarchy.prefetchers_mut().set_disable_bits(value);
+                Ok(())
+            }
+            _ => Err(CpuFault::BadMsr { addr }),
+        }
+    }
+
+    fn wbinvd(&mut self) {
+        self.hierarchy.wbinvd();
+    }
+
+    fn clflush(&mut self, vaddr: u64) {
+        if let Some(paddr) = self.translate(vaddr) {
+            self.hierarchy.clflush(paddr);
+        }
+    }
+
+    fn prefetch(&mut self, vaddr: u64) {
+        if let Some(paddr) = self.translate(vaddr) {
+            self.hierarchy.access(paddr);
+        }
+    }
+
+    fn poll_interrupt(&mut self, cycle: u64) -> Option<InterruptEvent> {
+        if !self.interrupts_enabled || cycle < self.next_interrupt {
+            return None;
+        }
+        self.next_interrupt =
+            cycle + INTERRUPT_MEAN / 2 + self.rng.gen_range(0..INTERRUPT_MEAN);
+        // The handler touches memory, perturbing the cache state the
+        // benchmark's init phase may have established (§I, §IV-A2).
+        for _ in 0..16 {
+            let addr = (self.rng.gen_range(0u64..1 << 20)) * 64;
+            self.hierarchy.access(addr);
+        }
+        Some(InterruptEvent {
+            cycles: 2_000 + self.rng.gen_range(0..4_000),
+            instructions: 500 + self.rng.gen_range(0..1_500),
+            uops: 700 + self.rng.gen_range(0..2_000),
+        })
+    }
+
+    fn set_interrupt_flag(&mut self, enabled: bool) {
+        self.interrupts_enabled = enabled;
+    }
+
+    fn drain_uncore_lookups(&mut self) -> Vec<u64> {
+        let current = self.hierarchy.uncore_lookups();
+        let deltas: Vec<u64> = current
+            .iter()
+            .zip(self.uncore_seen.iter())
+            .map(|(c, s)| c - s)
+            .collect();
+        self.uncore_seen.copy_from_slice(current);
+        deltas
+    }
+}
+
+/// A complete simulated machine: core + PMU + caches + memory + OS-ish
+/// environment.
+#[derive(Debug)]
+pub struct Machine {
+    engine: Engine,
+    state: CpuState,
+    pmu: Pmu,
+    env: Env,
+    cycle: u64,
+    uarch: MicroArch,
+    cpu: CpuSpec,
+    user_next_vaddr: u64,
+    kernel_next_region: u64,
+}
+
+impl Machine {
+    /// Creates a machine for a Table I CPU model.
+    pub fn from_cpu(cpu: &CpuSpec, mode: Mode, seed: u64) -> Machine {
+        let uarch = MicroArch::parse(cpu.microarch).unwrap_or(MicroArch::Skylake);
+        Machine::build(uarch, cpu.clone(), &cpu.hierarchy_config(), mode, seed)
+    }
+
+    /// Creates a machine for a microarchitecture, using its Table I cache
+    /// preset (or Skylake's geometry if the microarchitecture has no row).
+    pub fn new(uarch: MicroArch, mode: Mode, seed: u64) -> Machine {
+        let cpu = table1_cpus()
+            .into_iter()
+            .find(|c| MicroArch::parse(c.microarch) == Some(uarch))
+            .unwrap_or_else(|| {
+                table1_cpus()
+                    .into_iter()
+                    .find(|c| c.microarch == "Skylake")
+                    .expect("Skylake preset exists")
+            });
+        let cfg = cpu.hierarchy_config();
+        Machine::build(uarch, cpu, &cfg, mode, seed)
+    }
+
+    fn build(
+        uarch: MicroArch,
+        cpu: CpuSpec,
+        cfg: &HierarchyConfig,
+        mode: Mode,
+        seed: u64,
+    ) -> Machine {
+        let slices = cfg.l3.slices;
+        Machine {
+            engine: Engine::new(uarch, seed ^ 0xE),
+            state: CpuState::new(),
+            pmu: Pmu::new(uarch.n_prog_counters(), slices),
+            env: Env {
+                mode,
+                phys: PhysMem::new(),
+                hierarchy: CacheHierarchy::new(cfg, seed),
+                alloc: KernelAllocator::new(seed ^ 0xA),
+                user_map: HashMap::new(),
+                rng: SmallRng::seed_from_u64(seed ^ 0x1),
+                interrupts_enabled: mode == Mode::User,
+                cr4_pce: true,
+                next_interrupt: INTERRUPT_MEAN,
+                uncore_seen: vec![0; slices],
+            },
+            cycle: 0,
+            uarch,
+            cpu,
+            user_next_vaddr: 0x7000_0000,
+            kernel_next_region: 0x4000_0000,
+        }
+    }
+
+    /// Runs a program to completion on the current architectural state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuFault`]s — notably privileged instructions in user
+    /// mode (§III-D).
+    pub fn run(&mut self, program: &[Instruction]) -> Result<RunStats, CpuFault> {
+        let stats = self.engine.run(
+            program,
+            &mut self.state,
+            &mut self.pmu,
+            &mut self.env,
+            self.cycle,
+        )?;
+        self.cycle = stats.end_cycle;
+        Ok(stats)
+    }
+
+    /// Allocates a virtual memory region of `size` bytes and returns its
+    /// base address.
+    ///
+    /// In kernel mode the region is identity-mapped (virtually *and*
+    /// physically contiguous). In user mode pages are backed by
+    /// pseudo-randomly scattered physical frames — which is why cache
+    /// experiments that need control over physical addresses require the
+    /// kernel version (§III-G / §IV-D).
+    pub fn alloc_region(&mut self, size: u64) -> u64 {
+        let pages = size.div_ceil(PAGE_SIZE);
+        match self.env.mode {
+            Mode::Kernel => {
+                let base = self.kernel_next_region;
+                self.kernel_next_region += (pages + 16) * PAGE_SIZE;
+                base
+            }
+            Mode::User => {
+                let base = self.user_next_vaddr;
+                for i in 0..pages {
+                    let frame = self.env.rng.gen_range(0x1000u64..0x80000);
+                    self.env.user_map.insert(base / PAGE_SIZE + i, frame);
+                }
+                self.user_next_vaddr += (pages + 16) * PAGE_SIZE;
+                base
+            }
+        }
+    }
+
+    /// Kernel-only: allocates a physically-contiguous region via the greedy
+    /// algorithm of §IV-D and returns its (identity-mapped) address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] in user mode (modeled as `TooLarge(0)`),
+    /// for oversize single allocations, or when memory is too fragmented
+    /// (the "please reboot" case).
+    pub fn alloc_contiguous(&mut self, size: u64) -> Result<u64, AllocError> {
+        if self.env.mode != Mode::Kernel {
+            return Err(AllocError::TooLarge { requested: 0 });
+        }
+        self.env.alloc.alloc_contiguous(size, 256)
+    }
+
+    /// Translates a virtual address (None if unmapped in user mode).
+    pub fn translate(&self, vaddr: u64) -> Option<u64> {
+        self.env.translate(vaddr)
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> Mode {
+        self.env.mode
+    }
+
+    /// The microarchitecture.
+    pub fn uarch(&self) -> MicroArch {
+        self.uarch
+    }
+
+    /// The Table I CPU model this machine simulates.
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// Current absolute cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Architectural register state.
+    pub fn state(&self) -> &CpuState {
+        &self.state
+    }
+
+    /// Mutable architectural register state.
+    pub fn state_mut(&mut self) -> &mut CpuState {
+        &mut self.state
+    }
+
+    /// The PMU.
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// Mutable PMU (for configuring counters).
+    pub fn pmu_mut(&mut self) -> &mut Pmu {
+        &mut self.pmu
+    }
+
+    /// The cache hierarchy (for experiment instrumentation).
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.env.hierarchy
+    }
+
+    /// Mutable cache hierarchy.
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.env.hierarchy
+    }
+
+    /// The engine (branch predictor state, descriptor table).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Reads memory through the current mapping without touching cache or
+    /// timing state (host-side readback of result areas).
+    pub fn read_mem(&mut self, vaddr: u64, len: u8) -> Option<u64> {
+        let paddr = self.env.translate(vaddr)?;
+        Some(self.env.phys.read(paddr, len))
+    }
+
+    /// Writes memory through the current mapping without touching cache or
+    /// timing state (host-side setup of data areas).
+    pub fn write_mem(&mut self, vaddr: u64, len: u8, value: u64) -> Option<()> {
+        let paddr = self.env.translate(vaddr)?;
+        self.env.phys.write(paddr, len, value);
+        Some(())
+    }
+
+    /// Whether `RDPMC` is enabled for user space (`CR4.PCE`).
+    pub fn set_cr4_pce(&mut self, enabled: bool) {
+        self.env.cr4_pce = enabled;
+    }
+
+    /// Simulates heap fragmentation from long uptime (for §IV-D).
+    pub fn fragment_memory(&mut self) {
+        self.env.alloc.fragment();
+    }
+
+    /// Simulates a reboot: resets the kernel heap (§IV-D).
+    pub fn reboot(&mut self) {
+        self.env.alloc.reboot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobench_x86::asm::parse_asm;
+    use nanobench_x86::reg::Gpr;
+
+    #[test]
+    fn kernel_machine_runs_privileged_code() {
+        let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let program = parse_asm("wbinvd; mov rax, 5; add rax, 3").unwrap();
+        let stats = m.run(&program).unwrap();
+        assert_eq!(m.state().gpr(Gpr::Rax), 8);
+        assert_eq!(stats.instructions, 3);
+        assert!(stats.cycles >= 5000, "wbinvd costs thousands of cycles");
+    }
+
+    #[test]
+    fn user_machine_faults_on_privileged_code() {
+        let mut m = Machine::new(MicroArch::Skylake, Mode::User, 7);
+        let program = parse_asm("wbinvd").unwrap();
+        assert!(matches!(
+            m.run(&program),
+            Err(CpuFault::PrivilegedInstruction(_))
+        ));
+    }
+
+    #[test]
+    fn user_pages_fault_when_unmapped() {
+        let mut m = Machine::new(MicroArch::Skylake, Mode::User, 7);
+        let program = parse_asm("mov rax, [0x1234000]").unwrap();
+        assert!(matches!(m.run(&program), Err(CpuFault::PageFault { .. })));
+        // After mapping, the same access works.
+        let base = m.alloc_region(4096);
+        let program = parse_asm(&format!("mov rax, [{base:#x}]")).unwrap();
+        m.run(&program).unwrap();
+    }
+
+    #[test]
+    fn kernel_regions_are_physically_contiguous_user_not() {
+        let mut k = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let base = k.alloc_region(64 * 1024);
+        let p0 = k.translate(base).unwrap();
+        let p1 = k.translate(base + 8 * PAGE_SIZE).unwrap();
+        assert_eq!(p1 - p0, 8 * PAGE_SIZE);
+
+        let mut u = Machine::new(MicroArch::Skylake, Mode::User, 7);
+        let base = u.alloc_region(64 * 1024);
+        let contiguous = (0..15u64).all(|i| {
+            let a = u.translate(base + i * PAGE_SIZE).unwrap();
+            let b = u.translate(base + (i + 1) * PAGE_SIZE).unwrap();
+            b == a + PAGE_SIZE
+        });
+        assert!(!contiguous, "user frames should be scattered");
+    }
+
+    #[test]
+    fn pointer_chase_measures_l1_latency() {
+        // The §III-A example end to end on the raw machine: a chain of
+        // dependent L1 loads costs 4 cycles each.
+        let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let base = m.alloc_region(1 << 20);
+        m.state_mut().set_gpr(Gpr::R14, base);
+        m.run(&parse_asm("mov [R14], R14").unwrap()).unwrap();
+        // Warm the cache once.
+        m.run(&parse_asm("mov R14, [R14]").unwrap()).unwrap();
+        let chain = "mov R14, [R14]; ".repeat(100);
+        let before = m.cycle();
+        m.run(&parse_asm(&chain).unwrap()).unwrap();
+        let cycles = m.cycle() - before;
+        let per_load = cycles as f64 / 100.0;
+        assert!(
+            (3.9..4.3).contains(&per_load),
+            "L1 latency should be ~4 cycles per load, got {per_load}"
+        );
+    }
+
+    #[test]
+    fn contiguous_alloc_only_in_kernel() {
+        let mut u = Machine::new(MicroArch::Skylake, Mode::User, 7);
+        assert!(u.alloc_contiguous(8 * 1024 * 1024).is_err());
+        let mut k = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let addr = k.alloc_contiguous(8 * 1024 * 1024).unwrap();
+        assert_eq!(k.translate(addr), Some(addr));
+    }
+
+    #[test]
+    fn msr_0x1a4_controls_prefetchers() {
+        let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let program = parse_asm(
+            "mov rcx, 0x1A4; mov rax, 0xF; mov rdx, 0; wrmsr; rdmsr",
+        )
+        .unwrap();
+        m.run(&program).unwrap();
+        assert_eq!(m.state().gpr(Gpr::Rax), 0xF);
+        assert_eq!(m.hierarchy().prefetchers().disable_bits(), 0xF);
+    }
+}

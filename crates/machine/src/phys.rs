@@ -1,0 +1,86 @@
+//! Sparse physical memory.
+
+use std::collections::HashMap;
+
+/// Page size (4 KB, as on x86-64).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Byte-addressable sparse physical memory backed by 4 KB frames.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl PhysMem {
+    /// Creates empty physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem::default()
+    }
+
+    fn frame_mut(&mut self, frame: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.frames
+            .entry(frame)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads `len` bytes (little-endian) at a physical address.
+    pub fn read(&mut self, paddr: u64, len: u8) -> u64 {
+        let mut value = 0u64;
+        for i in (0..len as u64).rev() {
+            let addr = paddr + i;
+            let frame = addr / PAGE_SIZE;
+            let offset = (addr % PAGE_SIZE) as usize;
+            let byte = self
+                .frames
+                .get(&frame)
+                .map_or(0, |f| f[offset]);
+            value = (value << 8) | byte as u64;
+        }
+        value
+    }
+
+    /// Writes `len` bytes (little-endian) at a physical address.
+    pub fn write(&mut self, paddr: u64, len: u8, value: u64) {
+        for i in 0..len as u64 {
+            let addr = paddr + i;
+            let frame = addr / PAGE_SIZE;
+            let offset = (addr % PAGE_SIZE) as usize;
+            self.frame_mut(frame)[offset] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Number of materialized frames (for tests).
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = PhysMem::new();
+        m.write(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.read(0x1004, 4), 0x1122_3344);
+        assert_eq!(m.read(0x1000, 1), 0x88);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = PhysMem::new();
+        m.write(PAGE_SIZE - 4, 8, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read(PAGE_SIZE - 4, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.frame_count(), 2);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mut m = PhysMem::new();
+        assert_eq!(m.read(0xDEAD_0000, 8), 0);
+        assert_eq!(m.frame_count(), 0, "reads must not materialize frames");
+    }
+}

@@ -1,0 +1,309 @@
+//! The simulated performance monitoring unit.
+//!
+//! Models the counter architecture described in §II of the paper: three
+//! fixed-function counters (instructions retired, core cycles, reference
+//! cycles) readable with `RDPMC`, between two and eight programmable
+//! counters, the `APERF`/`MPERF` pair readable only with `RDMSR` (kernel
+//! space), and per-C-Box uncore counters for the L3 slices.
+//!
+//! Counting can be paused and resumed, which backs nanoBench's magic byte
+//! sequence feature (§III-I).
+
+use crate::event::EventCode;
+use crate::msr;
+
+/// Ratio of reference cycles to core cycles, as a rational number.
+///
+/// Chosen to reproduce the §III-A example output (4.00 core cycles ↦ 3.52
+/// reference cycles): 22/25 = 0.88.
+pub const REF_CYCLE_RATIO: (u64, u64) = (22, 25);
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ProgCounter {
+    sel: Option<EventCode>,
+    enabled: bool,
+    value: u64,
+}
+
+/// The per-core PMU plus the package's uncore (C-Box) counters.
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    prog: Vec<ProgCounter>,
+    /// Fixed counters: [instructions retired, core cycles, reference cycles].
+    fixed: [u64; 3],
+    ref_remainder: u64,
+    aperf: u64,
+    mperf: u64,
+    mperf_remainder: u64,
+    counting: bool,
+    last_sync_cycle: u64,
+    uncore: Vec<u64>,
+}
+
+impl Pmu {
+    /// Creates a PMU with `n_prog` programmable counters (2–8 on the CPUs
+    /// the paper considers) and `n_slices` C-Box counters.
+    pub fn new(n_prog: usize, n_slices: usize) -> Pmu {
+        Pmu {
+            prog: vec![ProgCounter::default(); n_prog],
+            fixed: [0; 3],
+            ref_remainder: 0,
+            aperf: 0,
+            mperf: 0,
+            mperf_remainder: 0,
+            counting: true,
+            last_sync_cycle: 0,
+            uncore: vec![0; n_slices],
+        }
+    }
+
+    /// Number of programmable counters.
+    pub fn n_programmable(&self) -> usize {
+        self.prog.len()
+    }
+
+    /// Programs counter `idx` with an event (or disables it with `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn configure(&mut self, idx: usize, sel: Option<EventCode>) {
+        let ctr = &mut self.prog[idx];
+        ctr.sel = sel;
+        ctr.enabled = sel.is_some();
+        ctr.value = 0;
+    }
+
+    /// Whether counting is currently enabled (magic pause/resume, §III-I).
+    pub fn counting(&self) -> bool {
+        self.counting
+    }
+
+    /// Pauses or resumes counting. The caller must sync cycles first so the
+    /// pause boundary is accurate.
+    pub fn set_counting(&mut self, on: bool) {
+        self.counting = on;
+    }
+
+    /// Records `n` occurrences of an event.
+    pub fn count(&mut self, occurrence: EventCode, n: u64) {
+        if !self.counting || n == 0 {
+            return;
+        }
+        for ctr in &mut self.prog {
+            if let Some(sel) = ctr.sel {
+                if ctr.enabled && occurrence.matches(sel) {
+                    ctr.value += n;
+                }
+            }
+        }
+    }
+
+    /// Records `n` retired instructions (fixed counter 0).
+    pub fn retire_instructions(&mut self, n: u64) {
+        if self.counting {
+            self.fixed[0] += n;
+        }
+    }
+
+    /// Advances the cycle-based counters to absolute cycle `now`.
+    ///
+    /// The engine calls this before every counter read and before toggling
+    /// counting, so paused intervals contribute nothing.
+    pub fn sync_cycles(&mut self, now: u64) {
+        let delta = now.saturating_sub(self.last_sync_cycle);
+        self.last_sync_cycle = now;
+        if !self.counting || delta == 0 {
+            return;
+        }
+        self.fixed[1] += delta;
+        self.aperf += delta;
+        let (num, den) = REF_CYCLE_RATIO;
+        let ref_total = delta * num + self.ref_remainder;
+        self.fixed[2] += ref_total / den;
+        self.ref_remainder = ref_total % den;
+        let mperf_total = delta * num + self.mperf_remainder;
+        self.mperf += mperf_total / den;
+        self.mperf_remainder = mperf_total % den;
+    }
+
+    /// Records `n` lookups on C-Box `slice`.
+    pub fn count_uncore(&mut self, slice: usize, n: u64) {
+        if self.counting {
+            if let Some(c) = self.uncore.get_mut(slice) {
+                *c += n;
+            }
+        }
+    }
+
+    /// `RDPMC` semantics: `ecx` selects a programmable counter (0..N) or,
+    /// with bit 30 set, a fixed counter (0..2). Returns `None` for invalid
+    /// selectors (hardware would fault with #GP).
+    pub fn rdpmc(&self, ecx: u32) -> Option<u64> {
+        if ecx & (1 << 30) != 0 {
+            self.fixed.get((ecx & 0x3FFF_FFFF) as usize).copied()
+        } else {
+            self.prog.get(ecx as usize).map(|c| c.value)
+        }
+    }
+
+    /// `RDMSR` for PMU-owned MSRs; `None` if the address is not ours.
+    pub fn rdmsr(&self, addr: u32) -> Option<u64> {
+        match addr {
+            msr::IA32_APERF => Some(self.aperf),
+            msr::IA32_MPERF => Some(self.mperf),
+            msr::IA32_FIXED_CTR0 => Some(self.fixed[0]),
+            msr::IA32_FIXED_CTR1 => Some(self.fixed[1]),
+            msr::IA32_FIXED_CTR2 => Some(self.fixed[2]),
+            a if (msr::IA32_PMC0..msr::IA32_PMC0 + 8).contains(&a) => self
+                .prog
+                .get((a - msr::IA32_PMC0) as usize)
+                .map(|c| c.value),
+            a if (msr::IA32_PERFEVTSEL0..msr::IA32_PERFEVTSEL0 + 8).contains(&a) => {
+                self.prog.get((a - msr::IA32_PERFEVTSEL0) as usize).map(|c| {
+                    match c.sel {
+                        Some(sel) => {
+                            (sel.code as u64 & 0xFF)
+                                | ((sel.umask as u64) << 8)
+                                | ((c.enabled as u64) << 22)
+                        }
+                        None => 0,
+                    }
+                })
+            }
+            a if (msr::MSR_UNC_CBO_PERFCTR0..msr::MSR_UNC_CBO_PERFCTR0 + 8).contains(&a) => {
+                self.uncore.get((a - msr::MSR_UNC_CBO_PERFCTR0) as usize).copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// `WRMSR` for PMU-owned MSRs; returns `false` if the address is not
+    /// ours.
+    pub fn wrmsr(&mut self, addr: u32, value: u64) -> bool {
+        match addr {
+            msr::IA32_APERF => self.aperf = value,
+            msr::IA32_MPERF => self.mperf = value,
+            msr::IA32_FIXED_CTR0 => self.fixed[0] = value,
+            msr::IA32_FIXED_CTR1 => self.fixed[1] = value,
+            msr::IA32_FIXED_CTR2 => self.fixed[2] = value,
+            a if (msr::IA32_PMC0..msr::IA32_PMC0 + 8).contains(&a) => {
+                if let Some(c) = self.prog.get_mut((a - msr::IA32_PMC0) as usize) {
+                    c.value = value;
+                }
+            }
+            a if (msr::IA32_PERFEVTSEL0..msr::IA32_PERFEVTSEL0 + 8).contains(&a) => {
+                if let Some(c) = self.prog.get_mut((a - msr::IA32_PERFEVTSEL0) as usize) {
+                    let code = (value & 0xFF) as u16;
+                    let umask = ((value >> 8) & 0xFF) as u8;
+                    let enabled = value & (1 << 22) != 0;
+                    c.sel = if code == 0 && umask == 0 {
+                        None
+                    } else {
+                        Some(EventCode::new(code, umask))
+                    };
+                    c.enabled = enabled;
+                }
+            }
+            a if (msr::MSR_UNC_CBO_PERFCTR0..msr::MSR_UNC_CBO_PERFCTR0 + 8).contains(&a) => {
+                if let Some(c) = self.uncore.get_mut((a - msr::MSR_UNC_CBO_PERFCTR0) as usize) {
+                    *c = value;
+                }
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Zeroes all counters (configuration is kept).
+    pub fn reset_counts(&mut self) {
+        for c in &mut self.prog {
+            c.value = 0;
+        }
+        self.fixed = [0; 3];
+        self.ref_remainder = 0;
+        self.aperf = 0;
+        self.mperf = 0;
+        self.mperf_remainder = 0;
+        self.uncore.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::events;
+
+    #[test]
+    fn programmable_counting_respects_selector() {
+        let mut pmu = Pmu::new(4, 0);
+        pmu.configure(0, Some(events::MEM_LOAD_L1_HIT));
+        pmu.configure(1, Some(events::uops_dispatched_port(2)));
+        pmu.count(events::MEM_LOAD_L1_HIT, 3);
+        pmu.count(events::uops_dispatched_port(3), 5);
+        assert_eq!(pmu.rdpmc(0), Some(3));
+        assert_eq!(pmu.rdpmc(1), Some(0));
+        assert_eq!(pmu.rdpmc(2), Some(0)); // unconfigured
+        assert_eq!(pmu.rdpmc(9), None);
+    }
+
+    #[test]
+    fn fixed_counters_and_ratio() {
+        let mut pmu = Pmu::new(2, 0);
+        pmu.retire_instructions(10);
+        pmu.sync_cycles(100);
+        assert_eq!(pmu.rdpmc(1 << 30), Some(10)); // instructions
+        assert_eq!(pmu.rdpmc((1 << 30) | 1), Some(100)); // core cycles
+        assert_eq!(pmu.rdpmc((1 << 30) | 2), Some(88)); // 100 * 0.88
+    }
+
+    #[test]
+    fn pausing_freezes_everything() {
+        let mut pmu = Pmu::new(2, 1);
+        pmu.configure(0, Some(events::UOPS_ISSUED_ANY));
+        pmu.sync_cycles(10);
+        pmu.set_counting(false);
+        pmu.count(events::UOPS_ISSUED_ANY, 7);
+        pmu.retire_instructions(7);
+        pmu.count_uncore(0, 2);
+        pmu.sync_cycles(50); // 40 paused cycles contribute nothing
+        pmu.set_counting(true);
+        pmu.sync_cycles(60);
+        assert_eq!(pmu.rdpmc(0), Some(0));
+        assert_eq!(pmu.rdpmc(1 << 30), Some(0));
+        assert_eq!(pmu.rdpmc((1 << 30) | 1), Some(20)); // 10 + 10 counted
+        assert_eq!(pmu.rdmsr(msr::MSR_UNC_CBO_PERFCTR0), Some(0));
+    }
+
+    #[test]
+    fn msr_round_trip() {
+        let mut pmu = Pmu::new(4, 2);
+        // Program counter 1 with D1.01 via WRMSR, as the kernel would.
+        let evtsel = 0xD1u64 | (0x01 << 8) | (1 << 22);
+        assert!(pmu.wrmsr(msr::IA32_PERFEVTSEL0 + 1, evtsel));
+        assert_eq!(pmu.rdmsr(msr::IA32_PERFEVTSEL0 + 1), Some(evtsel));
+        pmu.count(events::MEM_LOAD_L1_HIT, 4);
+        assert_eq!(pmu.rdmsr(msr::IA32_PMC0 + 1), Some(4));
+        assert!(!pmu.wrmsr(0x1234, 0));
+        assert_eq!(pmu.rdmsr(0x1234), None);
+    }
+
+    #[test]
+    fn aperf_mperf_only_via_msr() {
+        let mut pmu = Pmu::new(2, 0);
+        pmu.sync_cycles(50);
+        assert_eq!(pmu.rdmsr(msr::IA32_APERF), Some(50));
+        assert_eq!(pmu.rdmsr(msr::IA32_MPERF), Some(44));
+    }
+
+    #[test]
+    fn reset_keeps_configuration() {
+        let mut pmu = Pmu::new(2, 0);
+        pmu.configure(0, Some(events::UOPS_ISSUED_ANY));
+        pmu.count(events::UOPS_ISSUED_ANY, 5);
+        pmu.reset_counts();
+        assert_eq!(pmu.rdpmc(0), Some(0));
+        pmu.count(events::UOPS_ISSUED_ANY, 2);
+        assert_eq!(pmu.rdpmc(0), Some(2), "selector must survive reset");
+    }
+}

@@ -1,0 +1,116 @@
+//! Performance events: (event code, unit mask) pairs with names.
+
+use std::fmt;
+
+/// A performance event selector: event code plus unit mask.
+///
+/// This mirrors the `IA32_PERFEVTSELx` encoding that both the RDPMC-visible
+/// programmable counters and nanoBench's configuration files use (§III-J).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventCode {
+    /// The event select field (e.g. `0xD1` for `MEM_LOAD_RETIRED`).
+    pub code: u16,
+    /// The unit mask (e.g. `0x02` for `.L2_HIT`).
+    pub umask: u8,
+}
+
+impl EventCode {
+    /// Creates an event code.
+    pub const fn new(code: u16, umask: u8) -> EventCode {
+        EventCode { code, umask }
+    }
+
+    /// Whether an *occurrence* with this code/umask is counted by a counter
+    /// programmed with `sel`: codes must match and the occurrence's umask
+    /// bits must be within the programmed umask.
+    pub fn matches(self, sel: EventCode) -> bool {
+        self.code == sel.code && (self.umask & sel.umask) != 0
+    }
+}
+
+impl fmt::Display for EventCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02X}.{:02X}", self.code, self.umask)
+    }
+}
+
+/// A named event (as listed in a performance counter configuration file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfEvent {
+    /// Selector.
+    pub code: EventCode,
+    /// Canonical name, e.g. `"MEM_LOAD_RETIRED.L1_HIT"`.
+    pub name: String,
+}
+
+impl PerfEvent {
+    /// Creates a named event.
+    pub fn new(code: u16, umask: u8, name: impl Into<String>) -> PerfEvent {
+        PerfEvent {
+            code: EventCode::new(code, umask),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for PerfEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.name)
+    }
+}
+
+/// Canonical event selectors emitted by the simulated core.
+///
+/// The codes follow Intel's Skylake event tables so that configuration
+/// files written for real hardware parse meaningfully.
+pub mod events {
+    use super::EventCode;
+
+    /// One µop issued (`UOPS_ISSUED.ANY`).
+    pub const UOPS_ISSUED_ANY: EventCode = EventCode::new(0x0E, 0x01);
+    /// µop dispatched to port N (`UOPS_DISPATCHED_PORT.PORT_N`): umask 1<<N.
+    pub const fn uops_dispatched_port(port: u8) -> EventCode {
+        EventCode::new(0xA1, 1 << port)
+    }
+    /// Retired load that hit the L1 (`MEM_LOAD_RETIRED.L1_HIT`).
+    pub const MEM_LOAD_L1_HIT: EventCode = EventCode::new(0xD1, 0x01);
+    /// Retired load that hit the L2.
+    pub const MEM_LOAD_L2_HIT: EventCode = EventCode::new(0xD1, 0x02);
+    /// Retired load that hit the L3.
+    pub const MEM_LOAD_L3_HIT: EventCode = EventCode::new(0xD1, 0x04);
+    /// Retired load that missed the L1.
+    pub const MEM_LOAD_L1_MISS: EventCode = EventCode::new(0xD1, 0x08);
+    /// Retired load that missed the L2.
+    pub const MEM_LOAD_L2_MISS: EventCode = EventCode::new(0xD1, 0x10);
+    /// Retired load that missed the L3.
+    pub const MEM_LOAD_L3_MISS: EventCode = EventCode::new(0xD1, 0x20);
+    /// Mispredicted retired branch (`BR_MISP_RETIRED.ALL_BRANCHES`).
+    pub const BR_MISP_RETIRED: EventCode = EventCode::new(0xC5, 0x01);
+    /// Retired branch (`BR_INST_RETIRED.ALL_BRANCHES`).
+    pub const BR_INST_RETIRED: EventCode = EventCode::new(0xC4, 0x01);
+    /// L2 demand request (`L2_RQSTS.REFERENCES`).
+    pub const L2_RQSTS_REFERENCES: EventCode = EventCode::new(0x24, 0xFF);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_respects_umask_bits() {
+        let sel = EventCode::new(0xA1, 0x0C); // ports 2 and 3
+        assert!(events::uops_dispatched_port(2).matches(sel));
+        assert!(events::uops_dispatched_port(3).matches(sel));
+        assert!(!events::uops_dispatched_port(0).matches(sel));
+        assert!(!EventCode::new(0xA2, 0x04).matches(sel));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(EventCode::new(0xD1, 0x01).to_string(), "D1.01");
+        assert_eq!(
+            PerfEvent::new(0x0E, 0x01, "UOPS_ISSUED.ANY").to_string(),
+            "0E.01 UOPS_ISSUED.ANY"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated performance monitoring unit for the nanoBench reproduction.
+//!
+//! Implements the counter architecture of §II of the paper: fixed-function
+//! counters, programmable counters, `APERF`/`MPERF`, and uncore (C-Box)
+//! counters, together with the `RDPMC`/`RDMSR` access interface and the
+//! configuration-file format of §III-J.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanobench_pmu::{Pmu, config::parse_config};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let events = parse_config("D1.01 MEM_LOAD_RETIRED.L1_HIT")?;
+//! let mut pmu = Pmu::new(4, 0);
+//! pmu.configure(0, Some(events[0].code));
+//! pmu.count(events[0].code, 1);
+//! assert_eq!(pmu.rdpmc(0), Some(1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod event;
+pub mod msr;
+
+pub use config::{parse_config, ParseConfigError};
+pub use counters::{Pmu, REF_CYCLE_RATIO};
+pub use event::{EventCode, PerfEvent};

@@ -1,0 +1,28 @@
+//! Model-specific register addresses used by the simulated machine.
+//!
+//! Only the MSRs nanoBench itself touches are modeled: the PMU counter and
+//! control registers, `APERF`/`MPERF` (§II-A1), and the prefetcher-control
+//! register `MSR_MISC_FEATURE_CONTROL` (§IV-A2, owned by the cache crate).
+
+/// `IA32_MPERF`: reference ("maximum") frequency clock count.
+pub const IA32_MPERF: u32 = 0xE7;
+/// `IA32_APERF`: actual frequency clock count.
+pub const IA32_APERF: u32 = 0xE8;
+/// First programmable counter (`IA32_PMC0`); PMC*i* is `IA32_PMC0 + i`.
+pub const IA32_PMC0: u32 = 0xC1;
+/// First event-select register; PERFEVTSEL*i* is `IA32_PERFEVTSEL0 + i`.
+pub const IA32_PERFEVTSEL0: u32 = 0x186;
+/// Fixed counter 0: instructions retired.
+pub const IA32_FIXED_CTR0: u32 = 0x309;
+/// Fixed counter 1: core cycles.
+pub const IA32_FIXED_CTR1: u32 = 0x30A;
+/// Fixed counter 2: reference cycles.
+pub const IA32_FIXED_CTR2: u32 = 0x30B;
+/// Fixed-counter control register.
+pub const IA32_FIXED_CTR_CTRL: u32 = 0x38D;
+/// Global performance counter control.
+pub const IA32_PERF_GLOBAL_CTRL: u32 = 0x38F;
+/// Prefetcher control (set bits disable prefetchers; §IV-A2).
+pub const MSR_MISC_FEATURE_CONTROL: u32 = 0x1A4;
+/// First C-Box uncore counter (simplified flat numbering; one per slice).
+pub const MSR_UNC_CBO_PERFCTR0: u32 = 0x706;

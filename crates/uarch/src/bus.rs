@@ -1,0 +1,134 @@
+//! The bus trait connecting the core to its environment (memory, caches,
+//! MSRs, interrupts) and the CPU fault model.
+//!
+//! The environment is implemented by `nanobench-machine`, which provides
+//! the user-space and kernel-space variants (§III-D of the paper): address
+//! translation, privilege checks, interrupt injection and MSR dispatch all
+//! live behind this trait.
+
+use nanobench_cache::hierarchy::MemAccessResult;
+use nanobench_x86::inst::Mnemonic;
+use std::error::Error;
+use std::fmt;
+
+/// A fault raised by the simulated CPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuFault {
+    /// A privileged instruction was executed outside kernel mode (#GP).
+    PrivilegedInstruction(Mnemonic),
+    /// `RDPMC` executed in user mode with `CR4.PCE` clear (#GP).
+    RdpmcNotAllowed,
+    /// Access to an unmapped virtual address (#PF).
+    PageFault {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// `RDMSR`/`WRMSR` on an unknown MSR (#GP).
+    BadMsr {
+        /// The MSR address in `ECX`.
+        addr: u32,
+    },
+    /// Integer division by zero (#DE).
+    DivideError,
+    /// The instruction-count safety limit was exceeded (runaway loop).
+    RunawayExecution,
+}
+
+impl fmt::Display for CpuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuFault::PrivilegedInstruction(m) => {
+                write!(f, "privileged instruction `{m}` in user mode (#GP)")
+            }
+            CpuFault::RdpmcNotAllowed => {
+                write!(f, "rdpmc in user mode without CR4.PCE (#GP)")
+            }
+            CpuFault::PageFault { vaddr } => write!(f, "page fault at {vaddr:#x}"),
+            CpuFault::BadMsr { addr } => write!(f, "access to unknown MSR {addr:#x} (#GP)"),
+            CpuFault::DivideError => write!(f, "divide error (#DE)"),
+            CpuFault::RunawayExecution => write!(f, "instruction limit exceeded"),
+        }
+    }
+}
+
+impl Error for CpuFault {}
+
+/// An asynchronous interruption of the benchmark (timer interrupt or
+/// preemption), possible only in user mode (§IV-A2: the kernel version
+/// disables interrupts and preemptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptEvent {
+    /// Cycles consumed by the handler.
+    pub cycles: u64,
+    /// Instructions retired by the handler (perturbs the counters).
+    pub instructions: u64,
+    /// µops issued by the handler.
+    pub uops: u64,
+}
+
+/// The environment of the simulated core.
+pub trait Bus {
+    /// Semantically reads `len` bytes (1/2/4/8) at a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::PageFault`] for unmapped addresses.
+    fn read(&mut self, vaddr: u64, len: u8) -> Result<u64, CpuFault>;
+
+    /// Semantically writes `len` bytes at a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::PageFault`] for unmapped addresses.
+    fn write(&mut self, vaddr: u64, len: u8, value: u64) -> Result<(), CpuFault>;
+
+    /// Performs the *timing* access for a load or store: walks the cache
+    /// hierarchy, updates replacement state, and reports where the data
+    /// was found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::PageFault`] for unmapped addresses.
+    fn access(&mut self, vaddr: u64, is_write: bool) -> Result<MemAccessResult, CpuFault>;
+
+    /// Whether the core runs at CPL 0 (the kernel-space version, §III-D).
+    fn is_kernel(&self) -> bool;
+
+    /// Whether `RDPMC` is allowed from user space (`CR4.PCE`, §II).
+    fn rdpmc_allowed(&self) -> bool;
+
+    /// `RDMSR` dispatch (PMU MSRs, prefetch control, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::BadMsr`] for unknown MSRs.
+    fn rdmsr(&mut self, addr: u32) -> Result<u64, CpuFault>;
+
+    /// `WRMSR` dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::BadMsr`] for unknown MSRs.
+    fn wrmsr(&mut self, addr: u32, value: u64) -> Result<(), CpuFault>;
+
+    /// Flushes all caches (`WBINVD`).
+    fn wbinvd(&mut self);
+
+    /// Invalidates one cache line (`CLFLUSH`).
+    fn clflush(&mut self, vaddr: u64);
+
+    /// Prefetches a line into the hierarchy (PREFETCHhx instructions).
+    fn prefetch(&mut self, vaddr: u64);
+
+    /// Polls for an asynchronous interrupt at the given absolute cycle.
+    /// Returns `None` when interrupts are disabled (kernel mode with IF=0)
+    /// or no interrupt is due.
+    fn poll_interrupt(&mut self, cycle: u64) -> Option<InterruptEvent>;
+
+    /// Sets the interrupt flag (`CLI`/`STI`).
+    fn set_interrupt_flag(&mut self, enabled: bool);
+
+    /// Per-slice C-Box lookup deltas since the last call (drained into the
+    /// PMU's uncore counters by the engine).
+    fn drain_uncore_lookups(&mut self) -> Vec<u64>;
+}

@@ -1,0 +1,784 @@
+//! The out-of-order timing engine.
+//!
+//! Functional-first, timing-directed: instructions execute architecturally
+//! in program order (via [`crate::exec`]) while a dataflow model computes
+//! cycle timing — operand-ready times per register/flag, per-port
+//! availability, a four-wide front end, LFENCE dispatch serialization
+//! (§IV-A1), branch prediction with persistent state (§III-H), AVX warm-up
+//! (§III-H), and user-mode interrupt injection (§III-D / §IV-A2).
+
+use crate::bpred::BranchPredictor;
+use crate::bus::{Bus, CpuFault};
+use crate::descriptor::{DescriptorTable, PortClass, UopSpec};
+use crate::exec::{self, Next};
+use crate::port::{MicroArch, PortConfig, PortSet};
+use crate::state::CpuState;
+use nanobench_cache::hierarchy::HitLevel;
+use nanobench_pmu::event::events;
+use nanobench_pmu::Pmu;
+use nanobench_x86::inst::{Instruction, Mnemonic};
+use nanobench_x86::operand::{MemRef, Operand};
+use nanobench_x86::reg::Gpr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Front-end bubble after a mispredicted branch.
+    pub mispredict_penalty: u64,
+    /// Safety limit on retired instructions per run.
+    pub max_instructions: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            mispredict_penalty: 15,
+            max_instructions: 200_000_000,
+        }
+    }
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// µops issued.
+    pub uops: u64,
+    /// Cycles elapsed in this run.
+    pub cycles: u64,
+    /// Absolute end cycle (feed as `start_cycle` of the next run so the
+    /// PMU's cycle counters stay monotonic).
+    pub end_cycle: u64,
+}
+
+/// Per-run dataflow timing state.
+struct Timing {
+    reg: [u64; 16],
+    vreg: [u64; 32],
+    flags: u64,
+    port_free: [u64; 8],
+    alloc_cycle: u64,
+    alloc_slots: u64,
+    issue_width: u64,
+    barrier: u64,
+    max_complete: u64,
+    rr: usize,
+}
+
+impl Timing {
+    fn new(start: u64, issue_width: u64) -> Timing {
+        Timing {
+            reg: [start; 16],
+            vreg: [start; 32],
+            flags: start,
+            port_free: [start; 8],
+            alloc_cycle: start,
+            alloc_slots: 0,
+            issue_width,
+            barrier: start,
+            max_complete: start,
+            rr: 0,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.max_complete.max(self.alloc_cycle)
+    }
+
+    fn alloc_uop(&mut self) -> u64 {
+        if self.alloc_slots >= self.issue_width {
+            self.alloc_cycle += 1;
+            self.alloc_slots = 0;
+        }
+        self.alloc_slots += 1;
+        self.alloc_cycle
+    }
+
+    /// Issues and dispatches one µop; returns its dispatch cycle.
+    fn dispatch(&mut self, ports: PortSet, ready: u64, recip: u64, pmu: &mut Pmu) -> u64 {
+        let alloc = self.alloc_uop();
+        let ready = ready.max(self.barrier).max(alloc);
+        pmu.count(events::UOPS_ISSUED_ANY, 1);
+        if ports.is_empty() {
+            self.max_complete = self.max_complete.max(ready);
+            return ready;
+        }
+        let mut best_port = 0u8;
+        let mut best_time = u64::MAX;
+        let list: Vec<u8> = ports.iter().collect();
+        let n = list.len();
+        for k in 0..n {
+            let p = list[(self.rr + k) % n];
+            let t = self.port_free[p as usize].max(ready);
+            if t < best_time {
+                best_time = t;
+                best_port = p;
+            }
+        }
+        self.rr = self.rr.wrapping_add(1);
+        self.port_free[best_port as usize] = best_time + recip.max(1);
+        pmu.count(events::uops_dispatched_port(best_port), 1);
+        best_time
+    }
+
+    fn complete(&mut self, cycle: u64) {
+        self.max_complete = self.max_complete.max(cycle);
+    }
+
+    /// Serialization point: no later µop dispatches before `cycle`, and the
+    /// front end resumes allocation there (a stalled allocator cannot run
+    /// arbitrarily far behind execution).
+    fn set_barrier(&mut self, cycle: u64) {
+        self.barrier = cycle;
+        self.complete(cycle);
+        if self.alloc_cycle < cycle {
+            self.alloc_cycle = cycle;
+            self.alloc_slots = 0;
+        }
+    }
+}
+
+/// The simulated core's execution engine.
+///
+/// Branch-predictor and AVX warm-up state persist across runs, which is
+/// what gives nanoBench's warm-up runs (§III-H) their effect.
+#[derive(Debug)]
+pub struct Engine {
+    uarch: MicroArch,
+    table: DescriptorTable,
+    ports: PortConfig,
+    config: EngineConfig,
+    /// Branch predictor (persistent; public so tools can reset it).
+    pub bpred: BranchPredictor,
+    rng: SmallRng,
+    avx_cold: bool,
+    non_avx_streak: u64,
+    avx_penalty_uops: u64,
+}
+
+/// Instructions executed since the last AVX µop before the upper vector
+/// unit powers down.
+const AVX_IDLE_LIMIT: u64 = 50_000;
+/// Number of AVX µops that run slowly after a cold start.
+const AVX_WARMUP_UOPS: u64 = 150;
+/// Latency multiplier for cold AVX µops.
+const AVX_COLD_FACTOR: u64 = 4;
+
+impl Engine {
+    /// Creates an engine for a microarchitecture. `seed` drives the
+    /// CPUID-latency jitter and RDRAND values.
+    pub fn new(uarch: MicroArch, seed: u64) -> Engine {
+        Engine {
+            uarch,
+            table: DescriptorTable::for_uarch(uarch),
+            ports: PortConfig::for_uarch(uarch),
+            config: EngineConfig::default(),
+            bpred: BranchPredictor::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            avx_cold: true,
+            non_avx_streak: 0,
+            avx_penalty_uops: 0,
+        }
+    }
+
+    /// Creates an engine with custom tuning.
+    pub fn with_config(uarch: MicroArch, seed: u64, config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            ..Engine::new(uarch, seed)
+        }
+    }
+
+    /// The microarchitecture being simulated.
+    pub fn uarch(&self) -> MicroArch {
+        self.uarch
+    }
+
+    /// The descriptor table (ground truth for case study I).
+    pub fn table(&self) -> &DescriptorTable {
+        &self.table
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// `start_cycle` is the absolute cycle the run begins at; pass the
+    /// previous run's [`RunStats::end_cycle`] to keep PMU time monotonic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault`] on privilege violations, page faults, divide
+    /// errors, or when the instruction limit is exceeded.
+    pub fn run(
+        &mut self,
+        program: &[Instruction],
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+        start_cycle: u64,
+    ) -> Result<RunStats, CpuFault> {
+        let mut t = Timing::new(start_cycle, self.uarch.issue_width());
+        let mut pc = 0usize;
+        let mut instructions = 0u64;
+        let mut uops = 0u64;
+
+        while pc < program.len() {
+            if instructions >= self.config.max_instructions {
+                return Err(CpuFault::RunawayExecution);
+            }
+            if let Some(intr) = bus.poll_interrupt(t.now()) {
+                // The handler runs in the middle of the benchmark: it
+                // consumes cycles, retires instructions, and perturbs the
+                // counters (§IV-A2; the kernel version avoids this).
+                let resume = t.now() + intr.cycles;
+                t.alloc_cycle = resume;
+                t.barrier = resume;
+                t.complete(resume);
+                pmu.retire_instructions(intr.instructions);
+                pmu.count(events::UOPS_ISSUED_ANY, intr.uops);
+            }
+            let inst = &program[pc];
+            let next = self.step(inst, pc, &mut t, state, pmu, bus)?;
+            instructions += 1;
+            // The magic pause/resume markers are byte sequences consumed by
+            // the tool, not instructions the benchmark retires (§III-I).
+            if !matches!(inst.mnemonic, Mnemonic::NbPause | Mnemonic::NbResume) {
+                pmu.retire_instructions(1);
+            }
+            uops += 1; // approximate per-instruction accounting for stats
+            pc = match next {
+                Next::Seq => pc + 1,
+                Next::Jump(target) => target,
+            };
+        }
+        let end = t.now();
+        pmu.sync_cycles(end);
+        Ok(RunStats {
+            instructions,
+            uops,
+            cycles: end - start_cycle,
+            end_cycle: end,
+        })
+    }
+
+    fn check_kernel(&self, m: Mnemonic, bus: &dyn Bus) -> Result<(), CpuFault> {
+        if m.is_privileged() && !bus.is_kernel() {
+            Err(CpuFault::PrivilegedInstruction(m))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// AVX warm-up bookkeeping; returns the latency multiplier for this
+    /// instruction's µops.
+    fn avx_factor(&mut self, m: Mnemonic) -> u64 {
+        if m.is_avx() {
+            self.non_avx_streak = 0;
+            if self.avx_cold {
+                self.avx_cold = false;
+                self.avx_penalty_uops = AVX_WARMUP_UOPS;
+            }
+            if self.avx_penalty_uops > 0 {
+                self.avx_penalty_uops -= 1;
+                return AVX_COLD_FACTOR;
+            }
+        } else {
+            self.non_avx_streak += 1;
+            if self.non_avx_streak > AVX_IDLE_LIMIT {
+                self.avx_cold = true;
+            }
+        }
+        1
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        inst: &Instruction,
+        pc: usize,
+        t: &mut Timing,
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+    ) -> Result<Next, CpuFault> {
+        use Mnemonic::*;
+        let m = inst.mnemonic;
+        self.check_kernel(m, bus)?;
+
+        match m {
+            Nop => {
+                t.dispatch(PortSet::NONE, start_of(t), 1, pmu);
+                return Ok(Next::Seq);
+            }
+            Lfence => {
+                // "LFENCE does not execute until all prior instructions
+                // have completed locally, and no later instruction begins
+                // execution until LFENCE completes" (§IV-A1).
+                let done = t.max_complete.max(t.alloc_uop());
+                pmu.count(events::UOPS_ISSUED_ANY, 1);
+                t.set_barrier(done);
+                return Ok(Next::Seq);
+            }
+            Mfence | Sfence => {
+                let extra = if m == Mfence { 33 } else { 2 };
+                let done = t.max_complete.max(t.alloc_uop()) + extra;
+                pmu.count(events::UOPS_ISSUED_ANY, 1);
+                t.set_barrier(done);
+                return Ok(Next::Seq);
+            }
+            Cpuid => {
+                // Fully serializing but with variable latency and µop
+                // count, both depending on RAX and run-to-run jitter
+                // (Paoloni's observation, §IV-A1).
+                let rax = state.gpr(Gpr::Rax);
+                let latency = 95 + (rax & 0xF) * 23 + self.rng.gen_range(0..=50);
+                let n_uops = 20 + (rax & 0x3) * 10;
+                for _ in 0..n_uops {
+                    t.dispatch(self.ports.alu, t.max_complete, 1, pmu);
+                }
+                let done = t.max_complete.max(t.alloc_cycle) + latency;
+                t.set_barrier(done);
+                // Leaf outputs (model identification values).
+                state.set_gpr(Gpr::Rax, 0x0005_06E3);
+                state.set_gpr(Gpr::Rbx, u64::from_le_bytes(*b"nanoBen\0"));
+                state.set_gpr(Gpr::Rcx, 0x7FFA_FBBF);
+                state.set_gpr(Gpr::Rdx, 0xBFEB_FBFF);
+                for r in [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx] {
+                    t.reg[r.number() as usize] = done;
+                }
+                return Ok(Next::Seq);
+            }
+            Rdtsc | Rdtscp => {
+                let ready = start_of(t);
+                let dispatch = t.dispatch(self.ports.int_mul, ready, 25, pmu);
+                let done = dispatch + 25;
+                t.complete(done);
+                let tsc = dispatch;
+                state.set_gpr(Gpr::Rax, tsc & 0xFFFF_FFFF);
+                state.set_gpr(Gpr::Rdx, tsc >> 32);
+                t.reg[Gpr::Rax.number() as usize] = done;
+                t.reg[Gpr::Rdx.number() as usize] = done;
+                if m == Rdtscp {
+                    state.set_gpr(Gpr::Rcx, 0);
+                    t.reg[Gpr::Rcx.number() as usize] = done;
+                }
+                return Ok(Next::Seq);
+            }
+            Rdpmc => {
+                if !bus.is_kernel() && !bus.rdpmc_allowed() {
+                    return Err(CpuFault::RdpmcNotAllowed);
+                }
+                let ready = t.reg[Gpr::Rcx.number() as usize];
+                // ~10 µops; the dependency-carrying one reads the counter.
+                for _ in 0..9 {
+                    t.dispatch(self.ports.alu, ready, 1, pmu);
+                }
+                let dispatch = t.dispatch(self.ports.int_mul, ready, 20, pmu);
+                let done = dispatch + 25;
+                t.complete(done);
+                self.drain_uncore(pmu, bus);
+                pmu.sync_cycles(dispatch);
+                let ecx = state.gpr(Gpr::Rcx) as u32;
+                let value = pmu.rdpmc(ecx).ok_or(CpuFault::BadMsr { addr: ecx })?;
+                state.set_gpr(Gpr::Rax, value & 0xFFFF_FFFF);
+                state.set_gpr(Gpr::Rdx, value >> 32);
+                t.reg[Gpr::Rax.number() as usize] = done;
+                t.reg[Gpr::Rdx.number() as usize] = done;
+                return Ok(Next::Seq);
+            }
+            Rdmsr => {
+                let ready = t.reg[Gpr::Rcx.number() as usize];
+                let dispatch = t.dispatch(self.ports.int_mul, ready, 100, pmu);
+                let done = dispatch + 100;
+                t.complete(done);
+                self.drain_uncore(pmu, bus);
+                pmu.sync_cycles(dispatch);
+                let addr = state.gpr(Gpr::Rcx) as u32;
+                let value = match pmu.rdmsr(addr) {
+                    Some(v) => v,
+                    None => bus.rdmsr(addr)?,
+                };
+                state.set_gpr(Gpr::Rax, value & 0xFFFF_FFFF);
+                state.set_gpr(Gpr::Rdx, value >> 32);
+                t.reg[Gpr::Rax.number() as usize] = done;
+                t.reg[Gpr::Rdx.number() as usize] = done;
+                return Ok(Next::Seq);
+            }
+            Wrmsr => {
+                let ready = t.reg[Gpr::Rcx.number() as usize]
+                    .max(t.reg[Gpr::Rax.number() as usize])
+                    .max(t.reg[Gpr::Rdx.number() as usize]);
+                // WRMSR is serializing.
+                let done = t.max_complete.max(ready).max(t.alloc_uop()) + 150;
+                pmu.count(events::UOPS_ISSUED_ANY, 1);
+                t.set_barrier(done);
+                let addr = state.gpr(Gpr::Rcx) as u32;
+                let value =
+                    (state.gpr(Gpr::Rdx) << 32) | (state.gpr(Gpr::Rax) & 0xFFFF_FFFF);
+                pmu.sync_cycles(done);
+                if !pmu.wrmsr(addr, value) {
+                    bus.wrmsr(addr, value)?;
+                }
+                return Ok(Next::Seq);
+            }
+            Wbinvd | Invd => {
+                let done = t.max_complete.max(t.alloc_uop()) + 5000;
+                pmu.count(events::UOPS_ISSUED_ANY, 1);
+                t.set_barrier(done);
+                bus.wbinvd();
+                return Ok(Next::Seq);
+            }
+            Clflush | Clflushopt => {
+                let mem = inst
+                    .dst()
+                    .and_then(|o| o.as_mem())
+                    .expect("clflush takes a memory operand");
+                let addr_ready = addr_ready(t, &mem);
+                let dispatch = t.dispatch(self.ports.store_addr, addr_ready, 6, pmu);
+                t.dispatch(self.ports.store_data, addr_ready, 1, pmu);
+                t.complete(dispatch + 2);
+                let vaddr = exec::mem_vaddr(state, &mem);
+                bus.clflush(vaddr);
+                return Ok(Next::Seq);
+            }
+            Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta => {
+                let mem = inst
+                    .dst()
+                    .and_then(|o| o.as_mem())
+                    .expect("prefetch takes a memory operand");
+                let ready = addr_ready(t, &mem);
+                let dispatch = t.dispatch(self.ports.load, ready, 1, pmu);
+                t.complete(dispatch + 1);
+                let vaddr = exec::mem_vaddr(state, &mem);
+                bus.prefetch(vaddr);
+                return Ok(Next::Seq);
+            }
+            Cli => {
+                bus.set_interrupt_flag(false);
+                t.dispatch(self.ports.alu, start_of(t), 1, pmu);
+                return Ok(Next::Seq);
+            }
+            Sti => {
+                bus.set_interrupt_flag(true);
+                t.dispatch(self.ports.alu, start_of(t), 1, pmu);
+                return Ok(Next::Seq);
+            }
+            Hlt | Swapgs | MovCr3 | Invlpg => {
+                // Modeled as serializing, fixed-cost kernel operations.
+                let done = t.max_complete.max(t.alloc_uop()) + 100;
+                pmu.count(events::UOPS_ISSUED_ANY, 1);
+                t.set_barrier(done);
+                if m == Invlpg {
+                    // TLBs are not modeled; the flush is a timing event only.
+                }
+                return Ok(Next::Seq);
+            }
+            Rdrand | Rdseed => {
+                let desc = self.table.lookup(inst).expect("rdrand has a descriptor");
+                let u = desc.uops[0];
+                let dispatch =
+                    t.dispatch(u.class.resolve(&self.ports), start_of(t), u.recip, pmu);
+                let done = dispatch + u.latency;
+                t.complete(done);
+                let value: u64 = self.rng.gen();
+                if let Some(Operand::Gpr(g)) = inst.dst() {
+                    state.set_gpr_part(*g, value);
+                    t.reg[g.reg.number() as usize] = done;
+                }
+                state.set_flag(nanobench_x86::reg::Flag::Cf, true);
+                return Ok(Next::Seq);
+            }
+            NbPause => {
+                // Magic marker: pause counting (§III-I). Zero architectural
+                // cost beyond the sync point.
+                pmu.sync_cycles(t.now());
+                pmu.set_counting(false);
+                return Ok(Next::Seq);
+            }
+            NbResume => {
+                pmu.sync_cycles(t.now());
+                pmu.set_counting(true);
+                return Ok(Next::Seq);
+            }
+            Push => {
+                let data_ready = match inst.dst() {
+                    Some(Operand::Gpr(g)) => t.reg[g.reg.number() as usize],
+                    _ => start_of(t),
+                };
+                let rsp_ready = t.reg[Gpr::Rsp.number() as usize];
+                let rsp_done = t.dispatch(self.ports.alu, rsp_ready, 1, pmu) + 1;
+                t.reg[Gpr::Rsp.number() as usize] = rsp_done;
+                t.dispatch(self.ports.store_addr, rsp_done, 1, pmu);
+                t.dispatch(self.ports.store_data, data_ready, 1, pmu);
+                t.complete(rsp_done);
+                let vaddr = state.gpr(Gpr::Rsp).wrapping_sub(8);
+                bus.access(vaddr, true)?;
+                return exec::execute(inst, state, bus);
+            }
+            Pop => {
+                let rsp_ready = t.reg[Gpr::Rsp.number() as usize];
+                let vaddr = state.gpr(Gpr::Rsp);
+                let load_done = self.timed_load(t, vaddr, rsp_ready, pmu, bus)?;
+                let rsp_done = t.dispatch(self.ports.alu, rsp_ready, 1, pmu) + 1;
+                t.reg[Gpr::Rsp.number() as usize] = rsp_done;
+                if let Some(Operand::Gpr(g)) = inst.dst() {
+                    t.reg[g.reg.number() as usize] = load_done;
+                }
+                t.complete(load_done);
+                return exec::execute(inst, state, bus);
+            }
+            _ => {}
+        }
+
+        // ---- generic path -------------------------------------------------
+        let desc = self
+            .table
+            .lookup(inst)
+            .unwrap_or_else(|| crate::descriptor::InstrDesc {
+                uops: vec![UopSpec {
+                    class: PortClass::Alu,
+                    latency: 1,
+                    recip: 1,
+                }],
+            });
+        let factor = self.avx_factor(m);
+
+        // Input readiness (registers, vector registers, flags).
+        let mut input_ready = start_of(t);
+        for g in exec::input_gprs(inst) {
+            input_ready = input_ready.max(t.reg[g.reg.number() as usize]);
+        }
+        for (i, op) in inst.operands.iter().enumerate() {
+            if let Operand::Vec(v) = op {
+                if i > 0 || !crate::descriptor::is_move(m) || inst.operands.len() > 2 {
+                    input_ready = input_ready.max(t.vreg[v.index as usize]);
+                }
+            }
+        }
+        if flags_read(m) {
+            input_ready = input_ready.max(t.flags);
+        }
+
+        // Loads.
+        let mut load_done = 0u64;
+        for mem in mem_reads(inst) {
+            let a_ready = addr_ready(t, &mem);
+            let vaddr = exec::mem_vaddr(state, &mem);
+            let done = self.timed_load(t, vaddr, a_ready, pmu, bus)?;
+            load_done = load_done.max(done);
+        }
+        let compute_ready = input_ready.max(load_done);
+
+        // Compute µops.
+        let mut result_ready = if desc.uops.is_empty() {
+            if load_done > 0 {
+                load_done
+            } else {
+                compute_ready
+            }
+        } else {
+            compute_ready
+        };
+        for (i, u) in desc.uops.iter().enumerate() {
+            let dispatch = t.dispatch(u.class.resolve(&self.ports), compute_ready, u.recip, pmu);
+            let done = dispatch + u.latency * factor;
+            t.complete(done);
+            if i == 0 {
+                result_ready = done.max(load_done);
+            }
+        }
+
+        // Stores.
+        for mem in mem_writes(inst) {
+            let a_ready = addr_ready(t, &mem);
+            t.dispatch(self.ports.store_addr, a_ready, 1, pmu);
+            t.dispatch(self.ports.store_data, result_ready, 1, pmu);
+            // RMW accesses already touched the line via the load.
+            if !mem_reads(inst).contains(&mem) {
+                let vaddr = exec::mem_vaddr(state, &mem);
+                bus.access(vaddr, true)?;
+                self.drain_uncore(pmu, bus);
+            }
+        }
+
+        // Branches: prediction bookkeeping before the semantic jump.
+        if m.is_branch() {
+            let taken = exec::branch_taken(inst, state);
+            let dispatch = t.dispatch(self.ports.branch, compute_ready, 1, pmu);
+            let done = dispatch + 1;
+            t.complete(done);
+            pmu.count(events::BR_INST_RETIRED, 1);
+            let conditional = matches!(m, Jz | Jnz | Jc | Jnc);
+            if conditional && self.bpred.update(pc, taken) {
+                pmu.count(events::BR_MISP_RETIRED, 1);
+                t.alloc_cycle = t.alloc_cycle.max(done + self.config.mispredict_penalty);
+                t.alloc_slots = 0;
+            }
+        }
+
+        // Output readiness.
+        for g in exec::output_gprs(inst) {
+            t.reg[g.reg.number() as usize] = result_ready;
+        }
+        if let Some(Operand::Vec(v)) = inst.dst() {
+            t.vreg[v.index as usize] = result_ready;
+        }
+        if flags_written(m) {
+            t.flags = result_ready;
+        }
+
+        exec::execute(inst, state, bus)
+    }
+
+    fn timed_load(
+        &mut self,
+        t: &mut Timing,
+        vaddr: u64,
+        addr_ready: u64,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+    ) -> Result<u64, CpuFault> {
+        let res = bus.access(vaddr, false)?;
+        self.drain_uncore(pmu, bus);
+        match res.level {
+            HitLevel::L1 => pmu.count(events::MEM_LOAD_L1_HIT, 1),
+            HitLevel::L2 => {
+                pmu.count(events::MEM_LOAD_L1_MISS, 1);
+                pmu.count(events::MEM_LOAD_L2_HIT, 1);
+                pmu.count(events::L2_RQSTS_REFERENCES, 1);
+            }
+            HitLevel::L3 => {
+                pmu.count(events::MEM_LOAD_L1_MISS, 1);
+                pmu.count(events::MEM_LOAD_L2_MISS, 1);
+                pmu.count(events::MEM_LOAD_L3_HIT, 1);
+                pmu.count(events::L2_RQSTS_REFERENCES, 1);
+            }
+            HitLevel::Memory => {
+                pmu.count(events::MEM_LOAD_L1_MISS, 1);
+                pmu.count(events::MEM_LOAD_L2_MISS, 1);
+                pmu.count(events::MEM_LOAD_L3_MISS, 1);
+                pmu.count(events::L2_RQSTS_REFERENCES, 1);
+            }
+        }
+        let dispatch = t.dispatch(self.ports.load, addr_ready, 1, pmu);
+        let done = dispatch + res.latency;
+        t.complete(done);
+        Ok(done)
+    }
+
+    fn drain_uncore(&mut self, pmu: &mut Pmu, bus: &mut dyn Bus) {
+        for (slice, n) in bus.drain_uncore_lookups().into_iter().enumerate() {
+            if n > 0 {
+                pmu.count_uncore(slice, n);
+            }
+        }
+    }
+}
+
+fn start_of(t: &Timing) -> u64 {
+    t.barrier
+}
+
+fn addr_ready(t: &Timing, mem: &MemRef) -> u64 {
+    let mut ready = t.barrier;
+    if let Some(b) = mem.base {
+        ready = ready.max(t.reg[b.number() as usize]);
+    }
+    if let Some((i, _)) = mem.index {
+        ready = ready.max(t.reg[i.number() as usize]);
+    }
+    ready
+}
+
+fn flags_read(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    matches!(
+        m,
+        Adc | Sbb | Cmovz | Cmovnz | Setz | Setnz | Jz | Jnz | Jc | Jnc
+    )
+}
+
+fn flags_written(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    matches!(
+        m,
+        Add | Adc
+            | Sub
+            | Sbb
+            | And
+            | Or
+            | Xor
+            | Cmp
+            | Test
+            | Inc
+            | Dec
+            | Neg
+            | Imul
+            | Mul
+            | Shl
+            | Shr
+            | Sar
+            | Rol
+            | Ror
+            | Popcnt
+            | Lzcnt
+            | Tzcnt
+            | Bsf
+            | Bsr
+            | Xadd
+            | Comiss
+            | Comisd
+            | Ptest
+    )
+}
+
+/// Memory operands an instruction reads.
+fn mem_reads(inst: &Instruction) -> Vec<MemRef> {
+    use Mnemonic::*;
+    let m = inst.mnemonic;
+    if matches!(
+        m,
+        Lea | Clflush | Clflushopt | Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta | Invlpg
+    ) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, op) in inst.operands.iter().enumerate() {
+        if let Operand::Mem(mem) = op {
+            let is_dst = i == 0;
+            let reads = if is_dst { dst_mem_is_read(m) } else { true };
+            if reads {
+                out.push(*mem);
+            }
+        }
+    }
+    out
+}
+
+/// Memory operands an instruction writes.
+fn mem_writes(inst: &Instruction) -> Vec<MemRef> {
+    let m = inst.mnemonic;
+    let mut out = Vec::new();
+    if let Some(Operand::Mem(mem)) = inst.dst() {
+        if dst_mem_is_written(m) {
+            out.push(*mem);
+        }
+    }
+    out
+}
+
+fn dst_mem_is_read(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    // Pure stores and SETcc only write; CMP/TEST only read; RMW both.
+    !matches!(
+        m,
+        Mov | Movaps | Movups | Movapd | Movdqa | Movdqu | Movd | Movq | Setz | Setnz
+    )
+}
+
+fn dst_mem_is_written(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    !matches!(m, Cmp | Test | Ptest | Comiss | Comisd | Push)
+}

@@ -1,0 +1,319 @@
+//! Execution ports and per-microarchitecture port assignments.
+
+use std::fmt;
+
+/// A set of execution ports, as a bitmask (bit *i* = port *i*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortSet(pub u8);
+
+impl PortSet {
+    /// The empty set (µops that never dispatch to a port, e.g. NOP).
+    pub const NONE: PortSet = PortSet(0);
+
+    /// Creates a set from port numbers.
+    pub fn of(ports: &[u8]) -> PortSet {
+        let mut mask = 0u8;
+        for &p in ports {
+            assert!(p < 8, "port numbers are 0..7");
+            mask |= 1 << p;
+        }
+        PortSet(mask)
+    }
+
+    /// Whether the set contains port `p`.
+    pub fn contains(self, p: u8) -> bool {
+        self.0 & (1 << p) != 0
+    }
+
+    /// Iterates over the contained port numbers.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..8).filter(move |p| self.contains(*p))
+    }
+
+    /// Number of ports in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("-");
+        }
+        f.write_str("p")?;
+        for p in self.iter() {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The microarchitectures modeled by the simulator (the ten Intel Core
+/// generations of Table I plus AMD Zen for the §III-L claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant names are the microarchitecture names
+pub enum MicroArch {
+    Nehalem,
+    Westmere,
+    SandyBridge,
+    IvyBridge,
+    Haswell,
+    Broadwell,
+    Skylake,
+    KabyLake,
+    CoffeeLake,
+    CannonLake,
+    Zen,
+}
+
+impl MicroArch {
+    /// All modeled microarchitectures.
+    pub const ALL: [MicroArch; 11] = [
+        MicroArch::Nehalem,
+        MicroArch::Westmere,
+        MicroArch::SandyBridge,
+        MicroArch::IvyBridge,
+        MicroArch::Haswell,
+        MicroArch::Broadwell,
+        MicroArch::Skylake,
+        MicroArch::KabyLake,
+        MicroArch::CoffeeLake,
+        MicroArch::CannonLake,
+        MicroArch::Zen,
+    ];
+
+    /// Display name matching Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroArch::Nehalem => "Nehalem",
+            MicroArch::Westmere => "Westmere",
+            MicroArch::SandyBridge => "Sandy Bridge",
+            MicroArch::IvyBridge => "Ivy Bridge",
+            MicroArch::Haswell => "Haswell",
+            MicroArch::Broadwell => "Broadwell",
+            MicroArch::Skylake => "Skylake",
+            MicroArch::KabyLake => "Kaby Lake",
+            MicroArch::CoffeeLake => "Coffee Lake",
+            MicroArch::CannonLake => "Cannon Lake",
+            MicroArch::Zen => "Zen",
+        }
+    }
+
+    /// Parses a microarchitecture name (case-insensitive, spaces optional).
+    pub fn parse(name: &str) -> Option<MicroArch> {
+        let norm: String = name
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        MicroArch::ALL.into_iter().find(|m| {
+            m.name()
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect::<String>()
+                .to_ascii_lowercase()
+                == norm
+        })
+    }
+
+    /// Number of programmable performance counters (§II-A2: 2–8 on Intel,
+    /// 6 on AMD family 17h).
+    pub fn n_prog_counters(self) -> usize {
+        match self {
+            MicroArch::Nehalem | MicroArch::Westmere => 4,
+            MicroArch::Zen => 6,
+            _ => 4,
+        }
+    }
+
+    /// Whether the front end sustains four µops per cycle (all modeled
+    /// parts; Ice Lake's five-wide allocation is out of scope).
+    pub fn issue_width(self) -> u64 {
+        4
+    }
+}
+
+impl fmt::Display for MicroArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Port-class assignments of one microarchitecture.
+///
+/// The descriptor table speaks in *classes* (ALU, vector multiply, load,
+/// ...); this structure resolves a class to the concrete port set of the
+/// part, so one instruction table serves all microarchitectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortConfig {
+    /// Number of execution ports (6 before Haswell, 8 after).
+    pub n_ports: u8,
+    /// Simple integer ALU.
+    pub alu: PortSet,
+    /// Integer multiply.
+    pub int_mul: PortSet,
+    /// Divider.
+    pub div: PortSet,
+    /// Shifts and rotates.
+    pub shift: PortSet,
+    /// Branch execution.
+    pub branch: PortSet,
+    /// Vector add / FP add.
+    pub vec_add: PortSet,
+    /// Vector multiply / FMA.
+    pub vec_mul: PortSet,
+    /// Vector logic (bitwise).
+    pub vec_logic: PortSet,
+    /// Shuffles / permutes.
+    pub shuffle: PortSet,
+    /// Load ports.
+    pub load: PortSet,
+    /// Store-address generation.
+    pub store_addr: PortSet,
+    /// Store-data.
+    pub store_data: PortSet,
+    /// LEA.
+    pub lea: PortSet,
+}
+
+impl PortConfig {
+    /// The port configuration of a microarchitecture.
+    pub fn for_uarch(uarch: MicroArch) -> PortConfig {
+        use MicroArch::*;
+        match uarch {
+            Nehalem | Westmere => PortConfig {
+                n_ports: 6,
+                alu: PortSet::of(&[0, 1, 5]),
+                int_mul: PortSet::of(&[1]),
+                div: PortSet::of(&[0]),
+                shift: PortSet::of(&[0, 5]),
+                branch: PortSet::of(&[5]),
+                vec_add: PortSet::of(&[1]),
+                vec_mul: PortSet::of(&[0]),
+                vec_logic: PortSet::of(&[0, 1, 5]),
+                shuffle: PortSet::of(&[5]),
+                load: PortSet::of(&[2]),
+                store_addr: PortSet::of(&[3]),
+                store_data: PortSet::of(&[4]),
+                lea: PortSet::of(&[1]),
+            },
+            SandyBridge | IvyBridge => PortConfig {
+                n_ports: 6,
+                alu: PortSet::of(&[0, 1, 5]),
+                int_mul: PortSet::of(&[1]),
+                div: PortSet::of(&[0]),
+                shift: PortSet::of(&[0, 5]),
+                branch: PortSet::of(&[5]),
+                vec_add: PortSet::of(&[1]),
+                vec_mul: PortSet::of(&[0]),
+                vec_logic: PortSet::of(&[0, 1, 5]),
+                shuffle: PortSet::of(&[5]),
+                load: PortSet::of(&[2, 3]),
+                store_addr: PortSet::of(&[2, 3]),
+                store_data: PortSet::of(&[4]),
+                lea: PortSet::of(&[1, 5]),
+            },
+            Haswell | Broadwell => PortConfig {
+                n_ports: 8,
+                alu: PortSet::of(&[0, 1, 5, 6]),
+                int_mul: PortSet::of(&[1]),
+                div: PortSet::of(&[0]),
+                shift: PortSet::of(&[0, 6]),
+                branch: PortSet::of(&[0, 6]),
+                vec_add: PortSet::of(&[1]),
+                vec_mul: PortSet::of(&[0, 1]),
+                vec_logic: PortSet::of(&[0, 1, 5]),
+                shuffle: PortSet::of(&[5]),
+                load: PortSet::of(&[2, 3]),
+                store_addr: PortSet::of(&[2, 3, 7]),
+                store_data: PortSet::of(&[4]),
+                lea: PortSet::of(&[1, 5]),
+            },
+            Skylake | KabyLake | CoffeeLake | CannonLake => PortConfig {
+                n_ports: 8,
+                alu: PortSet::of(&[0, 1, 5, 6]),
+                int_mul: PortSet::of(&[1]),
+                div: PortSet::of(&[0]),
+                shift: PortSet::of(&[0, 6]),
+                branch: PortSet::of(&[0, 6]),
+                vec_add: PortSet::of(&[0, 1]),
+                vec_mul: PortSet::of(&[0, 1]),
+                vec_logic: PortSet::of(&[0, 1, 5]),
+                shuffle: PortSet::of(&[5]),
+                load: PortSet::of(&[2, 3]),
+                store_addr: PortSet::of(&[2, 3, 7]),
+                store_data: PortSet::of(&[4]),
+                lea: PortSet::of(&[1, 5]),
+            },
+            Zen => PortConfig {
+                n_ports: 8,
+                alu: PortSet::of(&[0, 1, 2, 3]),
+                int_mul: PortSet::of(&[1]),
+                div: PortSet::of(&[2]),
+                shift: PortSet::of(&[0, 1, 2, 3]),
+                branch: PortSet::of(&[3]),
+                vec_add: PortSet::of(&[4, 5]),
+                vec_mul: PortSet::of(&[4, 5]),
+                vec_logic: PortSet::of(&[4, 5, 6]),
+                shuffle: PortSet::of(&[6]),
+                load: PortSet::of(&[7]),
+                store_addr: PortSet::of(&[7]),
+                store_data: PortSet::of(&[7]),
+                lea: PortSet::of(&[0, 1, 2, 3]),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_set_basics() {
+        let s = PortSet::of(&[2, 3]);
+        assert!(s.contains(2));
+        assert!(s.contains(3));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_string(), "p23");
+        assert_eq!(PortSet::NONE.to_string(), "-");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn uarch_parse_round_trip() {
+        for m in MicroArch::ALL {
+            assert_eq!(MicroArch::parse(m.name()), Some(m));
+        }
+        assert_eq!(MicroArch::parse("skylake"), Some(MicroArch::Skylake));
+        assert_eq!(MicroArch::parse("sandy bridge"), Some(MicroArch::SandyBridge));
+        assert_eq!(MicroArch::parse("SANDYBRIDGE"), Some(MicroArch::SandyBridge));
+        assert_eq!(MicroArch::parse("P6"), None);
+    }
+
+    #[test]
+    fn skylake_ports_match_documentation() {
+        // §III-A's example output shows loads split across ports 2 and 3.
+        let cfg = PortConfig::for_uarch(MicroArch::Skylake);
+        assert_eq!(cfg.load, PortSet::of(&[2, 3]));
+        assert_eq!(cfg.n_ports, 8);
+        assert_eq!(cfg.alu.len(), 4);
+        // Nehalem has a single load port.
+        let nhm = PortConfig::for_uarch(MicroArch::Nehalem);
+        assert_eq!(nhm.load.len(), 1);
+        assert_eq!(nhm.n_ports, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "port numbers")]
+    fn port_out_of_range_panics() {
+        let _ = PortSet::of(&[8]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Architectural state: general-purpose registers, vector registers and
+//! status flags.
+
+use nanobench_x86::reg::{Flag, Gpr, GprPart, Width};
+
+/// The architectural register state of one logical core.
+///
+/// nanoBench microbenchmarks "may use and modify any general-purpose and
+/// vector registers, including the stack pointer" (§I); the generated code
+/// saves and restores this state around the benchmark (Algorithm 1 line 2
+/// and 11), which the save/restore code does through ordinary loads and
+/// stores against this state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuState {
+    gprs: [u64; 16],
+    /// Vector registers, 64 bytes each (ZMM width); XMM/YMM alias the low
+    /// lanes.
+    vregs: [[u64; 8]; 32],
+    flags: u8,
+}
+
+impl Default for CpuState {
+    fn default() -> CpuState {
+        CpuState::new()
+    }
+}
+
+impl CpuState {
+    /// Creates zeroed state.
+    pub fn new() -> CpuState {
+        CpuState {
+            gprs: [0; 16],
+            vregs: [[0; 8]; 32],
+            flags: 0,
+        }
+    }
+
+    /// Reads a full 64-bit GPR.
+    pub fn gpr(&self, reg: Gpr) -> u64 {
+        self.gprs[reg.number() as usize]
+    }
+
+    /// Writes a full 64-bit GPR.
+    pub fn set_gpr(&mut self, reg: Gpr, value: u64) {
+        self.gprs[reg.number() as usize] = value;
+    }
+
+    /// Reads a GPR at a given width (zero-extended).
+    pub fn gpr_part(&self, part: GprPart) -> u64 {
+        self.gpr(part.reg) & part.width.mask()
+    }
+
+    /// Writes a GPR at a given width with x86 semantics: 32-bit writes
+    /// zero-extend to 64 bits; 8/16-bit writes merge.
+    pub fn set_gpr_part(&mut self, part: GprPart, value: u64) {
+        let full = self.gpr(part.reg);
+        let new = match part.width {
+            Width::Q => value,
+            Width::D => value & 0xFFFF_FFFF,
+            w => (full & !w.mask()) | (value & w.mask()),
+        };
+        self.set_gpr(part.reg, new);
+    }
+
+    /// Reads a status flag.
+    pub fn flag(&self, f: Flag) -> bool {
+        self.flags & (1 << flag_index(f)) != 0
+    }
+
+    /// Writes a status flag.
+    pub fn set_flag(&mut self, f: Flag, value: bool) {
+        if value {
+            self.flags |= 1 << flag_index(f);
+        } else {
+            self.flags &= !(1 << flag_index(f));
+        }
+    }
+
+    /// Reads the low 64 bits of a vector register lane.
+    pub fn vreg_lane(&self, index: u8, lane: usize) -> u64 {
+        self.vregs[index as usize][lane]
+    }
+
+    /// Writes one 64-bit lane of a vector register.
+    pub fn set_vreg_lane(&mut self, index: u8, lane: usize, value: u64) {
+        self.vregs[index as usize][lane] = value;
+    }
+
+    /// A 64-bit digest of a vector register (for dependency-preserving
+    /// opaque vector semantics).
+    pub fn vreg_digest(&self, index: u8) -> u64 {
+        self.vregs[index as usize]
+            .iter()
+            .fold(0u64, |acc, l| acc.rotate_left(7) ^ l)
+    }
+
+    /// Fills a vector register from a digest (opaque mixing).
+    pub fn set_vreg_digest(&mut self, index: u8, digest: u64) {
+        for (lane, slot) in self.vregs[index as usize].iter_mut().enumerate() {
+            *slot = digest.wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ lane as u64);
+        }
+    }
+
+    /// Snapshot of all GPRs (register order).
+    pub fn gprs(&self) -> [u64; 16] {
+        self.gprs
+    }
+}
+
+fn flag_index(f: Flag) -> u8 {
+    match f {
+        Flag::Cf => 0,
+        Flag::Pf => 1,
+        Flag::Af => 2,
+        Flag::Zf => 3,
+        Flag::Sf => 4,
+        Flag::Of => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_writes_follow_x86_rules() {
+        let mut s = CpuState::new();
+        s.set_gpr(Gpr::Rax, 0xFFFF_FFFF_FFFF_FFFF);
+        // 32-bit write zero-extends.
+        s.set_gpr_part(
+            GprPart {
+                reg: Gpr::Rax,
+                width: Width::D,
+            },
+            0x1234_5678,
+        );
+        assert_eq!(s.gpr(Gpr::Rax), 0x1234_5678);
+        // 8-bit write merges.
+        s.set_gpr_part(
+            GprPart {
+                reg: Gpr::Rax,
+                width: Width::B,
+            },
+            0xAB,
+        );
+        assert_eq!(s.gpr(Gpr::Rax), 0x1234_56AB);
+        // 16-bit write merges.
+        s.set_gpr_part(
+            GprPart {
+                reg: Gpr::Rax,
+                width: Width::W,
+            },
+            0xCDEF,
+        );
+        assert_eq!(s.gpr(Gpr::Rax), 0x1234_CDEF);
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        let mut s = CpuState::new();
+        for f in Flag::ALL {
+            assert!(!s.flag(f));
+            s.set_flag(f, true);
+            assert!(s.flag(f));
+        }
+        s.set_flag(Flag::Zf, false);
+        assert!(!s.flag(Flag::Zf));
+        assert!(s.flag(Flag::Cf));
+    }
+
+    #[test]
+    fn vreg_digest_tracks_changes() {
+        let mut s = CpuState::new();
+        let d0 = s.vreg_digest(0);
+        s.set_vreg_lane(0, 3, 42);
+        assert_ne!(s.vreg_digest(0), d0);
+        s.set_vreg_digest(1, 7);
+        assert_ne!(s.vreg_digest(1), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! x86-64 machine model for the nanoBench reproduction.
+//!
+//! This crate provides the instruction-set layer that everything else builds
+//! on: registers ([`reg`]), operands ([`operand`]), instructions ([`inst`]),
+//! an Intel-syntax assembler ([`asm`]) matching the input format of
+//! nanoBench's `-asm` options, and a byte-level machine-code encoder/decoder
+//! ([`encode`]) for the binary-input path and the magic pause/resume byte
+//! sequences of §III-I of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanobench_x86::asm::parse_asm;
+//! use nanobench_x86::encode::{encode_program, decode_program};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The L1-latency microbenchmark from §III-A of the paper.
+//! let insts = parse_asm("mov R14, [R14]")?;
+//! let (bytes, _offsets) = encode_program(&insts)?;
+//! assert_eq!(bytes, [0x4D, 0x8B, 0x36]);
+//! assert_eq!(decode_program(&bytes)?, insts);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod operand;
+pub mod reg;
+
+pub use asm::{parse_asm, ParseAsmError};
+pub use encode::{decode_program, encode_program, DecodeError, EncodeError};
+pub use inst::{Instruction, Mnemonic};
+pub use operand::{MemRef, Operand};
+pub use reg::{Flag, Gpr, GprPart, VecClass, VecReg, Width};

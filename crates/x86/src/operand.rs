@@ -1,0 +1,210 @@
+//! Instruction operands: registers, immediates and memory references.
+
+use crate::reg::{GprPart, VecReg, Width};
+use std::fmt;
+
+/// A memory reference in `[base + index*scale + disp]` form.
+///
+/// All components are optional except that at least one of `base`, `index`
+/// or `disp` must be present for the reference to be meaningful. `size` is
+/// the access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<crate::reg::Gpr>,
+    /// Index register and scale (1, 2, 4 or 8), if any.
+    pub index: Option<(crate::reg::Gpr, u8)>,
+    /// Constant displacement.
+    pub disp: i64,
+    /// Access width.
+    pub width: Width,
+}
+
+impl MemRef {
+    /// A plain `[base]` reference of the given width.
+    pub fn base(reg: crate::reg::Gpr, width: Width) -> MemRef {
+        MemRef {
+            base: Some(reg),
+            index: None,
+            disp: 0,
+            width,
+        }
+    }
+
+    /// A `[base + disp]` reference of the given width.
+    pub fn base_disp(reg: crate::reg::Gpr, disp: i64, width: Width) -> MemRef {
+        MemRef {
+            base: Some(reg),
+            index: None,
+            disp,
+            width,
+        }
+    }
+
+    /// An absolute `[disp]` reference of the given width.
+    pub fn absolute(disp: u64, width: Width) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            disp: disp as i64,
+            width,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ptr [", self.width)?;
+        let mut wrote = false;
+        if let Some(base) = self.base {
+            write!(f, "{base}")?;
+            wrote = true;
+        }
+        if let Some((index, scale)) = self.index {
+            if wrote {
+                f.write_str("+")?;
+            }
+            write!(f, "{index}*{scale}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote && self.disp >= 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{:#x}", self.disp)?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register at some access width.
+    Gpr(GprPart),
+    /// A vector register.
+    Vec(VecReg),
+    /// An immediate value (sign-extended to 64 bits).
+    Imm(i64),
+    /// A memory reference.
+    Mem(MemRef),
+    /// A branch target, as an index into the instruction sequence.
+    ///
+    /// Produced by the assembler from labels and by code generation; the
+    /// encoder converts it to a relative displacement.
+    Label(usize),
+}
+
+impl Operand {
+    /// Convenience constructor for a full-width GPR operand.
+    pub fn gpr(reg: crate::reg::Gpr) -> Operand {
+        Operand::Gpr(GprPart::full(reg))
+    }
+
+    /// Convenience constructor for an immediate operand.
+    pub fn imm(value: i64) -> Operand {
+        Operand::Imm(value)
+    }
+
+    /// Convenience constructor for a `[reg]` memory operand (qword).
+    pub fn mem(reg: crate::reg::Gpr) -> Operand {
+        Operand::Mem(MemRef::base(reg, Width::Q))
+    }
+
+    /// Returns the GPR part if this is a GPR operand.
+    pub fn as_gpr(&self) -> Option<GprPart> {
+        match self {
+            Operand::Gpr(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Returns the memory reference if this is a memory operand.
+    pub fn as_mem(&self) -> Option<MemRef> {
+        match self {
+            Operand::Mem(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Returns the immediate value if this is an immediate operand.
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The access width of the operand, if it has one.
+    pub fn width(&self) -> Option<Width> {
+        match self {
+            Operand::Gpr(g) => Some(g.width),
+            Operand::Mem(m) => Some(m.width),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Gpr(g) => write!(f, "{g}"),
+            Operand::Vec(v) => write!(f, "{v}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Label(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+impl From<GprPart> for Operand {
+    fn from(g: GprPart) -> Operand {
+        Operand::Gpr(g)
+    }
+}
+
+impl From<crate::reg::Gpr> for Operand {
+    fn from(r: crate::reg::Gpr) -> Operand {
+        Operand::gpr(r)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+impl From<VecReg> for Operand {
+    fn from(v: VecReg) -> Operand {
+        Operand::Vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Gpr;
+
+    #[test]
+    fn display_mem() {
+        let m = MemRef {
+            base: Some(Gpr::R14),
+            index: Some((Gpr::Rcx, 8)),
+            disp: 64,
+            width: Width::Q,
+        };
+        assert_eq!(m.to_string(), "qword ptr [r14+rcx*8+0x40]");
+        let abs = MemRef::absolute(0x1000, Width::D);
+        assert_eq!(abs.to_string(), "dword ptr [0x1000]");
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let op = Operand::gpr(Gpr::Rax);
+        assert_eq!(op.as_gpr().unwrap().reg, Gpr::Rax);
+        assert_eq!(op.width(), Some(Width::Q));
+        assert!(op.as_mem().is_none());
+        assert_eq!(Operand::imm(-3).as_imm(), Some(-3));
+    }
+}

@@ -1,0 +1,27 @@
+//! cacheSeq (§VI-C): measuring the hits and misses of a hand-written
+//! access sequence against a specific cache set, using the paper's
+//! sequence notation.
+//!
+//! Run with `cargo run --example cache_hits`.
+
+use nanobench::cache::presets::cpu_by_microarch;
+use nanobench::cache_tools::{AccessSeq, CacheSeq, Level};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cpu = cpu_by_microarch("Skylake").expect("Skylake preset");
+    let mut cs = CacheSeq::new(&cpu, Level::L1, 3, None, 12, 7)?;
+
+    // `?` marks an access as included in the measurement; the leading
+    // <WBINVD> flushes all caches (a privileged instruction — cacheSeq
+    // always uses the kernel-space version of nanoBench).
+    for text in [
+        "<WBINVD> B0? B0?",                         // miss, then hit
+        "<WBINVD> B0 B1 B2 B3 B0?",                 // still resident (8 ways)
+        "<WBINVD> B0 B1 B2 B3 B4 B5 B6 B7 B8 B0?",  // 9 blocks overflow the set
+    ] {
+        let seq = AccessSeq::parse(text).map_err(std::io::Error::other)?;
+        let hits = cs.run_hits(&seq)?;
+        println!("{text:<46} -> {hits} measured hit(s)");
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! §III-D: the kernel-space version can benchmark privileged instructions;
+//! the user-space version faults on them.
+//!
+//! Run with `cargo run --example kernel_vs_user`.
+
+use nanobench::nb::shell::{kernel_nanobench, user_nanobench};
+use nanobench::uarch::port::MicroArch;
+
+fn main() {
+    let opts = r#"-asm "wbinvd" -unroll_count 1 -n_measurements 3"#;
+    println!("kernel-nanoBench.sh -asm \"wbinvd\" ...");
+    match kernel_nanobench(MicroArch::Skylake, opts) {
+        Ok(out) => println!("  ok; core cycles: {:.0}", out.core_cycles().unwrap_or(0.0)),
+        Err(e) => println!("  unexpected error: {e}"),
+    }
+    println!("nanoBench.sh -asm \"wbinvd\" ... (user space)");
+    match user_nanobench(MicroArch::Skylake, opts) {
+        Ok(_) => println!("  unexpectedly succeeded!"),
+        Err(e) => println!("  faults as expected: {e}"),
+    }
+}

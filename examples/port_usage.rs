@@ -1,0 +1,50 @@
+//! Case study I (§V): measuring latency, throughput and port usage of a
+//! few instructions, like uops.info does — including a privileged
+//! instruction, which only the kernel-space version can benchmark.
+//!
+//! Run with `cargo run --example port_usage`.
+
+use nanobench::inst_tools::{measure_instruction, InstSpec};
+use nanobench::uarch::port::MicroArch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let specs = vec![
+        InstSpec::new(
+            "ADD (r64, r64)",
+            Some("add rax, rax"),
+            "add rax, rax; add rbx, rbx; add rcx, rcx; add rdx, rdx",
+            4,
+        ),
+        InstSpec::new(
+            "MOV load (r64, m64)",
+            Some("mov r14, [r14]"),
+            "mov rax, [r14]; mov rbx, [r14+64]; mov rcx, [r14+128]; mov rdx, [r14+192]",
+            4,
+        )
+        .with_init("mov [r14], r14"),
+        InstSpec::new(
+            "IMUL (r64, r64)",
+            Some("imul rax, rax"),
+            "imul rax, rax; imul rbx, rbx; imul rcx, rcx; imul rdx, rdx",
+            4,
+        ),
+        // Privileged: needs the kernel-space version (§III-D).
+        InstSpec::new("RDMSR (APERF)", None, "rdmsr", 1)
+            .with_init("mov rcx, 0xE8; mov rdx, 0"),
+    ];
+    println!("{:<22} {:>6} {:>8}  {}", "Instruction", "Lat", "TP", "Ports");
+    for spec in &specs {
+        let m = measure_instruction(MicroArch::Skylake, spec)?;
+        let lat = m
+            .latency
+            .map_or_else(|| "-".to_string(), |l| format!("{l:.1}"));
+        println!(
+            "{:<22} {:>6} {:>8.2}  {}",
+            m.name,
+            lat,
+            m.throughput,
+            m.port_usage_string()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on core invariants, spanning crates.
+
+use nanobench::cache::policy::{simulate_sequence, PolicyKind, SetSim};
+use nanobench::x86::asm::{format_program, parse_asm};
+use nanobench::x86::encode::{decode_program, encode_program};
+use proptest::prelude::*;
+
+fn arbitrary_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::Plru),
+        Just(PolicyKind::Mru {
+            fill_sets_all_ones: false
+        }),
+        Just(PolicyKind::Mru {
+            fill_sets_all_ones: true
+        }),
+        Just(PolicyKind::Qlru(
+            nanobench::cache::QlruVariant::parse("QLRU_H11_M1_R0_U0").unwrap()
+        )),
+        Just(PolicyKind::Qlru(
+            nanobench::cache::QlruVariant::parse("QLRU_H00_M1_R2_U1").unwrap()
+        )),
+    ]
+}
+
+proptest! {
+    /// Any access sequence against any policy: an access to a block that
+    /// is in the set hits; hits never change the set's contents; the
+    /// number of distinct cached blocks never exceeds the associativity.
+    #[test]
+    fn cache_set_invariants(
+        policy in arbitrary_policy(),
+        seq in proptest::collection::vec(0u64..12, 1..120),
+    ) {
+        let assoc = 8;
+        let mut sim = SetSim::new(&policy, assoc, 7);
+        for &b in &seq {
+            let before = sim.contains(b);
+            let contents_before: Vec<_> = sim.contents().to_vec();
+            let hit = sim.access(b);
+            prop_assert_eq!(hit, before, "hit iff present");
+            if hit {
+                prop_assert_eq!(sim.contents().to_vec(), contents_before,
+                    "hits must not change contents");
+            }
+            prop_assert!(sim.contains(b), "accessed block must be cached");
+            let distinct = sim.contents().iter().filter(|t| t.is_some()).count();
+            prop_assert!(distinct <= assoc);
+        }
+    }
+
+    /// Deterministic policies are reproducible: same sequence, same hits.
+    #[test]
+    fn deterministic_policies_are_reproducible(
+        policy in arbitrary_policy(),
+        seq in proptest::collection::vec(0u64..10, 1..80),
+    ) {
+        let a = simulate_sequence(&policy, 8, 1, &seq);
+        let b = simulate_sequence(&policy, 8, 2, &seq); // different seed
+        prop_assert_eq!(a, b, "deterministic policies ignore the seed");
+    }
+
+    /// Assembler text formatting round-trips.
+    #[test]
+    fn asm_format_round_trips(
+        ops in proptest::collection::vec(0usize..6, 1..20),
+    ) {
+        let text: String = ops.iter().map(|o| match o {
+            0 => "add rax, rbx\n",
+            1 => "mov rcx, qword ptr [r14+0x40]\n",
+            2 => "nop\n",
+            3 => "lfence\n",
+            4 => "xor r8d, r9d\n",
+            _ => "shl rdx, 5\n",
+        }).collect();
+        let insts = parse_asm(&text).unwrap();
+        let reparsed = parse_asm(&format_program(&insts)).unwrap();
+        prop_assert_eq!(insts, reparsed);
+    }
+
+    /// Machine-code encoding round-trips through the decoder.
+    #[test]
+    fn encode_decode_round_trips(
+        ops in proptest::collection::vec(0usize..8, 1..30),
+    ) {
+        let text: String = ops.iter().map(|o| match o {
+            0 => "add rax, rbx\n",
+            1 => "mov rcx, [r14+64]\n",
+            2 => "nop\n",
+            3 => "lfence\n",
+            4 => "sub r8, 7\n",
+            5 => "imul rsi, rdi\n",
+            6 => "mov [rbp-8], rdx\n",
+            _ => "popcnt rbx, rcx\n",
+        }).collect();
+        let insts = parse_asm(&text).unwrap();
+        let (bytes, _) = encode_program(&insts).unwrap();
+        prop_assert_eq!(decode_program(&bytes).unwrap(), insts);
+    }
+}
