@@ -31,20 +31,35 @@ fn main() {
     println!("== E3: §IV-A1 CPUID vs LFENCE serialization ==");
     // CPUID with whatever RAX happens to hold (varies across runs).
     let (lo, hi) = spread("cpuid", "rdtsc; imul rax, 2654435761; shr rax, 16"); // RAX varies per run
-    println!("CPUID, variable RAX:  {lo:.0}..{hi:.0} cycles (spread {:.0})", hi - lo);
+    println!(
+        "CPUID, variable RAX:  {lo:.0}..{hi:.0} cycles (spread {:.0})",
+        hi - lo
+    );
     let var_spread = hi - lo;
     // CPUID with RAX fixed before each execution.
     let (lo, hi) = spread("mov rax, 0; cpuid", "");
-    println!("CPUID, fixed RAX:     {lo:.0}..{hi:.0} cycles (spread {:.0})", hi - lo);
+    println!(
+        "CPUID, fixed RAX:     {lo:.0}..{hi:.0} cycles (spread {:.0})",
+        hi - lo
+    );
     let fixed_spread = hi - lo;
     // LFENCE-only serialization.
     let (lo, hi) = spread("lfence", "");
-    println!("LFENCE:               {lo:.0}..{hi:.0} cycles (spread {:.0})", hi - lo);
+    println!(
+        "LFENCE:               {lo:.0}..{hi:.0} cycles (spread {:.0})",
+        hi - lo
+    );
     let lfence_spread = hi - lo;
     println!();
     println!("paper: CPUID differs by hundreds of cycles; fixing RAX reduces but");
     println!("does not eliminate the variance; LFENCE is stable.");
     assert!(var_spread > fixed_spread, "fixing RAX must reduce variance");
-    assert!(var_spread >= 100.0, "CPUID must differ by hundreds of cycles");
-    assert!(fixed_spread > lfence_spread, "LFENCE must be the most stable");
+    assert!(
+        var_spread >= 100.0,
+        "CPUID must differ by hundreds of cycles"
+    );
+    assert!(
+        fixed_spread > lfence_spread,
+        "LFENCE must be the most stable"
+    );
 }

@@ -12,24 +12,36 @@ fn main() {
     let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 99);
     for mb in [4u64, 8, 16, 32, 64] {
         let r = m.alloc_contiguous(mb << 20);
-        println!("fresh boot, {mb:>2} MB: {}", match &r {
-            Ok(a) => format!("ok at {a:#x}"),
-            Err(e) => format!("FAILED: {e}"),
-        });
+        println!(
+            "fresh boot, {mb:>2} MB: {}",
+            match &r {
+                Ok(a) => format!("ok at {a:#x}"),
+                Err(e) => format!("FAILED: {e}"),
+            }
+        );
         assert!(r.is_ok(), "fresh systems must satisfy large requests");
     }
     m.fragment_memory();
     let r = m.alloc_contiguous(64 << 20);
-    println!("fragmented, 64 MB: {}", match &r {
-        Ok(a) => format!("ok at {a:#x}"),
-        Err(e) => format!("{e}"),
-    });
-    assert!(r.is_err(), "fragmented memory must fail and propose a reboot");
+    println!(
+        "fragmented, 64 MB: {}",
+        match &r {
+            Ok(a) => format!("ok at {a:#x}"),
+            Err(e) => format!("{e}"),
+        }
+    );
+    assert!(
+        r.is_err(),
+        "fragmented memory must fail and propose a reboot"
+    );
     m.reboot();
     let r = m.alloc_contiguous(64 << 20);
-    println!("after reboot, 64 MB: {}", match &r {
-        Ok(a) => format!("ok at {a:#x}"),
-        Err(e) => format!("FAILED: {e}"),
-    });
+    println!(
+        "after reboot, 64 MB: {}",
+        match &r {
+            Ok(a) => format!("ok at {a:#x}"),
+            Err(e) => format!("FAILED: {e}"),
+        }
+    );
     assert!(r.is_ok(), "a reboot must restore adjacency (§IV-D)");
 }

@@ -5,7 +5,7 @@
 //! The measured values are checked against the simulator's descriptor
 //! tables — the measurement tool must recover its machine's ground truth.
 
-use nanobench_inst_tools::{measure_instruction, run_suite, render_table, to_json, InstSpec};
+use nanobench_inst_tools::{measure_instruction, render_table, run_suite, to_json, InstSpec};
 use nanobench_uarch::port::MicroArch;
 
 fn main() {
@@ -30,13 +30,18 @@ fn main() {
     );
     let skl = measure_instruction(MicroArch::Skylake, &fma).unwrap();
     let hsw = measure_instruction(MicroArch::Haswell, &fma).unwrap();
-    println!("VFMADD231PS latency: Skylake {:?} vs Haswell {:?} (documented: 4 vs 5)",
-        skl.latency, hsw.latency);
+    println!(
+        "VFMADD231PS latency: Skylake {:?} vs Haswell {:?} (documented: 4 vs 5)",
+        skl.latency, hsw.latency
+    );
     assert_eq!(skl.latency, Some(4.0));
     assert_eq!(hsw.latency, Some(5.0));
 
     // Machine-readable output (§V publishes XML; we emit JSON).
     let json = to_json(&rows);
-    std::fs::write("instruction_table.json", &json).ok();
-    println!("JSON written to instruction_table.json ({} bytes)", json.len());
+    std::fs::write("instruction_table.json", &json).expect("writing instruction_table.json");
+    println!(
+        "JSON written to instruction_table.json ({} bytes)",
+        json.len()
+    );
 }

@@ -25,8 +25,15 @@ fn infer(
     expected: &str,
 ) -> (String, bool) {
     let n_blocks = assoc + 4;
-    let mut cs = CacheSeq::new(cpu, level, set, Some(0).filter(|_| level == Level::L3), n_blocks, 7)
-        .expect("cacheSeq setup");
+    let mut cs = CacheSeq::new(
+        cpu,
+        level,
+        set,
+        Some(0).filter(|_| level == Level::L3),
+        n_blocks,
+        7,
+    )
+    .expect("cacheSeq setup");
     let fit = fit_policy(&mut cs, assoc, 80, 21).expect("fitting runs");
     let expected_kind = PolicyKind::parse(expected).expect("expected name parses");
     let matched = fit.is_unique() && fit.contains(&expected_kind);
@@ -45,7 +52,10 @@ fn infer(
 
 fn main() {
     println!("== E6: Table I — inferred replacement policies ==");
-    println!("{:<18} {:<6} {:<22} {:<28} {}", "CPU", "L1", "L2", "L3 (leader set / uniform)", "status");
+    println!(
+        "{:<18} {:<6} {:<22} {:<28} status",
+        "CPU", "L1", "L2", "L3 (leader set / uniform)"
+    );
     let mut all_ok = true;
     for cpu in table1_cpus() {
         let (exp_l1, exp_l2, exp_l3) = cpu.expected_policies();
@@ -78,5 +88,9 @@ fn main() {
 }
 
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n { s.to_string() } else { format!("{}..", &s[..n - 2]) }
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}..", &s[..n - 2])
+    }
 }

@@ -15,8 +15,8 @@ fn main() {
     let k = cpu.l3_assoc; // 12, as in the figure
     let n_values: Vec<usize> = (0..=200).step_by(20).collect();
     let reps = 24;
-    let mut cs = CacheSeq::new(&cpu, Level::L3, 800, Some(0), k + 200 + 1, 3)
-        .expect("cacheSeq setup");
+    let mut cs =
+        CacheSeq::new(&cpu, Level::L3, 800, Some(0), k + 200 + 1, 3).expect("cacheSeq setup");
     let g = age_graph(&mut cs, k, &n_values, reps).expect("age graph runs");
     println!("{}", g.to_table());
 
@@ -25,9 +25,15 @@ fn main() {
     // insertion with p=1/16).
     let b0 = &g.series[0];
     let at_20 = b0[1] as f64 / reps as f64;
-    assert!(at_20 < 0.45, "B0 should mostly be evicted early, got {at_20}");
+    assert!(
+        at_20 < 0.45,
+        "B0 should mostly be evicted early, got {at_20}"
+    );
     let tail: u64 = b0[5..].iter().sum();
-    println!("B0: survival at n=20: {:.2}; tail mass (n>=100): {tail}", at_20);
+    println!(
+        "B0: survival at n=20: {:.2}; tail mass (n>=100): {tail}",
+        at_20
+    );
 
     // Shape check 2: later blocks survive longer than earlier ones on
     // average (curves shifted right).
@@ -38,5 +44,9 @@ fn main() {
         mass(k - 1),
         mass(1)
     );
-    println!("total survival mass: B1 = {}, B11 = {}", mass(1), mass(k - 1));
+    println!(
+        "total survival mass: B1 = {}, B11 = {}",
+        mass(1),
+        mass(k - 1)
+    );
 }

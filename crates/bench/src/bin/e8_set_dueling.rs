@@ -21,8 +21,10 @@ fn scan(name: &str) -> nanobench_cache_tools::DuelingReport {
     let report = find_dedicated_sets(&mut m, base, size, 480..860, 8);
     println!("{name}:");
     for (slice, r) in report.per_slice.iter().enumerate() {
-        println!("  slice {slice}: deterministic leaders {:?}, probabilistic leaders {:?}",
-            r.leader_a, r.leader_b);
+        println!(
+            "  slice {slice}: deterministic leaders {:?}, probabilistic leaders {:?}",
+            r.leader_a, r.leader_b
+        );
     }
     report
 }
@@ -45,7 +47,11 @@ fn main() {
     // Broadwell: probabilistic range at 768-831 in slice 0 and 512-575 in
     // slice 1 (ranges swapped, §VI-D).
     let in_range = |r: &nanobench_cache_tools::SliceReport, lo: usize, hi: usize| -> usize {
-        r.leader_b.iter().filter(|x| x.start >= lo && x.end <= hi).map(|x| x.len()).sum()
+        r.leader_b
+            .iter()
+            .filter(|x| x.start >= lo && x.end <= hi)
+            .map(|x| x.len())
+            .sum()
     };
     assert!(in_range(&bdw.per_slice[0], 768, 832) >= 48);
     assert!(in_range(&bdw.per_slice[1], 512, 576) >= 48);

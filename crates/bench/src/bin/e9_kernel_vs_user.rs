@@ -34,9 +34,15 @@ fn spread(kernel: bool) -> (f64, f64) {
 fn main() {
     println!("== E9: §III-D kernel vs user measurement accuracy ==");
     let (klo, khi) = spread(true);
-    println!("kernel mode: per-rep cycles {klo:.3}..{khi:.3} (spread {:.4})", khi - klo);
+    println!(
+        "kernel mode: per-rep cycles {klo:.3}..{khi:.3} (spread {:.4})",
+        khi - klo
+    );
     let (ulo, uhi) = spread(false);
-    println!("user mode:   per-rep cycles {ulo:.3}..{uhi:.3} (spread {:.4})", uhi - ulo);
+    println!(
+        "user mode:   per-rep cycles {ulo:.3}..{uhi:.3} (spread {:.4})",
+        uhi - ulo
+    );
     assert!(
         (uhi - ulo) > (khi - klo),
         "interrupt injection must make user-mode measurements noisier"

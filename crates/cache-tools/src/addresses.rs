@@ -110,7 +110,7 @@ pub fn build_pool(
             Level::L2 => h.l2_set(paddr) == set,
             Level::L3 => {
                 let (sl, st) = h.l3_location(paddr);
-                st == set && slice.map_or(true, |want| sl == want)
+                st == set && slice.is_none_or(|want| sl == want)
             }
         };
         if is_target {
@@ -125,8 +125,7 @@ pub fn build_pool(
                 Level::L1 => false,
                 // Evict from L1: same L1 set, different L2 set.
                 Level::L2 => {
-                    h.l1_set(paddr) == (set % h.config().l1.num_sets())
-                        && h.l2_set(paddr) != set
+                    h.l1_set(paddr) == (set % h.config().l1.num_sets()) && h.l2_set(paddr) != set
                 }
                 // Evict from L1+L2: same L2 set as the targets, different
                 // L3 set or slice.
@@ -134,7 +133,7 @@ pub fn build_pool(
                     Some(l2s) => {
                         h.l2_set(paddr) == l2s && {
                             let (sl, st) = h.l3_location(paddr);
-                            st != set || slice.map_or(false, |want| sl != want)
+                            st != set || slice.is_some_and(|want| sl != want)
                         }
                     }
                     None => false,
@@ -200,13 +199,20 @@ mod tests {
             let p = m.translate(a).unwrap();
             let (sl, st) = m.hierarchy().l3_location(p);
             assert_eq!((sl, st), (0, 100));
-            assert_eq!(m.hierarchy().l2_set(p), l2s, "same L3 set implies same L2 set");
+            assert_eq!(
+                m.hierarchy().l2_set(p),
+                l2s,
+                "same L3 set implies same L2 set"
+            );
         }
         for &a in &pool.evictors {
             let p = m.translate(a).unwrap();
             assert_eq!(m.hierarchy().l2_set(p), l2s);
             let (sl, st) = m.hierarchy().l3_location(p);
-            assert!((sl, st) != (0, 100), "evictors must not touch the target set");
+            assert!(
+                (sl, st) != (0, 100),
+                "evictors must not touch the target set"
+            );
         }
     }
 }

@@ -59,7 +59,7 @@ pub fn age_graph(
 ) -> Result<AgeGraph, NbError> {
     let mut series = vec![vec![0u64; n_values.len()]; k];
     for (i, &n) in n_values.iter().enumerate() {
-        for b in 0..k {
+        for (b, row) in series.iter_mut().enumerate() {
             let mut hits = 0u64;
             for _ in 0..reps {
                 let mut items: Vec<SeqItem> = (0..k)
@@ -82,7 +82,7 @@ pub fn age_graph(
                 };
                 hits += cs.run_hits(&seq)?;
             }
-            series[b][i] = hits;
+            row[i] = hits;
         }
     }
     Ok(AgeGraph {
@@ -125,11 +125,7 @@ mod tests {
         let assoc = cpu.l3_assoc; // 12
         let mut cs = CacheSeq::new(&cpu, Level::L3, 800, Some(0), assoc + 30 + 1, 17).unwrap();
         let g = age_graph(&mut cs, assoc, &[14, 20, 26], 12).unwrap();
-        let intermediate = g
-            .series
-            .iter()
-            .flatten()
-            .any(|&v| v > 0 && v < 12);
+        let intermediate = g.series.iter().flatten().any(|&v| v > 0 && v < 12);
         assert!(
             intermediate,
             "probabilistic insertion must yield intermediate hit counts: {:?}",

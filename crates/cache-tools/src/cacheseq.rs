@@ -130,7 +130,15 @@ impl CacheSeq {
         let region = machine
             .alloc_contiguous(need.max(8 << 20))
             .map_err(|e| NbError::InvalidOption(e.to_string()))?;
-        let pool = build_pool(&mut machine, region, need.max(8 << 20), level, set, slice, n_blocks);
+        let pool = build_pool(
+            &mut machine,
+            region,
+            need.max(8 << 20),
+            level,
+            set,
+            slice,
+            n_blocks,
+        );
         let mut nb = NanoBench::with_machine(machine);
         nb.no_mem(true)
             .basic_mode(true)
@@ -213,12 +221,7 @@ impl CacheSeq {
         };
         self.nb.init(init).code(body);
         let result = self.nb.run()?;
-        let hits = self
-            .pool
-            .level
-            .hit_event();
         let value = result.get(self.pool.level.hit_event()).unwrap_or(0.0);
-        let _ = hits;
         Ok(value.round().max(0.0) as u64)
     }
 
@@ -255,8 +258,7 @@ mod tests {
         let hits = cs.run_hits(&seq).unwrap();
         assert_eq!(hits, 2, "B0 repeat and final B0 hit; first accesses miss");
         // Filling 9 distinct blocks into an 8-way PLRU set evicts B0.
-        let seq =
-            AccessSeq::parse("<WBINVD> B0 B1 B2 B3 B4 B5 B6 B7 B8 B0?").unwrap();
+        let seq = AccessSeq::parse("<WBINVD> B0 B1 B2 B3 B4 B5 B6 B7 B8 B0?").unwrap();
         let hits = cs.run_hits(&seq).unwrap();
         assert_eq!(hits, 0, "B0 must be evicted by the 9th distinct block");
     }

@@ -103,9 +103,7 @@ fn probe_signature(machine: &mut Machine, addrs: &[u64], assoc: usize) -> Vec<bo
     }
     (0..k)
         .map(|i| {
-            machine
-                .hierarchy()
-                .probe_level(addrs[i])
+            machine.hierarchy().probe_level(addrs[i])
                 != nanobench_cache::hierarchy::HitLevel::Memory
         })
         .collect()
@@ -180,15 +178,11 @@ pub fn find_dedicated_sets(
     }
 
     // A known B-leader lets us push PSEL back toward A between tests.
-    let b_leader_addrs = report
-        .per_slice
-        .iter()
-        .enumerate()
-        .find_map(|(slice, r)| {
-            r.leader_b
-                .first()
-                .and_then(|range| buckets.get(&(slice, range.start)).cloned())
-        });
+    let b_leader_addrs = report.per_slice.iter().enumerate().find_map(|(slice, r)| {
+        r.leader_b
+            .first()
+            .and_then(|range| buckets.get(&(slice, range.start)).cloned())
+    });
 
     // Phase 2: a deterministic set is an A-leader iff pumping misses into
     // it flips a reference follower to the (non-deterministic) B policy.
@@ -200,9 +194,10 @@ pub fn find_dedicated_sets(
             .iter()
             .find(|(sl, st)| {
                 *sl == 0
-                    && report.per_slice.iter().all(|r| {
-                        r.leader_b.iter().all(|range| !range.contains(st))
-                    })
+                    && report
+                        .per_slice
+                        .iter()
+                        .all(|r| r.leader_b.iter().all(|range| !range.contains(st)))
             })
             .copied();
         let Some(reference) = reference else {

@@ -140,9 +140,9 @@ pub fn infer_permutation_policy(
 
     // Hit permutations: canonical followed by a hit at each position.
     let mut hit: Vec<Perm> = Vec::with_capacity(assoc);
-    for p in 0..assoc {
+    for &block in block_at.iter().take(assoc) {
         let mut establish = blocks.clone();
-        establish.push(block_at[p]);
+        establish.push(block);
         let after = match read_order(cs, &establish, &blocks, assoc, fresh_base)? {
             Ok(pos) => pos,
             Err(reason) => return Ok(PermInferResult::NotPermutation { reason }),
@@ -177,7 +177,7 @@ pub fn infer_permutation_policy(
         let old_pos = if b == fresh { 0 } else { canonical[b] };
         miss[old_pos] = age;
     }
-    if miss.iter().any(|p| *p == usize::MAX) {
+    if miss.contains(&usize::MAX) {
         return Ok(PermInferResult::NotPermutation {
             reason: "could not observe a complete miss permutation".to_string(),
         });
@@ -268,11 +268,11 @@ fn derive_position_perms(spec: &PermutationSpec, assoc: usize) -> (Vec<Perm>, Pe
     }
 
     let mut hit = Vec::with_capacity(assoc);
-    for p in 0..assoc {
+    for &block in block_at.iter().take(assoc) {
         let (mut policy, tags) = fill_state();
         let way = tags
             .iter()
-            .position(|t| *t == Some(block_at[p] as u64))
+            .position(|t| *t == Some(block as u64))
             .expect("block present");
         let occupied: Vec<bool> = tags.iter().map(Option::is_some).collect();
         policy.on_hit(way, &occupied);

@@ -28,7 +28,11 @@ pub fn candidate_library(assoc: usize) -> Vec<PolicyKind> {
     out.push(PolicyKind::Mru {
         fill_sets_all_ones: true,
     });
-    out.extend(all_meaningful_qlru_variants().into_iter().map(PolicyKind::Qlru));
+    out.extend(
+        all_meaningful_qlru_variants()
+            .into_iter()
+            .map(PolicyKind::Qlru),
+    );
     out
 }
 
@@ -109,6 +113,14 @@ impl FitResult {
 
 /// Runs the inference: random sequences through cacheSeq vs. simulation.
 ///
+/// Every candidate is simulated individually against every measured
+/// sequence. Grouping candidates into equivalence classes up front and
+/// simulating only one representative per class would be cheaper, but a
+/// finite battery can lump distinguishable policies into one class, and a
+/// later measurement that disagrees with the representative would then
+/// silently eliminate the whole class — including the true policy. Classes
+/// are therefore only formed at the end, from the actual survivors.
+///
 /// # Errors
 ///
 /// Propagates measurement errors from cacheSeq.
@@ -118,52 +130,53 @@ pub fn fit_policy(
     max_sequences: usize,
     seed: u64,
 ) -> Result<FitResult, NbError> {
-    let candidates = candidate_library(assoc);
-    let mut classes = equivalence_classes(&candidates, assoc, 40, seed ^ 0xC1A55);
+    let mut survivors = candidate_library(assoc);
     let mut rng = SmallRng::seed_from_u64(seed);
     let universe = assoc + 2;
     let mut tested = 0usize;
-    while tested < max_sequences && classes.len() > 1 {
+    while tested < max_sequences && survivors.len() > 1 {
         // Actively search (in simulation, which is cheap) for a random
-        // sequence on which the surviving classes disagree; only such
+        // sequence on which the surviving candidates disagree; only such
         // sequences are worth measuring. If none is found, the remaining
-        // classes are observationally equivalent and we stop.
-        let mut chosen: Option<Vec<usize>> = None;
+        // candidates are observationally equivalent and we stop.
+        let mut chosen: Option<(Vec<usize>, Vec<u64>)> = None;
         for _ in 0..4000 {
             let len = assoc * 3 + rng.gen_range(0..assoc);
             let blocks: Vec<usize> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
             let blocks_u64: Vec<u64> = blocks.iter().map(|b| *b as u64).collect();
-            let counts: Vec<usize> = classes
+            let counts: Vec<u64> = survivors
                 .iter()
-                .map(|class| {
-                    simulate_sequence(&class[0], assoc, 0, &blocks_u64)
+                .map(|cand| {
+                    simulate_sequence(cand, assoc, 0, &blocks_u64)
                         .iter()
                         .filter(|h| **h)
-                        .count()
+                        .count() as u64
                 })
                 .collect();
             if counts.windows(2).any(|w| w[0] != w[1]) {
-                chosen = Some(blocks);
+                chosen = Some((blocks, counts));
                 break;
             }
         }
-        let Some(blocks) = chosen else {
-            break; // surviving classes cannot be separated by hit counts
+        let Some((blocks, counts)) = chosen else {
+            break; // surviving candidates cannot be separated by hit counts
         };
         let seq = AccessSeq::measured_all(&blocks);
         let measured = cs.run_hits(&seq)?;
         tested += 1;
-        let blocks_u64: Vec<u64> = blocks.iter().map(|b| *b as u64).collect();
-        classes.retain(|class| {
-            let sim = simulate_sequence(&class[0], assoc, 0, &blocks_u64)
-                .iter()
-                .filter(|h| **h)
-                .count() as u64;
-            sim == measured
-        });
+        let mut keep = counts.iter().map(|c| *c == measured);
+        survivors.retain(|_| keep.next().unwrap());
     }
+    // Group the survivors for reporting. The search loop above stopped
+    // because no random sequence separates them, so a fresh battery of the
+    // same distribution groups them into a single class in the normal case.
+    let matching = if survivors.is_empty() {
+        Vec::new()
+    } else {
+        equivalence_classes(&survivors, assoc, 40, seed ^ 0xC1A55)
+    };
     Ok(FitResult {
-        matching: classes,
+        matching,
         sequences_tested: tested,
     })
 }

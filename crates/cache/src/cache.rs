@@ -27,7 +27,10 @@ impl CacheConfig {
     /// set count).
     pub fn num_sets(&self) -> usize {
         let sets = self.size_bytes / (self.assoc as u64 * LINE_SIZE);
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         sets as usize
     }
 }
@@ -219,9 +222,10 @@ impl Cache {
     /// policies (each set derives its own stream).
     pub fn new(config: &CacheConfig, seed: u64) -> Cache {
         Cache::with_policies(config.num_sets(), config.assoc, |set| {
-            config
-                .policy
-                .instantiate(config.assoc, seed ^ (set as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            config.policy.instantiate(
+                config.assoc,
+                seed ^ (set as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
         })
     }
 
@@ -236,7 +240,10 @@ impl Cache {
         assoc: usize,
         mut factory: impl FnMut(usize) -> Box<dyn SetPolicy>,
     ) -> Cache {
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(assoc > 0);
         let sets = (0..num_sets)
             .map(|s| CacheSet {

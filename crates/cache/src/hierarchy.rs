@@ -171,11 +171,11 @@ impl CacheHierarchy {
         for slice in 0..config.l3.slices {
             let slice_seed = seed ^ ((slice as u64 + 1) << 48);
             let cache = match &config.l3.policy {
-                L3PolicyConfig::Uniform(kind) => Cache::with_policies(
-                    sets_per_slice,
-                    config.l3.assoc,
-                    |set| kind.instantiate(config.l3.assoc, slice_seed ^ set as u64),
-                ),
+                L3PolicyConfig::Uniform(kind) => {
+                    Cache::with_policies(sets_per_slice, config.l3.assoc, |set| {
+                        kind.instantiate(config.l3.assoc, slice_seed ^ set as u64)
+                    })
+                }
                 L3PolicyConfig::Adaptive {
                     policy_a,
                     policy_b,
@@ -185,8 +185,8 @@ impl CacheHierarchy {
                     let psel = Arc::clone(&psel);
                     Cache::with_policies(sets_per_slice, config.l3.assoc, move |set| {
                         let sa = policy_a.instantiate(config.l3.assoc, slice_seed ^ set as u64);
-                        let sb = policy_b
-                            .instantiate(config.l3.assoc, slice_seed ^ set as u64 ^ 0xB00B);
+                        let sb =
+                            policy_b.instantiate(config.l3.assoc, slice_seed ^ set as u64 ^ 0xB00B);
                         match slice_leaders.role_of(set) {
                             SetRole::LeaderA => {
                                 Box::new(LeaderPolicy::new(sa, Arc::clone(&psel), true))

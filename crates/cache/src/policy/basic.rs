@@ -38,10 +38,7 @@ impl SetPolicy for Lru {
     fn on_miss(&mut self, occupied: &[bool]) -> usize {
         let way = match occupied.iter().position(|o| !o) {
             Some(empty) => empty,
-            None => *self
-                .stack
-                .last()
-                .expect("associativity is positive"),
+            None => *self.stack.last().expect("associativity is positive"),
         };
         self.touch(way);
         way
@@ -153,7 +150,7 @@ impl Plru {
             if way < mid {
                 // Accessed the left half: point the bit right (away).
                 self.tree[node] = true;
-                node = 2 * node;
+                node *= 2;
                 hi = mid;
             } else {
                 self.tree[node] = false;
@@ -173,7 +170,7 @@ impl Plru {
                 node = 2 * node + 1;
                 lo = mid;
             } else {
-                node = 2 * node;
+                node *= 2;
                 hi = mid;
             }
         }

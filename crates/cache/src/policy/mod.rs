@@ -17,7 +17,9 @@ mod qlru;
 pub use basic::{Fifo, Lru, Plru, RandomPolicy};
 pub use mru::Mru;
 pub use permutation::{fifo_spec, lru_spec, plru_spec, Perm, PermutationPolicy, PermutationSpec};
-pub use qlru::{all_meaningful_qlru_variants, HitFunc, InsertAge, QlruPolicy, QlruVariant, RVariant, UVariant};
+pub use qlru::{
+    all_meaningful_qlru_variants, HitFunc, InsertAge, QlruPolicy, QlruVariant, RVariant, UVariant,
+};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -153,7 +155,9 @@ impl PolicyKind {
             PolicyKind::Mru { fill_sets_all_ones } => {
                 Box::new(Mru::new(assoc, *fill_sets_all_ones))
             }
-            PolicyKind::Qlru(v) => Box::new(QlruPolicy::new(assoc, *v, SmallRng::seed_from_u64(seed))),
+            PolicyKind::Qlru(v) => {
+                Box::new(QlruPolicy::new(assoc, *v, SmallRng::seed_from_u64(seed)))
+            }
             PolicyKind::Permutation(spec) => Box::new(PermutationPolicy::new(spec.clone())),
             PolicyKind::Random => Box::new(RandomPolicy::new(assoc, SmallRng::seed_from_u64(seed))),
         }
@@ -181,12 +185,7 @@ impl fmt::Display for PolicyKind {
 /// let hits = simulate_sequence(&PolicyKind::Lru, 2, 0, &[0, 1, 0]);
 /// assert_eq!(hits, vec![false, false, true]);
 /// ```
-pub fn simulate_sequence(
-    kind: &PolicyKind,
-    assoc: usize,
-    seed: u64,
-    blocks: &[u64],
-) -> Vec<bool> {
+pub fn simulate_sequence(kind: &PolicyKind, assoc: usize, seed: u64, blocks: &[u64]) -> Vec<bool> {
     let mut sim = SetSim::new(kind, assoc, seed);
     blocks.iter().map(|b| sim.access(*b)).collect()
 }

@@ -63,11 +63,7 @@ impl SetPolicy for Mru {
                 empty
             }
             None => {
-                let way = self
-                    .bits
-                    .iter()
-                    .position(|b| *b)
-                    .unwrap_or(0); // all bits 0 cannot persist, but stay safe
+                let way = self.bits.iter().position(|b| *b).unwrap_or(0); // all bits 0 cannot persist, but stay safe
                 self.touch(way);
                 way
             }
@@ -143,8 +139,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             seq.push((state >> 33) % 6);
-            simulate_sequence(&base_kind, 4, 0, &seq)
-                != simulate_sequence(&sandy_kind, 4, 0, &seq)
+            simulate_sequence(&base_kind, 4, 0, &seq) != simulate_sequence(&sandy_kind, 4, 0, &seq)
         });
         assert!(found, "MRU* must be observationally different from MRU");
     }

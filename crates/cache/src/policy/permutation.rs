@@ -173,12 +173,17 @@ fn plru_promote(assoc: usize, tree: &mut [bool], way: usize) {
 ///
 /// Panics if `assoc` is not a power of two.
 pub fn plru_spec(assoc: usize) -> PermutationSpec {
-    assert!(assoc.is_power_of_two(), "PLRU requires power-of-two associativity");
+    assert!(
+        assoc.is_power_of_two(),
+        "PLRU requires power-of-two associativity"
+    );
     // From the all-zero tree, way w sits at position plru_position(w).
     // Hitting the way at position p promotes it; the permutation is read
     // off by comparing positions before and after.
     let tree0 = vec![false; assoc];
-    let pos0: Vec<usize> = (0..assoc).map(|w| plru_position(assoc, &tree0, w)).collect();
+    let pos0: Vec<usize> = (0..assoc)
+        .map(|w| plru_position(assoc, &tree0, w))
+        .collect();
     // way_at[p] = way at position p in the initial state.
     let mut way_at = vec![0usize; assoc];
     for (w, &p) in pos0.iter().enumerate() {

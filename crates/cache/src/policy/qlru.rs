@@ -151,11 +151,18 @@ impl QlruVariant {
             }
             let (p_str, age_str) = rp.split_at(rp.len() - 1);
             InsertAge::Probabilistic {
-                p: p_str.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
-                age: age_str.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+                p: p_str
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                age: age_str
+                    .parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?,
             }
         } else {
-            InsertAge::Fixed(m.parse().map_err(|e: std::num::ParseIntError| e.to_string())?)
+            InsertAge::Fixed(
+                m.parse()
+                    .map_err(|e: std::num::ParseIntError| e.to_string())?,
+            )
         };
         let replace = match parts[2] {
             "R0" => RVariant::R0,
@@ -209,8 +216,7 @@ pub fn all_meaningful_qlru_variants() -> Vec<QlruVariant> {
             for insert_age in 0..=3u8 {
                 for replace in [RVariant::R0, RVariant::R1, RVariant::R2] {
                     for update in [UVariant::U0, UVariant::U1, UVariant::U2, UVariant::U3] {
-                        if replace == RVariant::R0
-                            && matches!(update, UVariant::U2 | UVariant::U3)
+                        if replace == RVariant::R0 && matches!(update, UVariant::U2 | UVariant::U3)
                         {
                             continue;
                         }
@@ -309,13 +315,10 @@ impl QlruPolicy {
             .iter()
             .zip(occupied)
             .position(|(a, occ)| *occ && *a == 3);
-        match leftmost_3 {
-            Some(w) => w,
-            // R1 replaces the leftmost block; R0/R2 are undefined here (the
-            // paper excludes such combinations) — fall back to leftmost so
-            // behaviour stays total and deterministic.
-            None => 0,
-        }
+        // With no age-3 block, R1 replaces the leftmost; R0/R2 are
+        // undefined here (the paper excludes such combinations) — fall back
+        // to leftmost so behaviour stays total and deterministic.
+        leftmost_3.unwrap_or(0)
     }
 }
 
@@ -387,10 +390,7 @@ mod tests {
         }
         // The probabilistic Ivy Bridge policy from §VI-D.
         let ivy = v("QLRU_H11_MR161_R1_U2");
-        assert_eq!(
-            ivy.insert,
-            InsertAge::Probabilistic { p: 16, age: 1 }
-        );
+        assert_eq!(ivy.insert, InsertAge::Probabilistic { p: 16, age: 1 });
         assert_eq!(ivy.name(), "QLRU_H11_MR161_R1_U2");
     }
 
@@ -445,7 +445,11 @@ mod tests {
         let w1 = p.on_miss(&occupied);
         occupied[w1] = true;
         assert_eq!(w1, 1);
-        assert_eq!(p.ages()[1], 1, "insertion age 1 persists while an age-3 block exists");
+        assert_eq!(
+            p.ages()[1],
+            1,
+            "insertion age 1 persists while an age-3 block exists"
+        );
         // A hit on way 0 takes it from 3 to 1 (H11); then no age-3 block
         // remains among {3->1, 1}, so U0 adds 2 to every occupied block.
         p.on_hit(0, &occupied);
@@ -479,7 +483,9 @@ mod tests {
         let mut seq = Vec::new();
         let mut state = 12345u64;
         for len in 0..400 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seq.push(state >> 33 & 7);
             if len > 8 {
                 let ha = simulate_sequence(&a, 4, 0, &seq);
@@ -497,11 +503,7 @@ mod tests {
     fn probabilistic_insertion_rates() {
         // MR161: roughly 1/16 of inserted blocks get age 1.
         let variant = v("QLRU_H11_MR161_R1_U2");
-        let mut policy = QlruPolicy::new(
-            16,
-            variant,
-            rand::SeedableRng::seed_from_u64(7),
-        );
+        let mut policy = QlruPolicy::new(16, variant, rand::SeedableRng::seed_from_u64(7));
         let mut age1 = 0usize;
         let n = 4096;
         let occupied = vec![true; 16];

@@ -52,6 +52,9 @@ fn qlru(name: &str) -> PolicyKind {
 }
 
 /// The leader-set ranges reported in §VI-D: sets 512–575 and 768–831.
+// One contiguous range per policy really is a `Vec<Range>` of one element
+// here: `SliceLeaders` supports arbitrarily many ranges.
+#[allow(clippy::single_range_in_vec_init)]
 fn leader_ranges() -> SliceLeaders {
     SliceLeaders {
         a: vec![512..576],
@@ -61,6 +64,7 @@ fn leader_ranges() -> SliceLeaders {
 
 /// Leader ranges with the two policies' set ranges swapped (Broadwell's
 /// second slice, §VI-D).
+#[allow(clippy::single_range_in_vec_init)]
 fn leader_ranges_swapped() -> SliceLeaders {
     SliceLeaders {
         a: vec![768..832],

@@ -8,19 +8,15 @@
 //! address-generation tools rely on.
 
 /// XOR mask for slice-selection bit 0 (physical address bits).
-const SLICE_BIT0_MASK: u64 = bits(&[
-    18, 19, 21, 23, 25, 27, 29, 30, 31, 32,
-]) | bits(&[6, 10, 12, 14, 16, 17]);
+const SLICE_BIT0_MASK: u64 =
+    bits(&[18, 19, 21, 23, 25, 27, 29, 30, 31, 32]) | bits(&[6, 10, 12, 14, 16, 17]);
 
 /// XOR mask for slice-selection bit 1.
-const SLICE_BIT1_MASK: u64 = bits(&[
-    17, 19, 20, 21, 22, 23, 24, 26, 28, 29, 31, 33,
-]) | bits(&[7, 11, 13, 15]);
+const SLICE_BIT1_MASK: u64 =
+    bits(&[17, 19, 20, 21, 22, 23, 24, 26, 28, 29, 31, 33]) | bits(&[7, 11, 13, 15]);
 
 /// XOR mask for slice-selection bit 2 (8-slice parts).
-const SLICE_BIT2_MASK: u64 = bits(&[
-    8, 12, 16, 18, 20, 22, 24, 25, 26, 27, 28, 30, 32, 33,
-]);
+const SLICE_BIT2_MASK: u64 = bits(&[8, 12, 16, 18, 20, 22, 24, 25, 26, 27, 28, 30, 32, 33]);
 
 const fn bits(positions: &[u32]) -> u64 {
     let mut mask = 0u64;
@@ -70,9 +66,7 @@ impl SliceHash {
         match self.num_slices {
             1 => 0,
             2 => parity(paddr, SLICE_BIT0_MASK) as usize,
-            4 => {
-                (parity(paddr, SLICE_BIT0_MASK) | (parity(paddr, SLICE_BIT1_MASK) << 1)) as usize
-            }
+            4 => (parity(paddr, SLICE_BIT0_MASK) | (parity(paddr, SLICE_BIT1_MASK) << 1)) as usize,
             8 => {
                 (parity(paddr, SLICE_BIT0_MASK)
                     | (parity(paddr, SLICE_BIT1_MASK) << 1)

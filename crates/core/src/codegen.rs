@@ -159,7 +159,10 @@ pub fn generate(req: &CodegenRequest) -> GeneratedCode {
 
     // Line 2: saveRegs — all 16 GPRs to the save area.
     for reg in Gpr::ALL {
-        out.push(mov_to_mem(req.arenas.save_area + 8 * reg.number() as u64, reg));
+        out.push(mov_to_mem(
+            req.arenas.save_area + 8 * reg.number() as u64,
+            reg,
+        ));
     }
     // §III-G: point RSP/RBP/RDI/RSI/R14 into their dedicated areas. RSP
     // points into the middle of its area so both pushes and positive
@@ -220,7 +223,10 @@ pub fn generate(req: &CodegenRequest) -> GeneratedCode {
 
     // Line 11: restoreRegs.
     for reg in Gpr::ALL {
-        out.push(mov_from_mem(reg, req.arenas.save_area + 8 * reg.number() as u64));
+        out.push(mov_from_mem(
+            reg,
+            req.arenas.save_area + 8 * reg.number() as u64,
+        ));
     }
 
     GeneratedCode {
@@ -261,11 +267,7 @@ mod tests {
         let g = generate(&req);
         // 16 saves + 5 arena inits + 1 init + 2 counter reads + 3 copies
         // + 16 restores; counter reads bracket the body.
-        let body_count = g
-            .program
-            .iter()
-            .filter(|i| **i == code[0])
-            .count();
+        let body_count = g.program.iter().filter(|i| **i == code[0]).count();
         assert_eq!(body_count, 3);
         let rdpmc_count = g
             .program
@@ -342,9 +344,9 @@ mod tests {
         let result_stores = g
             .program
             .iter()
-            .filter(|i| {
-                matches!(i.dst(), Some(Operand::Mem(m)) if (0x1200..0x1400).contains(&m.disp))
-            })
+            .filter(
+                |i| matches!(i.dst(), Some(Operand::Mem(m)) if (0x1200..0x1400).contains(&m.disp)),
+            )
             .count();
         assert_eq!(result_stores, 2);
     }

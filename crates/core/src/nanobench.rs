@@ -248,7 +248,10 @@ impl NanoBench {
         let chunks: Vec<Vec<PerfEvent>> = if self.events.is_empty() {
             vec![Vec::new()]
         } else {
-            self.events.chunks(per_round).map(<[PerfEvent]>::to_vec).collect()
+            self.events
+                .chunks(per_round)
+                .map(<[PerfEvent]>::to_vec)
+                .collect()
         };
 
         let mut fixed_values = [0.0f64; 3];
@@ -270,9 +273,12 @@ impl NanoBench {
             let agg_a = self.measure_version(unroll_a, &selectors)?;
             let agg_b = self.measure_version(unroll_b, &selectors)?;
 
-            for (slot, name_value) in agg_b.iter().zip(agg_a.iter()).enumerate().map(
-                |(slot, (b, a))| (slot, (b - a) / denom),
-            ) {
+            for (slot, name_value) in agg_b
+                .iter()
+                .zip(agg_a.iter())
+                .enumerate()
+                .map(|(slot, (b, a))| (slot, (b - a) / denom))
+            {
                 let (slot, value) = (slot, name_value);
                 if slot < 3 {
                     if round == 0 {

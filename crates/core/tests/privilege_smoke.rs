@@ -1,0 +1,45 @@
+//! Crate-level smoke test: the kernel/user privilege split of §III-D, as a
+//! standalone check so `nanobench-core` is testable without the workspace
+//! façade (mirrors `tests/integration.rs` at the repo root).
+
+use nanobench_core::shell::{kernel_nanobench, user_nanobench};
+use nanobench_core::NbError;
+use nanobench_uarch::port::MicroArch;
+
+/// Privileged instructions the paper's kernel version exists for: they must
+/// run in the kernel shell and fault in the user shell.
+const PRIVILEGED: &[&str] = &["wbinvd", "rdmsr", "wrmsr"];
+
+#[test]
+fn privileged_instructions_need_the_kernel_version() {
+    for asm in PRIVILEGED {
+        // RDMSR/WRMSR dereference RCX as the MSR number; 0x1A4 (prefetcher
+        // control) is valid in both directions.
+        let opts =
+            format!(r#"-asm "mov rcx, 0x1A4; mov rax, 0; mov rdx, 0; {asm}" -n_measurements 2"#);
+        assert!(
+            kernel_nanobench(MicroArch::Skylake, &opts).is_ok(),
+            "`{asm}` must run in the kernel shell"
+        );
+        let err = user_nanobench(MicroArch::Skylake, &opts)
+            .expect_err(&format!("`{asm}` must fault in the user shell"));
+        assert!(
+            matches!(err, NbError::Fault(_)),
+            "`{asm}` must fail with a CPU fault, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn unprivileged_code_runs_in_both_shells() {
+    let opts = r#"-asm "add rax, rax" -unroll_count 200 -warm_up_count 2 -n_measurements 3"#;
+    let k = kernel_nanobench(MicroArch::Skylake, opts).expect("kernel shell runs");
+    let u = user_nanobench(MicroArch::Skylake, opts).expect("user shell runs");
+    // Both agree on the architectural result for a trivial ALU benchmark.
+    assert_eq!(k.core_cycles(), Some(1.0));
+    let uc = u.core_cycles().expect("user run reports core cycles");
+    assert!(
+        (uc - 1.0).abs() < 0.1,
+        "user-mode noise must be aggregated away, got {uc}"
+    );
+}

@@ -128,10 +128,7 @@ impl InstMeasurement {
 ///
 /// Propagates assembly and CPU faults (e.g. privileged variants must run
 /// on the kernel version, which this uses).
-pub fn measure_instruction(
-    uarch: MicroArch,
-    spec: &InstSpec,
-) -> Result<InstMeasurement, NbError> {
+pub fn measure_instruction(uarch: MicroArch, spec: &InstSpec) -> Result<InstMeasurement, NbError> {
     // Latency: dependency chain.
     let latency = match &spec.latency_asm {
         Some(chain) => {
@@ -217,7 +214,11 @@ mod tests {
         );
         let m = measure_instruction(MicroArch::Skylake, &spec).unwrap();
         assert_eq!(m.latency, Some(3.0));
-        assert!((m.throughput - 1.0).abs() < 0.1, "p1-bound: {}", m.throughput);
+        assert!(
+            (m.throughput - 1.0).abs() < 0.1,
+            "p1-bound: {}",
+            m.throughput
+        );
         assert!(m.ports[1] > 0.9, "{:?}", m.ports);
         assert_eq!(m.port_usage_string(), "1.00*p1");
     }
@@ -233,7 +234,11 @@ mod tests {
         .with_init("mov [r14], r14");
         let m = measure_instruction(MicroArch::Skylake, &spec).unwrap();
         assert_eq!(m.latency, Some(4.0), "L1 load-to-use latency");
-        assert!((m.throughput - 0.5).abs() < 0.1, "two load ports: {}", m.throughput);
+        assert!(
+            (m.throughput - 0.5).abs() < 0.1,
+            "two load ports: {}",
+            m.throughput
+        );
         assert!((m.ports[2] - 0.5).abs() < 0.1, "{:?}", m.ports);
         assert!((m.ports[3] - 0.5).abs() < 0.1, "{:?}", m.ports);
     }
@@ -242,8 +247,8 @@ mod tests {
     fn privileged_instruction_measurable_in_kernel_mode() {
         // §V: "Of particular use is nanoBench's ability to benchmark
         // privileged instructions."
-        let spec = InstSpec::new("RDMSR (APERF)", None, "rdmsr", 1)
-            .with_init("mov rcx, 0xE8; mov rdx, 0");
+        let spec =
+            InstSpec::new("RDMSR (APERF)", None, "rdmsr", 1).with_init("mov rcx, 0xE8; mov rdx, 0");
         let m = measure_instruction(MicroArch::Skylake, &spec).unwrap();
         assert!(m.throughput > 50.0, "RDMSR is slow: {}", m.throughput);
     }

@@ -8,7 +8,7 @@ use nanobench_uarch::port::MicroArch;
 use serde::Serialize;
 
 /// One row of the instruction table.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
     /// Variant name.
     pub name: String,
@@ -20,6 +20,20 @@ pub struct TableRow {
     pub uops: f64,
     /// Port usage string, e.g. `"1.00*p23"`.
     pub ports: String,
+}
+
+// Hand-written because the vendored serde shim has no derive macro; field
+// order must match the struct declaration so JSON output stays stable.
+impl Serialize for TableRow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("latency".to_owned(), self.latency.to_value()),
+            ("throughput".to_owned(), self.throughput.to_value()),
+            ("uops".to_owned(), self.uops.to_value()),
+            ("ports".to_owned(), self.ports.to_value()),
+        ])
+    }
 }
 
 impl From<InstMeasurement> for TableRow {
@@ -179,7 +193,9 @@ fn sse_tp_imm(mnem: &str, n: usize) -> String {
 
 fn sse_avx_family() -> Vec<InstSpec> {
     let mut out = Vec::new();
-    for mnem in ["addps", "subps", "mulps", "addpd", "mulpd", "maxps", "minps"] {
+    for mnem in [
+        "addps", "subps", "mulps", "addpd", "mulpd", "maxps", "minps",
+    ] {
         out.push(InstSpec::new(
             format!("{} (xmm, xmm)", mnem.to_uppercase()),
             Some(&format!("{mnem} xmm0, xmm0")),
@@ -203,13 +219,18 @@ fn sse_avx_family() -> Vec<InstSpec> {
             4,
         ));
     }
-    for mnem in ["pshufd", "shufps", "psadbw", "pmulld", "pmaddwd", "aesenc", "pclmulqdq"] {
+    for mnem in [
+        "pshufd",
+        "shufps",
+        "psadbw",
+        "pmulld",
+        "pmaddwd",
+        "aesenc",
+        "pclmulqdq",
+    ] {
         let with_imm = matches!(mnem, "pshufd" | "shufps" | "pclmulqdq");
         let (chain, tp) = if with_imm {
-            (
-                format!("{mnem} xmm0, xmm0, 0"),
-                sse_tp_imm(mnem, 8),
-            )
+            (format!("{mnem} xmm0, xmm0, 0"), sse_tp_imm(mnem, 8))
         } else {
             (format!("{mnem} xmm0, xmm0"), sse_tp(mnem, 8))
         };

@@ -108,7 +108,7 @@ impl KernelAllocator {
         }
         self.allocations += 1;
         // Uptime slowly fragments the heap even without explicit calls.
-        if self.allocations % 512 == 0 && self.skip_percent < 40 {
+        if self.allocations.is_multiple_of(512) && self.skip_percent < 40 {
             self.skip_percent += 1;
         }
         if self.rng.gen_range(0..100) < self.skip_percent {

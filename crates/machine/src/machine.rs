@@ -126,8 +126,7 @@ impl Bus for Env {
         if !self.interrupts_enabled || cycle < self.next_interrupt {
             return None;
         }
-        self.next_interrupt =
-            cycle + INTERRUPT_MEAN / 2 + self.rng.gen_range(0..INTERRUPT_MEAN);
+        self.next_interrupt = cycle + INTERRUPT_MEAN / 2 + self.rng.gen_range(0..INTERRUPT_MEAN);
         // The handler touches memory, perturbing the cache state the
         // benchmark's init phase may have established (§I, §IV-A2).
         for _ in 0..16 {
@@ -472,10 +471,7 @@ mod tests {
     #[test]
     fn msr_0x1a4_controls_prefetchers() {
         let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
-        let program = parse_asm(
-            "mov rcx, 0x1A4; mov rax, 0xF; mov rdx, 0; wrmsr; rdmsr",
-        )
-        .unwrap();
+        let program = parse_asm("mov rcx, 0x1A4; mov rax, 0xF; mov rdx, 0; wrmsr; rdmsr").unwrap();
         m.run(&program).unwrap();
         assert_eq!(m.state().gpr(Gpr::Rax), 0xF);
         assert_eq!(m.hierarchy().prefetchers().disable_bits(), 0xF);

@@ -30,10 +30,7 @@ impl PhysMem {
             let addr = paddr + i;
             let frame = addr / PAGE_SIZE;
             let offset = (addr % PAGE_SIZE) as usize;
-            let byte = self
-                .frames
-                .get(&frame)
-                .map_or(0, |f| f[offset]);
+            let byte = self.frames.get(&frame).map_or(0, |f| f[offset]);
             value = (value << 8) | byte as u64;
         }
         value

@@ -58,12 +58,12 @@ pub fn parse_config(text: &str) -> Result<Vec<PerfEvent>, ParseConfigError> {
         if line.is_empty() {
             continue;
         }
-        let (selector, name) = line.split_once(char::is_whitespace).ok_or_else(|| {
-            ParseConfigError {
-                line: line_no,
-                message: "expected `<EvtSel>.<UMask> <Name>`".to_string(),
-            }
-        })?;
+        let (selector, name) =
+            line.split_once(char::is_whitespace)
+                .ok_or_else(|| ParseConfigError {
+                    line: line_no,
+                    message: "expected `<EvtSel>.<UMask> <Name>`".to_string(),
+                })?;
         let mut parts = selector.split('.');
         let code_str = parts.next().unwrap_or("");
         let umask_str = parts.next().ok_or_else(|| ParseConfigError {

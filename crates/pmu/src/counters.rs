@@ -159,21 +159,21 @@ impl Pmu {
                 .prog
                 .get((a - msr::IA32_PMC0) as usize)
                 .map(|c| c.value),
-            a if (msr::IA32_PERFEVTSEL0..msr::IA32_PERFEVTSEL0 + 8).contains(&a) => {
-                self.prog.get((a - msr::IA32_PERFEVTSEL0) as usize).map(|c| {
-                    match c.sel {
-                        Some(sel) => {
-                            (sel.code as u64 & 0xFF)
-                                | ((sel.umask as u64) << 8)
-                                | ((c.enabled as u64) << 22)
-                        }
-                        None => 0,
+            a if (msr::IA32_PERFEVTSEL0..msr::IA32_PERFEVTSEL0 + 8).contains(&a) => self
+                .prog
+                .get((a - msr::IA32_PERFEVTSEL0) as usize)
+                .map(|c| match c.sel {
+                    Some(sel) => {
+                        (sel.code as u64 & 0xFF)
+                            | ((sel.umask as u64) << 8)
+                            | ((c.enabled as u64) << 22)
                     }
-                })
-            }
-            a if (msr::MSR_UNC_CBO_PERFCTR0..msr::MSR_UNC_CBO_PERFCTR0 + 8).contains(&a) => {
-                self.uncore.get((a - msr::MSR_UNC_CBO_PERFCTR0) as usize).copied()
-            }
+                    None => 0,
+                }),
+            a if (msr::MSR_UNC_CBO_PERFCTR0..msr::MSR_UNC_CBO_PERFCTR0 + 8).contains(&a) => self
+                .uncore
+                .get((a - msr::MSR_UNC_CBO_PERFCTR0) as usize)
+                .copied(),
             _ => None,
         }
     }
@@ -206,7 +206,10 @@ impl Pmu {
                 }
             }
             a if (msr::MSR_UNC_CBO_PERFCTR0..msr::MSR_UNC_CBO_PERFCTR0 + 8).contains(&a) => {
-                if let Some(c) = self.uncore.get_mut((a - msr::MSR_UNC_CBO_PERFCTR0) as usize) {
+                if let Some(c) = self
+                    .uncore
+                    .get_mut((a - msr::MSR_UNC_CBO_PERFCTR0) as usize)
+                {
                     *c = value;
                 }
             }

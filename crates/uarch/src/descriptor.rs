@@ -131,15 +131,7 @@ pub fn is_move(m: Mnemonic) -> bool {
     use Mnemonic::*;
     matches!(
         m,
-        Mov | Movzx
-            | Movsx
-            | Movaps
-            | Movups
-            | Movapd
-            | Movdqa
-            | Movdqu
-            | Movd
-            | Movq
+        Mov | Movzx | Movsx | Movaps | Movups | Movapd | Movdqa | Movdqu | Movd | Movq
     )
 }
 
@@ -182,12 +174,7 @@ impl DescriptorTable {
     /// counter reads, privileged instructions).
     pub fn lookup(&self, inst: &Instruction) -> Option<InstrDesc> {
         let m = inst.mnemonic;
-        if is_move(m)
-            && inst
-                .operands
-                .iter()
-                .any(|o| matches!(o, Operand::Mem(_)))
-        {
+        if is_move(m) && inst.operands.iter().any(|o| matches!(o, Operand::Mem(_))) {
             return Some(InstrDesc { uops: Vec::new() });
         }
         let form = normalized_form(inst);
@@ -218,11 +205,10 @@ impl DescriptorTable {
         use MicroArch::*;
         match (self.uarch, kind) {
             // FP add was 3 cycles before Skylake moved it to the FMA units.
-            (Nehalem | Westmere | SandyBridge | IvyBridge | Haswell | Broadwell, PortClass::VecAdd)
-                if skylake_lat == 4 =>
-            {
-                3
-            }
+            (
+                Nehalem | Westmere | SandyBridge | IvyBridge | Haswell | Broadwell,
+                PortClass::VecAdd,
+            ) if skylake_lat == 4 => 3,
             // FMA/multiply was 5 cycles on Haswell/Broadwell.
             (Haswell | Broadwell, PortClass::VecMul) if skylake_lat == 4 => 5,
             (Nehalem | Westmere | SandyBridge | IvyBridge, PortClass::VecMul)
@@ -254,11 +240,14 @@ impl DescriptorTable {
                 UopSpec::new(PortClass::Alu, 1),
             ],
         );
-        self.def(Xadd, vec![
-            UopSpec::new(PortClass::Alu, 2),
-            UopSpec::new(PortClass::Alu, 1),
-            UopSpec::new(PortClass::Alu, 1),
-        ]);
+        self.def(
+            Xadd,
+            vec![
+                UopSpec::new(PortClass::Alu, 2),
+                UopSpec::new(PortClass::Alu, 1),
+                UopSpec::new(PortClass::Alu, 1),
+            ],
+        );
         self.def(Bswap, vec![UopSpec::new(PortClass::Shift, 1)]);
         self.def(Cmovz, vec![UopSpec::new(PortClass::Shift, 1)]);
         self.def(Cmovnz, vec![UopSpec::new(PortClass::Shift, 1)]);
@@ -266,18 +255,28 @@ impl DescriptorTable {
         self.def(Setnz, vec![UopSpec::new(PortClass::Shift, 1)]);
 
         // -- integer ALU -----------------------------------------------------
-        for m in [Add, Adc, Sub, Sbb, And, Or, Xor, Cmp, Test, Inc, Dec, Neg, Not] {
+        for m in [
+            Add, Adc, Sub, Sbb, And, Or, Xor, Cmp, Test, Inc, Dec, Neg, Not,
+        ] {
             self.def(m, alu1.clone());
         }
         self.form(Imul, &[R, R], vec![UopSpec::new(PortClass::IntMul, 3)]);
-        self.form(Imul, &[R], vec![
-            UopSpec::new(PortClass::IntMul, 3),
-            UopSpec::new(PortClass::Alu, 1),
-        ]);
-        self.form(Mul, &[R], vec![
-            UopSpec::new(PortClass::IntMul, 3),
-            UopSpec::new(PortClass::Alu, 1),
-        ]);
+        self.form(
+            Imul,
+            &[R],
+            vec![
+                UopSpec::new(PortClass::IntMul, 3),
+                UopSpec::new(PortClass::Alu, 1),
+            ],
+        );
+        self.form(
+            Mul,
+            &[R],
+            vec![
+                UopSpec::new(PortClass::IntMul, 3),
+                UopSpec::new(PortClass::Alu, 1),
+            ],
+        );
         for m in [Div, Idiv] {
             self.form(m, &[R], vec![UopSpec::unpipelined(PortClass::Div, 36, 21)]);
         }
@@ -302,16 +301,22 @@ impl DescriptorTable {
         self.def(Sqrtss, vec![UopSpec::unpipelined(PortClass::Div, 12, 3)]);
         self.def(Sqrtsd, vec![UopSpec::unpipelined(PortClass::Div, 18, 6)]);
         for m in [Comiss, Comisd] {
-            self.def(m, vec![
-                UopSpec::new(PortClass::VecAdd, 2),
-                UopSpec::new(PortClass::Shuffle, 1),
-            ]);
+            self.def(
+                m,
+                vec![
+                    UopSpec::new(PortClass::VecAdd, 2),
+                    UopSpec::new(PortClass::Shuffle, 1),
+                ],
+            );
         }
         for m in [Cvtsi2sd, Cvtsd2si, Cvtss2sd, Cvtsd2ss] {
-            self.def(m, vec![
-                UopSpec::new(PortClass::VecAdd, 6),
-                UopSpec::new(PortClass::Shuffle, 1),
-            ]);
+            self.def(
+                m,
+                vec![
+                    UopSpec::new(PortClass::VecAdd, 6),
+                    UopSpec::new(PortClass::Shuffle, 1),
+                ],
+            );
         }
 
         // -- SSE/AVX register-to-register moves --------------------------------
@@ -342,30 +347,44 @@ impl DescriptorTable {
         }
         self.def(Shufps, vec![UopSpec::new(PortClass::Shuffle, 1)]);
         self.def(Blendps, vec![UopSpec::new(PortClass::VecLogic, 1)]);
-        self.def(Dpps, vec![
-            UopSpec::new(PortClass::VecMul, 13),
-            UopSpec::new(PortClass::VecAdd, 1),
-            UopSpec::new(PortClass::Shuffle, 1),
-            UopSpec::new(PortClass::VecAdd, 1),
-        ]);
-        self.def(Haddps, vec![
-            UopSpec::new(PortClass::VecAdd, 6),
-            UopSpec::new(PortClass::Shuffle, 1),
-            UopSpec::new(PortClass::Shuffle, 1),
-        ]);
-        self.def(Roundps, vec![
-            UopSpec::new(PortClass::VecAdd, 8),
-            UopSpec::new(PortClass::VecAdd, 1),
-        ]);
+        self.def(
+            Dpps,
+            vec![
+                UopSpec::new(PortClass::VecMul, 13),
+                UopSpec::new(PortClass::VecAdd, 1),
+                UopSpec::new(PortClass::Shuffle, 1),
+                UopSpec::new(PortClass::VecAdd, 1),
+            ],
+        );
+        self.def(
+            Haddps,
+            vec![
+                UopSpec::new(PortClass::VecAdd, 6),
+                UopSpec::new(PortClass::Shuffle, 1),
+                UopSpec::new(PortClass::Shuffle, 1),
+            ],
+        );
+        self.def(
+            Roundps,
+            vec![
+                UopSpec::new(PortClass::VecAdd, 8),
+                UopSpec::new(PortClass::VecAdd, 1),
+            ],
+        );
 
         // -- packed integer --------------------------------------------------------
-        for m in [Paddb, Paddw, Paddd, Paddq, Psubb, Psubd, Psubq, Pabsd, Pminsd, Pmaxsd] {
+        for m in [
+            Paddb, Paddw, Paddd, Paddq, Psubb, Psubd, Psubq, Pabsd, Pminsd, Pmaxsd,
+        ] {
             self.def(m, vec![UopSpec::new(PortClass::VecLogic, 1)]);
         }
-        self.def(Pmulld, vec![
-            UopSpec::new(PortClass::VecMul, 10),
-            UopSpec::new(PortClass::VecMul, 1),
-        ]);
+        self.def(
+            Pmulld,
+            vec![
+                UopSpec::new(PortClass::VecMul, 10),
+                UopSpec::new(PortClass::VecMul, 1),
+            ],
+        );
         for m in [Pmullw, Pmuludq, Pmaddwd] {
             let lat = self.vec_lat(4, PortClass::VecMul) + 1;
             self.def(m, vec![UopSpec::new(PortClass::VecMul, lat)]);
@@ -380,15 +399,21 @@ impl DescriptorTable {
             self.def(m, vec![UopSpec::new(PortClass::VecAdd, 1)]);
         }
         self.def(Pmovmskb, vec![UopSpec::new(PortClass::VecMul, 3)]);
-        self.def(Ptest, vec![
-            UopSpec::new(PortClass::VecAdd, 3),
-            UopSpec::new(PortClass::Shuffle, 1),
-        ]);
-        self.def(Phaddd, vec![
-            UopSpec::new(PortClass::VecLogic, 3),
-            UopSpec::new(PortClass::Shuffle, 1),
-            UopSpec::new(PortClass::Shuffle, 1),
-        ]);
+        self.def(
+            Ptest,
+            vec![
+                UopSpec::new(PortClass::VecAdd, 3),
+                UopSpec::new(PortClass::Shuffle, 1),
+            ],
+        );
+        self.def(
+            Phaddd,
+            vec![
+                UopSpec::new(PortClass::VecLogic, 3),
+                UopSpec::new(PortClass::Shuffle, 1),
+                UopSpec::new(PortClass::Shuffle, 1),
+            ],
+        );
         self.def(Psadbw, vec![UopSpec::new(PortClass::Shuffle, 3)]);
 
         // -- AVX / FMA ----------------------------------------------------------------
@@ -410,46 +435,61 @@ impl DescriptorTable {
         for m in [Vpaddd, Vpaddq, Vpand, Vpor, Vpxor] {
             self.def(m, vec![UopSpec::new(PortClass::VecLogic, 1)]);
         }
-        self.def(Vpmulld, vec![
-            UopSpec::new(PortClass::VecMul, 10),
-            UopSpec::new(PortClass::VecMul, 1),
-        ]);
+        self.def(
+            Vpmulld,
+            vec![
+                UopSpec::new(PortClass::VecMul, 10),
+                UopSpec::new(PortClass::VecMul, 1),
+            ],
+        );
         self.def(Vpermilps, vec![UopSpec::new(PortClass::Shuffle, 1)]);
         self.def(Vperm2f128, vec![UopSpec::new(PortClass::Shuffle, 3)]);
         self.def(Vbroadcastss, vec![UopSpec::new(PortClass::Shuffle, 1)]);
         self.def(Vextractf128, vec![UopSpec::new(PortClass::Shuffle, 3)]);
         self.def(Vinsertf128, vec![UopSpec::new(PortClass::Shuffle, 3)]);
-        self.def(Vzeroupper, vec![
-            UopSpec::new(PortClass::None, 0),
-            UopSpec::new(PortClass::None, 0),
-            UopSpec::new(PortClass::None, 0),
-            UopSpec::new(PortClass::None, 0),
-        ]);
+        self.def(
+            Vzeroupper,
+            vec![
+                UopSpec::new(PortClass::None, 0),
+                UopSpec::new(PortClass::None, 0),
+                UopSpec::new(PortClass::None, 0),
+                UopSpec::new(PortClass::None, 0),
+            ],
+        );
         self.def(Vzeroall, vec![UopSpec::new(PortClass::None, 0); 12]);
-        self.def(Vgatherdps, vec![
-            UopSpec::new(PortClass::VecAdd, 20),
-            UopSpec::new(PortClass::Load, 1),
-            UopSpec::new(PortClass::Load, 1),
-            UopSpec::new(PortClass::VecAdd, 1),
-        ]);
+        self.def(
+            Vgatherdps,
+            vec![
+                UopSpec::new(PortClass::VecAdd, 20),
+                UopSpec::new(PortClass::Load, 1),
+                UopSpec::new(PortClass::Load, 1),
+                UopSpec::new(PortClass::VecAdd, 1),
+            ],
+        );
 
         // -- crypto ------------------------------------------------------------------------
         for m in [Aesenc, Aesenclast, Aesdec] {
             self.def(m, vec![UopSpec::new(PortClass::VecMul, 4)]);
         }
         self.def(Pclmulqdq, vec![UopSpec::new(PortClass::Shuffle, 6)]);
-        self.def(Sha256rnds2, vec![UopSpec::unpipelined(PortClass::VecMul, 6, 3)]);
+        self.def(
+            Sha256rnds2,
+            vec![UopSpec::unpipelined(PortClass::VecMul, 6, 3)],
+        );
         for m in [Rdrand, Rdseed] {
             self.def(m, vec![UopSpec::unpipelined(PortClass::IntMul, 300, 300)]);
         }
 
         // -- misc --------------------------------------------------------------------------
-        self.def(Pause, vec![
-            UopSpec::unpipelined(PortClass::None, 0, 1),
-            UopSpec::new(PortClass::None, 0),
-            UopSpec::new(PortClass::None, 0),
-            UopSpec::new(PortClass::None, 0),
-        ]);
+        self.def(
+            Pause,
+            vec![
+                UopSpec::unpipelined(PortClass::None, 0, 1),
+                UopSpec::new(PortClass::None, 0),
+                UopSpec::new(PortClass::None, 0),
+                UopSpec::new(PortClass::None, 0),
+            ],
+        );
     }
 }
 

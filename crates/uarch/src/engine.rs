@@ -415,8 +415,7 @@ impl Engine {
                 pmu.count(events::UOPS_ISSUED_ANY, 1);
                 t.set_barrier(done);
                 let addr = state.gpr(Gpr::Rcx) as u32;
-                let value =
-                    (state.gpr(Gpr::Rdx) << 32) | (state.gpr(Gpr::Rax) & 0xFFFF_FFFF);
+                let value = (state.gpr(Gpr::Rdx) << 32) | (state.gpr(Gpr::Rax) & 0xFFFF_FFFF);
                 pmu.sync_cycles(done);
                 if !pmu.wrmsr(addr, value) {
                     bus.wrmsr(addr, value)?;
@@ -478,8 +477,7 @@ impl Engine {
             Rdrand | Rdseed => {
                 let desc = self.table.lookup(inst).expect("rdrand has a descriptor");
                 let u = desc.uops[0];
-                let dispatch =
-                    t.dispatch(u.class.resolve(&self.ports), start_of(t), u.recip, pmu);
+                let dispatch = t.dispatch(u.class.resolve(&self.ports), start_of(t), u.recip, pmu);
                 let done = dispatch + u.latency;
                 t.complete(done);
                 let value: u64 = self.rng.gen();

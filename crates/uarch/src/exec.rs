@@ -76,7 +76,7 @@ fn sign_bit(value: u64, w: Width) -> bool {
 }
 
 fn parity_even(value: u64) -> bool {
-    (value as u8).count_ones() % 2 == 0
+    (value as u8).count_ones().is_multiple_of(2)
 }
 
 fn set_logic_flags(state: &mut CpuState, result: u64, w: Width) {
@@ -151,11 +151,7 @@ pub fn execute(
             let src = inst.src().expect("movsx src");
             let sw = src.width().unwrap_or(Width::B);
             let v = read_operand(state, bus, src)?;
-            let sign_extended = if sign_bit(v, sw) {
-                v | !sw.mask()
-            } else {
-                v
-            };
+            let sign_extended = if sign_bit(v, sw) { v | !sw.mask() } else { v };
             write_operand(state, bus, inst.dst().expect("movsx dst"), sign_extended)?;
         }
         Lea => {
@@ -167,18 +163,26 @@ pub fn execute(
             write_operand(state, bus, inst.dst().expect("lea dst"), addr)?;
         }
         Add | Adc => {
-            let dst = inst.dst().expect("alu dst").clone();
+            let dst = *inst.dst().expect("alu dst");
             let a = read_operand(state, bus, &dst)?;
             let b = read_operand(state, bus, inst.src().expect("alu src"))?;
-            let carry = if m == Adc && state.flag(Flag::Cf) { 1 } else { 0 };
+            let carry = if m == Adc && state.flag(Flag::Cf) {
+                1
+            } else {
+                0
+            };
             let r = set_add_flags(state, a, b, carry, w);
             write_operand(state, bus, &dst, r)?;
         }
         Sub | Sbb => {
-            let dst = inst.dst().expect("alu dst").clone();
+            let dst = *inst.dst().expect("alu dst");
             let a = read_operand(state, bus, &dst)?;
             let b = read_operand(state, bus, inst.src().expect("alu src"))?;
-            let borrow = if m == Sbb && state.flag(Flag::Cf) { 1 } else { 0 };
+            let borrow = if m == Sbb && state.flag(Flag::Cf) {
+                1
+            } else {
+                0
+            };
             let r = set_sub_flags(state, a, b, borrow, w);
             write_operand(state, bus, &dst, r)?;
         }
@@ -188,7 +192,7 @@ pub fn execute(
             set_sub_flags(state, a, b, 0, w);
         }
         And | Or | Xor => {
-            let dst = inst.dst().expect("alu dst").clone();
+            let dst = *inst.dst().expect("alu dst");
             let a = read_operand(state, bus, &dst)?;
             let b = read_operand(state, bus, inst.src().expect("alu src"))?;
             let r = match m {
@@ -205,7 +209,7 @@ pub fn execute(
             set_logic_flags(state, a & b, w);
         }
         Inc | Dec => {
-            let dst = inst.dst().expect("inc dst").clone();
+            let dst = *inst.dst().expect("inc dst");
             let a = read_operand(state, bus, &dst)?;
             // INC/DEC preserve CF.
             let cf = state.flag(Flag::Cf);
@@ -218,19 +222,19 @@ pub fn execute(
             write_operand(state, bus, &dst, r)?;
         }
         Neg => {
-            let dst = inst.dst().expect("neg dst").clone();
+            let dst = *inst.dst().expect("neg dst");
             let a = read_operand(state, bus, &dst)?;
             let r = set_sub_flags(state, 0, a, 0, w);
             write_operand(state, bus, &dst, r)?;
         }
         Not => {
-            let dst = inst.dst().expect("not dst").clone();
+            let dst = *inst.dst().expect("not dst");
             let a = read_operand(state, bus, &dst)?;
             write_operand(state, bus, &dst, !a & w.mask())?;
         }
         Imul => {
             if inst.operands.len() >= 2 {
-                let dst = inst.dst().expect("imul dst").clone();
+                let dst = *inst.dst().expect("imul dst");
                 let a = read_operand(state, bus, &dst)? as i64;
                 let b = read_operand(state, bus, inst.src().expect("imul src"))? as i64;
                 let r = a.wrapping_mul(b) as u64 & w.mask();
@@ -271,11 +275,14 @@ pub fn execute(
                 let dividend = (((hi as u128) << 64) | lo as u128) as i128;
                 let q = dividend.wrapping_div(divisor as i64 as i128);
                 state.set_gpr(Gpr::Rax, q as u64);
-                state.set_gpr(Gpr::Rdx, dividend.wrapping_rem(divisor as i64 as i128) as u64);
+                state.set_gpr(
+                    Gpr::Rdx,
+                    dividend.wrapping_rem(divisor as i64 as i128) as u64,
+                );
             }
         }
         Shl | Shr | Sar | Rol | Ror => {
-            let dst = inst.dst().expect("shift dst").clone();
+            let dst = *inst.dst().expect("shift dst");
             let a = read_operand(state, bus, &dst)? & w.mask();
             let amount_op = inst.src().expect("shift amount");
             let amount = (read_operand(state, bus, amount_op)? & 0x3F) as u32 % w.bits() as u32;
@@ -297,7 +304,12 @@ pub fn execute(
         }
         Popcnt => {
             let v = read_operand(state, bus, inst.src().expect("popcnt src"))? & w.mask();
-            write_operand(state, bus, inst.dst().expect("popcnt dst"), v.count_ones() as u64)?;
+            write_operand(
+                state,
+                bus,
+                inst.dst().expect("popcnt dst"),
+                v.count_ones() as u64,
+            )?;
             state.set_flag(Flag::Zf, v == 0);
         }
         Lzcnt => {
@@ -335,7 +347,7 @@ pub fn execute(
             write_operand(state, bus, inst.dst().expect("crc dst"), crc as u64)?;
         }
         Bswap => {
-            let dst = inst.dst().expect("bswap dst").clone();
+            let dst = *inst.dst().expect("bswap dst");
             let a = read_operand(state, bus, &dst)?;
             let r = match w {
                 Width::Q => a.swap_bytes(),
@@ -356,16 +368,16 @@ pub fn execute(
             write_operand(state, bus, inst.dst().expect("set dst"), v)?;
         }
         Xchg => {
-            let a_op = inst.dst().expect("xchg dst").clone();
-            let b_op = inst.src().expect("xchg src").clone();
+            let a_op = *inst.dst().expect("xchg dst");
+            let b_op = *inst.src().expect("xchg src");
             let a = read_operand(state, bus, &a_op)?;
             let b = read_operand(state, bus, &b_op)?;
             write_operand(state, bus, &a_op, b)?;
             write_operand(state, bus, &b_op, a)?;
         }
         Xadd => {
-            let a_op = inst.dst().expect("xadd dst").clone();
-            let b_op = inst.src().expect("xadd src").clone();
+            let a_op = *inst.dst().expect("xadd dst");
+            let b_op = *inst.src().expect("xadd src");
             let a = read_operand(state, bus, &a_op)?;
             let b = read_operand(state, bus, &b_op)?;
             let sum = set_add_flags(state, a, b, 0, w);
@@ -471,13 +483,12 @@ pub fn input_gprs(inst: &Instruction) -> Vec<GprPart> {
     let m = inst.mnemonic;
     for (i, op) in inst.operands.iter().enumerate() {
         match op {
-            Operand::Gpr(g) => {
+            Operand::Gpr(g)
                 // The first operand is written; whether it is also read
                 // depends on the mnemonic.
-                if i > 0 || reads_dst(m) {
+                if (i > 0 || reads_dst(m)) => {
                     regs.push(*g);
                 }
-            }
             Operand::Mem(mem) => {
                 if let Some(b) = mem.base {
                     regs.push(GprPart::full(b));
@@ -716,10 +727,7 @@ mod tests {
     #[test]
     fn adc_carry_chain() {
         let mut s = CpuState::new();
-        run_seq(
-            "mov rax, -1; mov rbx, 0; add rax, 1; adc rbx, 0",
-            &mut s,
-        );
+        run_seq("mov rax, -1; mov rbx, 0; add rax, 1; adc rbx, 0", &mut s);
         assert_eq!(s.gpr(Gpr::Rax), 0);
         assert_eq!(s.gpr(Gpr::Rbx), 1);
     }
@@ -748,7 +756,10 @@ mod tests {
     #[test]
     fn bit_instructions() {
         let mut s = CpuState::new();
-        run_seq("mov rax, 0xF0; popcnt rbx, rax; tzcnt rcx, rax; bsr rdx, rax", &mut s);
+        run_seq(
+            "mov rax, 0xF0; popcnt rbx, rax; tzcnt rcx, rax; bsr rdx, rax",
+            &mut s,
+        );
         assert_eq!(s.gpr(Gpr::Rbx), 4);
         assert_eq!(s.gpr(Gpr::Rcx), 4);
         assert_eq!(s.gpr(Gpr::Rdx), 7);
@@ -783,10 +794,7 @@ mod tests {
         let bus = &mut FlatBus::default();
         let insts = parse_asm("mov rbx, 0; div rbx").unwrap();
         execute(&insts[0], &mut s, bus).unwrap();
-        assert_eq!(
-            execute(&insts[1], &mut s, bus),
-            Err(CpuFault::DivideError)
-        );
+        assert_eq!(execute(&insts[1], &mut s, bus), Err(CpuFault::DivideError));
     }
 
     #[test]

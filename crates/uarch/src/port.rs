@@ -293,8 +293,14 @@ mod tests {
             assert_eq!(MicroArch::parse(m.name()), Some(m));
         }
         assert_eq!(MicroArch::parse("skylake"), Some(MicroArch::Skylake));
-        assert_eq!(MicroArch::parse("sandy bridge"), Some(MicroArch::SandyBridge));
-        assert_eq!(MicroArch::parse("SANDYBRIDGE"), Some(MicroArch::SandyBridge));
+        assert_eq!(
+            MicroArch::parse("sandy bridge"),
+            Some(MicroArch::SandyBridge)
+        );
+        assert_eq!(
+            MicroArch::parse("SANDYBRIDGE"),
+            Some(MicroArch::SandyBridge)
+        );
         assert_eq!(MicroArch::parse("P6"), None);
     }
 

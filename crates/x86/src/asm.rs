@@ -276,7 +276,7 @@ pub fn parse_asm(text: &str) -> Result<Vec<Instruction>, ParseAsmError> {
     let mut fixups: Vec<(usize, usize, String, usize)> = Vec::new();
 
     let mut statement_no = 0usize;
-    for raw in text.split(|c| c == ';' || c == '\n') {
+    for raw in text.split([';', '\n']) {
         let mut stmt = raw;
         if let Some(hash) = stmt.find('#') {
             stmt = &stmt[..hash];
@@ -420,10 +420,7 @@ fn parse_number(s: &str) -> Option<i64> {
         Some(rest) => (true, rest.trim()),
         None => (false, s),
     };
-    let value = if let Some(hex) = body
-        .strip_prefix("0x")
-        .or_else(|| body.strip_prefix("0X"))
-    {
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).ok().or_else(|| {
             // Allow full-range 64-bit hex immediates.
             u64::from_str_radix(hex, 16).ok().map(|v| v as i64)

@@ -62,7 +62,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "decode error at offset {:#x}: {}", self.offset, self.message)
+        write!(
+            f,
+            "decode error at offset {:#x}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -431,7 +435,11 @@ fn encode_nonbranch(inst: &Instruction) -> Result<Vec<u8>, EncodeError> {
                 (Operand::Mem(mem), Operand::Gpr(s)) => {
                     e.force_rex = needs_rex_for_byte(s);
                     e.set_width(s.width);
-                    e.opcode = vec![if s.width == Width::B { idx * 8 } else { idx * 8 + 1 }];
+                    e.opcode = vec![if s.width == Width::B {
+                        idx * 8
+                    } else {
+                        idx * 8 + 1
+                    }];
                     e.set_modrm(s.reg.number(), &Rm::Mem(*mem))?;
                 }
                 _ => return Err(unsupported()),
@@ -518,14 +526,8 @@ fn encode_nonbranch(inst: &Instruction) -> Result<Vec<u8>, EncodeError> {
             }
         }
         Mnemonic::Lea => {
-            let d = inst
-                .dst()
-                .and_then(|o| o.as_gpr())
-                .ok_or_else(invalid)?;
-            let mem = inst
-                .src()
-                .and_then(|o| o.as_mem())
-                .ok_or_else(invalid)?;
+            let d = inst.dst().and_then(|o| o.as_gpr()).ok_or_else(invalid)?;
+            let mem = inst.src().and_then(|o| o.as_mem()).ok_or_else(invalid)?;
             e.set_width(d.width);
             e.opcode = vec![0x8D];
             e.set_modrm(d.reg.number(), &Rm::Mem(mem))?;
@@ -641,7 +643,10 @@ fn encode_nonbranch(inst: &Instruction) -> Result<Vec<u8>, EncodeError> {
             let d = inst.dst().and_then(|o| o.as_gpr()).ok_or_else(invalid)?;
             e.set_width(d.width);
             e.opcode = vec![0x0F, 0xC7];
-            e.set_modrm(if m == Mnemonic::Rdrand { 6 } else { 7 }, &Rm::Reg(d.reg.number()))?;
+            e.set_modrm(
+                if m == Mnemonic::Rdrand { 6 } else { 7 },
+                &Rm::Reg(d.reg.number()),
+            )?;
         }
         _ => return Err(unsupported()),
     }
@@ -679,7 +684,11 @@ pub fn encode_program(insts: &[Instruction]) -> Result<(Vec<u8>, Vec<usize>), En
     let mut out = Vec::with_capacity(total);
     for (i, inst) in insts.iter().enumerate() {
         match inst.mnemonic {
-            Mnemonic::Jmp | Mnemonic::Call | Mnemonic::Jz | Mnemonic::Jnz | Mnemonic::Jc
+            Mnemonic::Jmp
+            | Mnemonic::Call
+            | Mnemonic::Jz
+            | Mnemonic::Jnz
+            | Mnemonic::Jc
             | Mnemonic::Jnc => {
                 let target = match inst.dst() {
                     Some(Operand::Label(t)) => *t,
@@ -698,8 +707,8 @@ pub fn encode_program(insts: &[Instruction]) -> Result<(Vec<u8>, Vec<usize>), En
                 };
                 let next = offsets[i] + lengths[i];
                 let rel = target_off as i64 - next as i64;
-                let rel32 = i32::try_from(rel)
-                    .map_err(|_| EncodeError::OutOfRange(inst.to_string()))?;
+                let rel32 =
+                    i32::try_from(rel).map_err(|_| EncodeError::OutOfRange(inst.to_string()))?;
                 match inst.mnemonic {
                     Mnemonic::Jmp => out.push(0xE9),
                     Mnemonic::Call => out.push(0xE8),
@@ -807,11 +816,7 @@ impl Prefixes {
 }
 
 /// Decodes ModRM (+SIB/disp) returning (reg field, r/m operand).
-fn decode_modrm(
-    d: &mut Decoder,
-    p: &Prefixes,
-    width: Width,
-) -> Result<(u8, Operand), DecodeError> {
+fn decode_modrm(d: &mut Decoder, p: &Prefixes, width: Width) -> Result<(u8, Operand), DecodeError> {
     let modrm = d.u8()?;
     let mode = modrm >> 6;
     let reg = ((modrm >> 3) & 7) | (p.r() << 3);
@@ -968,10 +973,9 @@ fn decode_one(
         0xF4 => Instruction::new(Mnemonic::Hlt),
         0xFA => Instruction::new(Mnemonic::Cli),
         0xFB => Instruction::new(Mnemonic::Sti),
-        0x50..=0x57 => Instruction::unary(
-            Mnemonic::Push,
-            gpr_op((op - 0x50) | (p.b() << 3), Width::Q),
-        ),
+        0x50..=0x57 => {
+            Instruction::unary(Mnemonic::Push, gpr_op((op - 0x50) | (p.b() << 3), Width::Q))
+        }
         0x58..=0x5F => {
             Instruction::unary(Mnemonic::Pop, gpr_op((op - 0x58) | (p.b() << 3), Width::Q))
         }
@@ -996,7 +1000,7 @@ fn decode_one(
             };
             Instruction::binary(Mnemonic::Mov, rm, Operand::Imm(imm))
         }
-        0x88 | 0x89 | 0x8A | 0x8B => {
+        0x88..=0x8B => {
             let width = if op & 1 == 0 { Width::B } else { w };
             let (reg, rm) = decode_modrm(d, &p, width)?;
             let reg = gpr_op(reg, width);
@@ -1113,7 +1117,11 @@ fn decode_one(
             let target = (d.pos as i64 + rel) as usize;
             on_branch(target);
             Instruction::unary(
-                if op == 0xE8 { Mnemonic::Call } else { Mnemonic::Jmp },
+                if op == 0xE8 {
+                    Mnemonic::Call
+                } else {
+                    Mnemonic::Jmp
+                },
                 Operand::Label(usize::MAX),
             )
         }
@@ -1272,7 +1280,7 @@ fn decode_0f(
                 _ => return d.err("unsupported 0F C7 form"),
             }
         }
-        0x82 | 0x83 | 0x84 | 0x85 => {
+        0x82..=0x85 => {
             let rel = d.i32()? as i64;
             let target = (d.pos as i64 + rel) as usize;
             on_branch(target);

@@ -68,10 +68,16 @@ impl fmt::Display for MemRef {
             wrote = true;
         }
         if self.disp != 0 || !wrote {
-            if wrote && self.disp >= 0 {
-                f.write_str("+")?;
+            if wrote {
+                // LowerHex on i64 would print the two's-complement bit
+                // pattern for negative displacements; print a sign instead
+                // so the text re-parses.
+                f.write_str(if self.disp >= 0 { "+" } else { "-" })?;
+                write!(f, "{:#x}", self.disp.unsigned_abs())?;
+            } else {
+                // Absolute reference: the displacement is a raw address.
+                write!(f, "{:#x}", self.disp as u64)?;
             }
-            write!(f, "{:#x}", self.disp)?;
         }
         f.write_str("]")
     }

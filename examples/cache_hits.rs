@@ -15,9 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // <WBINVD> flushes all caches (a privileged instruction — cacheSeq
     // always uses the kernel-space version of nanoBench).
     for text in [
-        "<WBINVD> B0? B0?",                         // miss, then hit
-        "<WBINVD> B0 B1 B2 B3 B0?",                 // still resident (8 ways)
-        "<WBINVD> B0 B1 B2 B3 B4 B5 B6 B7 B8 B0?",  // 9 blocks overflow the set
+        "<WBINVD> B0? B0?",                        // miss, then hit
+        "<WBINVD> B0 B1 B2 B3 B0?",                // still resident (8 ways)
+        "<WBINVD> B0 B1 B2 B3 B4 B5 B6 B7 B8 B0?", // 9 blocks overflow the set
     ] {
         let seq = AccessSeq::parse(text).map_err(std::io::Error::other)?;
         let hits = cs.run_hits(&seq)?;

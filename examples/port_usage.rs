@@ -29,10 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             4,
         ),
         // Privileged: needs the kernel-space version (§III-D).
-        InstSpec::new("RDMSR (APERF)", None, "rdmsr", 1)
-            .with_init("mov rcx, 0xE8; mov rdx, 0"),
+        InstSpec::new("RDMSR (APERF)", None, "rdmsr", 1).with_init("mov rcx, 0xE8; mov rdx, 0"),
     ];
-    println!("{:<22} {:>6} {:>8}  {}", "Instruction", "Lat", "TP", "Ports");
+    println!("{:<22} {:>6} {:>8}  Ports", "Instruction", "Lat", "TP");
     for spec in &specs {
         let m = measure_instruction(MicroArch::Skylake, spec)?;
         let lat = m

@@ -4,7 +4,9 @@
 //! Run with `cargo run --release --example replacement_policy`.
 
 use nanobench::cache::presets::cpu_by_microarch;
-use nanobench::cache_tools::{fit_policy, infer_permutation_policy, CacheSeq, Level, PermInferResult};
+use nanobench::cache_tools::{
+    fit_policy, infer_permutation_policy, CacheSeq, Level, PermInferResult,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cpu = cpu_by_microarch("Skylake").expect("Skylake preset");

@@ -18,7 +18,10 @@ fn paper_example_reproduces_exactly() {
     assert_eq!(out.get("Instructions retired"), Some(1.0));
     assert_eq!(out.core_cycles(), Some(4.0));
     let refc = out.get("Reference cycles").unwrap();
-    assert!((refc - 3.52).abs() < 0.01, "reference cycles {refc} vs paper 3.52");
+    assert!(
+        (refc - 3.52).abs() < 0.01,
+        "reference cycles {refc} vs paper 3.52"
+    );
     // The load µop alternates between the two load ports; the exact split
     // per multiplexing round varies slightly, the sum is exactly one µop.
     let p2 = out.get("UOPS_DISPATCHED_PORT.PORT_2").unwrap();

@@ -1,0 +1,153 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no network access, so this path dependency
+//! stands in for crates.io `criterion`. It keeps the same bench-authoring
+//! surface — [`Criterion`], `benchmark_group`, `bench_function`,
+//! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`], and
+//! [`black_box`] — but replaces the statistical machinery with a simple
+//! warm-up + timed-samples loop that prints mean/min/max per benchmark.
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), each benchmark body runs once, so the
+//! bench doubles as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Registers a standalone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(id, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(id, sample_size, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: if test_mode { 1 } else { sample_size.max(1) },
+        warm_up: !test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("  {id}: ok (test mode)");
+        return;
+    }
+    let n = b.samples.len().max(1) as f64;
+    let total: Duration = b.samples.iter().sum();
+    let mean = total.as_secs_f64() / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "  {id}: mean {:.3} ms, min {:.3} ms, max {:.3} ms ({} samples)",
+        mean * 1e3,
+        min.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+        b.samples.len(),
+    );
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+    warm_up: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one timing sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.warm_up {
+            black_box(routine());
+        }
+        for _ in 0..self.iters_per_sample {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

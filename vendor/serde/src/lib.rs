@@ -1,0 +1,101 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no network access, so this path dependency
+//! stands in for crates.io `serde`. It provides a [`Serialize`] trait built
+//! around a self-describing [`Value`] tree; `serde_json` (the sibling shim)
+//! renders that tree. The derive macro is not provided — the one workspace
+//! type that serializes ([`TableRow`] in `nanobench-inst-tools`) implements
+//! [`Serialize`] by hand.
+//!
+//! [`TableRow`]: ../nanobench_inst_tools/table/struct.TableRow.html
+
+/// A self-describing serialized value (the data model `serde_json` renders).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// A float (always serialized with a decimal point, like serde_json).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_num {
+    ($variant:ident, $as:ty, $($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        }
+    )*};
+}
+impl_serialize_num!(UInt, u64, u8, u16, u32, u64, usize);
+impl_serialize_num!(Int, i64, i8, i16, i32, i64, isize);
+impl_serialize_num!(Float, f64, f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}

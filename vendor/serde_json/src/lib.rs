@@ -1,0 +1,147 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the sibling `serde` shim's
+//! `Serialize` trait.
+
+use serde::{Serialize, Value};
+
+/// Renders `value` as compact JSON. Infallible in this shim (the data model
+/// is already a tree), but keeps `serde_json`'s `Result` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent, like
+/// `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialization error. The shim never produces one; the type exists so call
+/// sites written against real `serde_json` compile unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&format!("{n}")),
+        Value::UInt(n) => out.push_str(&format!("{n}")),
+        Value::Float(n) => write_float(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, write_value, '[', ']'),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            indent,
+            depth,
+            |out, (k, v), ind, d| {
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, ind, d);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: F,
+    open: char,
+    close: char,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, Option<usize>, usize),
+{
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // serde_json rejects non-finite floats; the shim emits null instead.
+        out.push_str("null");
+    } else {
+        // `{:?}` keeps the trailing `.0` on integral floats, like serde_json.
+        out.push_str(&format!("{n:?}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Value;
+
+    #[test]
+    fn pretty_prints_nested_objects() {
+        let v = Value::Array(vec![Value::Object(vec![
+            ("name".into(), Value::String("add".into())),
+            ("lat".into(), Value::Float(1.0)),
+        ])]);
+        let s = super::to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "[\n  {\n    \"name\": \"add\",\n    \"lat\": 1.0\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = super::to_string(&Value::String("a\"b\n".into())).unwrap();
+        assert_eq!(s, "\"a\\\"b\\n\"");
+    }
+}
