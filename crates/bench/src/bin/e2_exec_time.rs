@@ -7,6 +7,7 @@
 //! translation and interrupt handling), and the cost scales linearly in
 //! nMeasurements. Absolute numbers depend on the simulator host.
 
+use nanobench_bench::write_metrics_json;
 use nanobench_core::NanoBench;
 use nanobench_uarch::port::MicroArch;
 use std::time::Instant;
@@ -52,5 +53,14 @@ fn main() {
     assert!(
         user_ms > kernel_ms,
         "the user-space version must be slower (§III-K)"
+    );
+    write_metrics_json(
+        "BENCH_e2_exec_time.json",
+        "e2_exec_time",
+        "ms",
+        &[
+            ("kernel_ms_per_invocation", kernel_ms),
+            ("user_ms_per_invocation", user_ms),
+        ],
     );
 }

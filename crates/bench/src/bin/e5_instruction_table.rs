@@ -5,14 +5,27 @@
 //! The measured values are checked against the simulator's descriptor
 //! tables — the measurement tool must recover its machine's ground truth.
 
-use nanobench_inst_tools::{measure_instruction, render_table, run_suite, to_json, InstSpec};
+use nanobench_bench::write_metrics_json;
+use nanobench_core::Campaign;
+use nanobench_inst_tools::{
+    benchmark_suite, measure_instruction, render_table, run_suite_with, to_json, InstSpec,
+};
 use nanobench_uarch::port::MicroArch;
+use std::time::Instant;
 
 fn main() {
     println!("== E5: §V instruction latency/throughput/port usage ==");
-    let rows = run_suite(MicroArch::Skylake).expect("suite runs");
+    let campaign = Campaign::kernel(MicroArch::Skylake);
+    let n_variants = benchmark_suite().len();
+    let workers = campaign.effective_workers(n_variants);
+    let start = Instant::now();
+    let rows = run_suite_with(&campaign).expect("suite runs");
+    let campaign_ms = start.elapsed().as_secs_f64() * 1000.0;
     println!("{}", render_table(MicroArch::Skylake, &rows));
-    println!("{} variants measured", rows.len());
+    println!(
+        "{} variants measured in {campaign_ms:.0} ms across {workers} campaign workers",
+        rows.len()
+    );
 
     // Spot checks against documented Skylake values.
     let get = |name: &str| rows.iter().find(|r| r.name == name).expect(name);
@@ -43,5 +56,18 @@ fn main() {
     println!(
         "JSON written to instruction_table.json ({} bytes)",
         json.len()
+    );
+
+    // Campaign-throughput artifact for the perf trajectory (CI uploads it).
+    write_metrics_json(
+        "BENCH_campaign.json",
+        "e5_instruction_table_campaign",
+        "ms",
+        &[
+            ("suite_wall_ms", campaign_ms),
+            ("variants", rows.len() as f64),
+            ("workers", workers as f64),
+            ("ms_per_variant", campaign_ms / rows.len() as f64),
+        ],
     );
 }

@@ -7,83 +7,125 @@
 //! Adaptive L3s (Ivy Bridge / Haswell / Broadwell) are inferred on their
 //! leader sets; the probabilistic leader ranges are detected as
 //! non-deterministic, as in the paper (§VI-D).
+//!
+//! The 30 inferences (10 CPUs × 3 levels) are independent jobs with fixed
+//! seeds, so the whole table is a campaign: they fan out across worker
+//! threads via `nanobench_core::parallel_map` and the results are
+//! identical for any worker count.
 
+use nanobench_bench::write_metrics_json;
 use nanobench_cache::policy::PolicyKind;
 use nanobench_cache::presets::table1_cpus;
-use nanobench_cache::L3PolicyConfig;
+use nanobench_cache::{CpuSpec, L3PolicyConfig};
 use nanobench_cache_tools::{fit_policy, CacheSeq, Level};
+use nanobench_core::{parallel_map, NbError};
+use std::time::Instant;
 
-/// Infers the policy and reports it relative to the expected Table I name:
-/// `(display string, matched?)`. The exact-matching tool can only identify
-/// policies up to observational equivalence, so a match means the expected
-/// policy is in the unique surviving equivalence class.
-fn infer(
-    cpu: &nanobench_cache::CpuSpec,
+/// One inference job: re-infer the policy of `level` on `cpu` and report
+/// it relative to the expected Table I name as `(display, matched?)`. The
+/// exact-matching tool can only identify policies up to observational
+/// equivalence, so a match means the expected policy is in the unique
+/// surviving equivalence class.
+#[derive(Debug, Clone)]
+struct InferJob {
+    cpu: CpuSpec,
     level: Level,
     set: usize,
     assoc: usize,
-    expected: &str,
-) -> (String, bool) {
-    let n_blocks = assoc + 4;
+    expected: String,
+}
+
+fn infer(job: &InferJob) -> Result<(String, bool), NbError> {
+    let n_blocks = job.assoc + 4;
     let mut cs = CacheSeq::new(
-        cpu,
-        level,
-        set,
-        Some(0).filter(|_| level == Level::L3),
+        &job.cpu,
+        job.level,
+        job.set,
+        Some(0).filter(|_| job.level == Level::L3),
         n_blocks,
         7,
-    )
-    .expect("cacheSeq setup");
-    let fit = fit_policy(&mut cs, assoc, 80, 21).expect("fitting runs");
-    let expected_kind = PolicyKind::parse(expected).expect("expected name parses");
+    )?;
+    let fit = fit_policy(&mut cs, job.assoc, 80, 21)?;
+    let expected_kind = PolicyKind::parse(&job.expected).expect("expected name parses");
     let matched = fit.is_unique() && fit.contains(&expected_kind);
     let display = if matched {
         let class_size = fit.matching[0].len();
         if class_size > 1 {
-            format!("{expected} (class of {class_size})")
+            format!("{} (class of {class_size})", job.expected)
         } else {
-            expected.to_string()
+            job.expected.clone()
         }
     } else {
         fit.summary()
     };
-    (display, matched)
+    Ok((display, matched))
 }
 
 fn main() {
     println!("== E6: Table I — inferred replacement policies ==");
+    let cpus = table1_cpus();
+    let mut jobs = Vec::new();
+    for cpu in &cpus {
+        let (exp_l1, exp_l2, _exp_l3) = cpu.expected_policies();
+        // L3: uniform policies on an arbitrary set; adaptive ones on the
+        // deterministic leader range 512-575 (§VI-D) of a slice that has
+        // leaders (slice 0 on all three adaptive parts).
+        let (l3_set, expected_l3) = match &cpu.l3_policy {
+            L3PolicyConfig::Uniform(k) => (100usize, k.name()),
+            L3PolicyConfig::Adaptive { policy_a, .. } => (520usize, policy_a.name()),
+        };
+        for (level, set, assoc, expected) in [
+            (Level::L1, 5usize, cpu.l1_assoc, exp_l1),
+            (Level::L2, 21, cpu.l2_assoc, exp_l2),
+            (Level::L3, l3_set, cpu.l3_assoc, expected_l3),
+        ] {
+            jobs.push(InferJob {
+                cpu: cpu.clone(),
+                level,
+                set,
+                assoc,
+                expected,
+            });
+        }
+    }
+
+    let start = Instant::now();
+    let results = parallel_map(0, &jobs, |job, _| infer(job)).expect("inference campaign runs");
+    let campaign_ms = start.elapsed().as_secs_f64() * 1000.0;
+
     println!(
         "{:<18} {:<6} {:<22} {:<28} status",
         "CPU", "L1", "L2", "L3 (leader set / uniform)"
     );
     let mut all_ok = true;
-    for cpu in table1_cpus() {
-        let (exp_l1, exp_l2, exp_l3) = cpu.expected_policies();
-        let (l1, ok1) = infer(&cpu, Level::L1, 5, cpu.l1_assoc, &exp_l1);
-        let (l2, ok2) = infer(&cpu, Level::L2, 21, cpu.l2_assoc, &exp_l2);
-        // L3: uniform policies on an arbitrary set; adaptive ones on the
-        // deterministic leader range 512-575 (§VI-D) of a slice that has
-        // leaders (slice 0 on all three adaptive parts).
-        let (l3_set, expected_l3_name) = match &cpu.l3_policy {
-            L3PolicyConfig::Uniform(k) => (100usize, k.name()),
-            L3PolicyConfig::Adaptive { policy_a, .. } => (520usize, policy_a.name()),
-        };
-        let (l3, ok3) = infer(&cpu, Level::L3, l3_set, cpu.l3_assoc, &expected_l3_name);
-        let ok = ok1 && ok2 && ok3;
+    for (i, cpu) in cpus.iter().enumerate() {
+        let (l1, ok1) = &results[3 * i];
+        let (l2, ok2) = &results[3 * i + 1];
+        let (l3, ok3) = &results[3 * i + 2];
+        let ok = *ok1 && *ok2 && *ok3;
         all_ok &= ok;
         println!(
             "{:<18} {:<6} {:<22} {:<28} {}",
             cpu.microarch,
             l1,
-            truncate(&l2, 22),
-            truncate(&l3, 28),
+            truncate(l2, 22),
+            truncate(l3, 28),
             if ok { "MATCH" } else { "MISMATCH" }
         );
-        let _ = exp_l3;
     }
     println!();
     println!("(L3 of Ivy Bridge/Haswell/Broadwell shown for leader sets 512-575;");
     println!(" the 768-831 ranges are non-deterministic — see E7/E8.)");
+    println!("{} inferences in {campaign_ms:.0} ms", jobs.len());
+    write_metrics_json(
+        "BENCH_table1.json",
+        "e6_table1_campaign",
+        "ms",
+        &[
+            ("inference_wall_ms", campaign_ms),
+            ("inferences", jobs.len() as f64),
+        ],
+    );
     assert!(all_ok, "every inferred policy must match Table I");
 }
 

@@ -6,19 +6,21 @@
 //! scans the relevant window and reports the dedicated sets per slice.
 
 use nanobench_cache::presets::cpu_by_microarch;
-use nanobench_cache_tools::find_dedicated_sets;
+use nanobench_cache_tools::find_dedicated_sets_on;
+use nanobench_core::Session;
 use nanobench_machine::{Machine, Mode};
 
 fn scan(name: &str) -> nanobench_cache_tools::DuelingReport {
     let cpu = cpu_by_microarch(name).expect("preset exists");
-    let mut m = Machine::from_cpu(&cpu, Mode::Kernel, 5);
+    let mut session = Session::with_machine(Machine::from_cpu(&cpu, Mode::Kernel, 5));
+    let m = session.machine_mut();
     m.hierarchy_mut().prefetchers_mut().disable_all();
     let slices = m.hierarchy().config().l3.slices as u64;
     let sets = m.hierarchy().config().l3.sets_per_slice() as u64;
     let assoc = m.hierarchy().config().l3.assoc as u64;
     let size = (2 * assoc + 8) * sets * slices * 64 * 2;
     let base = m.alloc_contiguous(size).expect("contiguous region");
-    let report = find_dedicated_sets(&mut m, base, size, 480..860, 8);
+    let report = find_dedicated_sets_on(&mut session, base, size, 480..860, 8);
     println!("{name}:");
     for (slice, r) in report.per_slice.iter().enumerate() {
         println!(

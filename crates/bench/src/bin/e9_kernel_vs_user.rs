@@ -6,6 +6,7 @@
 //! core-cycle measurements (no aggregate): kernel runs are identical;
 //! user runs are perturbed by interrupt injection.
 
+use nanobench_bench::write_metrics_json;
 use nanobench_core::{Aggregate, NanoBench};
 use nanobench_uarch::port::MicroArch;
 
@@ -48,4 +49,17 @@ fn main() {
         "interrupt injection must make user-mode measurements noisier"
     );
     println!("\nkernel-space measurements are more precise, as §III-D claims");
+    write_metrics_json(
+        "BENCH_e9_kernel_vs_user.json",
+        "e9_kernel_vs_user",
+        "cycles_per_rep",
+        &[
+            ("kernel_min", klo),
+            ("kernel_max", khi),
+            ("kernel_spread", khi - klo),
+            ("user_min", ulo),
+            ("user_max", uhi),
+            ("user_spread", uhi - ulo),
+        ],
+    );
 }

@@ -1,1 +1,83 @@
-//! Experiment harness for the nanoBench reproduction; see the `bin` targets (e1..e9) and the `overhead` criterion bench.
+//! Experiment harness for the nanoBench reproduction; see the `bin`
+//! targets (e1..e9) and the `overhead` criterion bench.
+//!
+//! Timing-shaped experiments (e2, e5, e6, e9) emit their measurements as
+//! `BENCH_*.json` artifacts in a shared format via
+//! [`write_metrics_json`], so CI can collect a perf trajectory across
+//! commits instead of the numbers dying in the job log.
+
+use serde::{Serialize, Value};
+
+/// A named set of scalar measurements from one experiment run.
+///
+/// Serializes as `{"experiment": ..., "unit": ..., "metrics": {...}}` —
+/// the schema every `BENCH_*.json` artifact shares.
+#[derive(Debug, Clone)]
+pub struct BenchMetrics {
+    /// Experiment identifier, e.g. `"e2_exec_time"`.
+    pub experiment: String,
+    /// Unit of the metric values, e.g. `"ms"`.
+    pub unit: String,
+    /// `(name, value)` pairs in output order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchMetrics {
+    /// Builds a metrics set from `(name, value)` pairs.
+    pub fn new(experiment: &str, unit: &str, metrics: &[(&str, f64)]) -> BenchMetrics {
+        BenchMetrics {
+            experiment: experiment.to_string(),
+            unit: unit.to_string(),
+            metrics: metrics
+                .iter()
+                .map(|(n, v)| ((*n).to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+impl Serialize for BenchMetrics {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("experiment".to_owned(), self.experiment.to_value()),
+            ("unit".to_owned(), self.unit.to_value()),
+            (
+                "metrics".to_owned(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(n, v)| (n.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Writes one experiment's measurements to `path` as pretty JSON.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (the experiment binaries treat
+/// their artifact like their stdout: failing to produce it is a failure).
+pub fn write_metrics_json(path: &str, experiment: &str, unit: &str, metrics: &[(&str, f64)]) {
+    let doc = BenchMetrics::new(experiment, unit, metrics);
+    let json = serde_json::to_string_pretty(&doc).expect("metrics serialize");
+    std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("timing artifact written to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_serialize_in_order() {
+        let doc = BenchMetrics::new("e2_exec_time", "ms", &[("kernel", 1.5), ("user", 4.25)]);
+        let json = serde_json::to_string(&doc).unwrap();
+        assert_eq!(
+            json,
+            r#"{"experiment":"e2_exec_time","unit":"ms","metrics":{"kernel":1.5,"user":4.25}}"#
+        );
+    }
+}

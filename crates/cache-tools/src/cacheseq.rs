@@ -11,7 +11,7 @@
 
 use crate::addresses::{build_pool, AddrPool, Level};
 use nanobench_cache::presets::CpuSpec;
-use nanobench_core::{NanoBench, NbError};
+use nanobench_core::{BenchSpec, NbError, Session};
 use nanobench_machine::{Machine, Mode};
 use nanobench_x86::inst::{Instruction, Mnemonic};
 use nanobench_x86::operand::{MemRef, Operand};
@@ -89,9 +89,18 @@ impl AccessSeq {
 }
 
 /// The cacheSeq tool bound to one (CPU, level, set, slice) target.
+///
+/// Holds one reusable [`Session`] (machine, arenas, the level's hit-event
+/// configuration) and a [`BenchSpec`] whose code is swapped per sequence —
+/// the expensive setup (contiguous allocation, address-pool construction,
+/// prefetcher disabling) happens once, and every sequence of a campaign
+/// reuses it. Sequences normalize their own starting state via `<WBINVD>`,
+/// so no session reset is needed (or wanted: a reset would re-enable the
+/// prefetchers).
 #[derive(Debug)]
 pub struct CacheSeq {
-    nb: NanoBench,
+    session: Session,
+    spec: BenchSpec,
     pool: AddrPool,
 }
 
@@ -139,13 +148,18 @@ impl CacheSeq {
             slice,
             n_blocks,
         );
-        let mut nb = NanoBench::with_machine(machine);
-        nb.no_mem(true)
+        let mut session = Session::with_machine(machine);
+        session.config_str(level.hit_event_config())?;
+        let mut spec = BenchSpec::new();
+        spec.no_mem(true)
             .basic_mode(true)
             .n_measurements(1)
-            .unroll_count(1)
-            .config_str(level.hit_event_config())?;
-        Ok(CacheSeq { nb, pool })
+            .unroll_count(1);
+        Ok(CacheSeq {
+            session,
+            spec,
+            pool,
+        })
     }
 
     /// The address pool (for tests and diagnostics).
@@ -155,7 +169,12 @@ impl CacheSeq {
 
     /// The underlying machine.
     pub fn machine_mut(&mut self) -> &mut Machine {
-        self.nb.machine_mut()
+        self.session.machine_mut()
+    }
+
+    /// The underlying session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     fn load_of(addr: u64) -> Instruction {
@@ -219,8 +238,8 @@ impl CacheSeq {
         } else {
             Vec::new()
         };
-        self.nb.init(init).code(body);
-        let result = self.nb.run()?;
+        self.spec.init(init).code(body);
+        let result = self.session.run(&self.spec)?;
         let value = result.get(self.pool.level.hit_event()).unwrap_or(0.0);
         Ok(value.round().max(0.0) as u64)
     }

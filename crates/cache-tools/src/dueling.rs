@@ -22,6 +22,7 @@
 //! exercised by the cacheSeq-based tools; a full-cache scan uses the raw
 //! path for speed — see DESIGN.md §5).
 
+use nanobench_core::Session;
 use nanobench_machine::Machine;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -135,6 +136,19 @@ fn pump_misses(machine: &mut Machine, addrs: &[u64], assoc: usize, n: usize) {
         machine.hierarchy_mut().clflush(a);
         machine.hierarchy_mut().access(a);
     }
+}
+
+/// [`find_dedicated_sets`] on a reusable [`Session`]'s machine, so a scan
+/// campaign shares the session the other cache tools already hold instead
+/// of building a dedicated machine per scan.
+pub fn find_dedicated_sets_on(
+    session: &mut Session,
+    region: u64,
+    region_size: u64,
+    set_range: Range<usize>,
+    reps: usize,
+) -> DuelingReport {
+    find_dedicated_sets(session.machine_mut(), region, region_size, set_range, reps)
 }
 
 /// Finds the dedicated (leader) sets in the given set range of each slice.

@@ -28,6 +28,6 @@ pub mod policy_fit;
 pub use addresses::{build_pool, AddrPool, Level};
 pub use age_graph::{age_graph, AgeGraph};
 pub use cacheseq::{AccessSeq, CacheSeq, SeqItem};
-pub use dueling::{find_dedicated_sets, DuelingReport, SliceReport};
+pub use dueling::{find_dedicated_sets, find_dedicated_sets_on, DuelingReport, SliceReport};
 pub use perm_infer::{infer_permutation_policy, PermInferResult};
 pub use policy_fit::{candidate_library, equivalence_classes, fit_policy, FitResult};

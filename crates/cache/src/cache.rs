@@ -7,6 +7,16 @@ use std::sync::Arc;
 /// Cache line size in bytes (64 on all CPUs in Table I).
 pub const LINE_SIZE: u64 = 64;
 
+/// Seed salt separating a dueling set's policy-B random stream from its
+/// policy-A stream (shared between construction and reset so both derive
+/// identical streams).
+pub(crate) const POLICY_B_SEED_SALT: u64 = 0xB00B;
+
+/// Per-set seed derivation used by [`Cache::new`] and [`Cache::reset_seeded`].
+fn derive_set_seed(cache_seed: u64, set: usize) -> u64 {
+    cache_seed ^ (set as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Geometry and policy of a single cache level.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -149,6 +159,17 @@ impl SetPolicy for LeaderPolicy {
         self.inner.on_flush();
     }
 
+    fn reset(&mut self, seed: u64) {
+        // The B leader's inner policy was instantiated with the salted
+        // seed; reproduce that derivation so reset replays construction.
+        let inner_seed = if self.is_a {
+            seed
+        } else {
+            seed ^ POLICY_B_SEED_SALT
+        };
+        self.inner.reset(inner_seed);
+    }
+
     fn box_clone(&self) -> Box<dyn SetPolicy> {
         Box::new(self.clone())
     }
@@ -203,6 +224,11 @@ impl SetPolicy for FollowerPolicy {
         self.b.on_flush();
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.a.reset(seed);
+        self.b.reset(seed ^ POLICY_B_SEED_SALT);
+    }
+
     fn box_clone(&self) -> Box<dyn SetPolicy> {
         Box::new(self.clone())
     }
@@ -222,10 +248,9 @@ impl Cache {
     /// policies (each set derives its own stream).
     pub fn new(config: &CacheConfig, seed: u64) -> Cache {
         Cache::with_policies(config.num_sets(), config.assoc, |set| {
-            config.policy.instantiate(
-                config.assoc,
-                seed ^ (set as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )
+            config
+                .policy
+                .instantiate(config.assoc, derive_set_seed(seed, set))
         })
     }
 
@@ -349,6 +374,24 @@ impl Cache {
     /// Resets statistics to zero (contents are untouched).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Restores the just-built state in place: empties every set, rewinds
+    /// every per-set policy (deriving its seed via `per_set_seed`, which
+    /// must match the derivation used at construction), and zeroes the
+    /// statistics — all without dropping the tag or policy allocations.
+    pub fn reset_with(&mut self, mut per_set_seed: impl FnMut(usize) -> u64) {
+        for (s, set) in self.sets.iter_mut().enumerate() {
+            set.tags.fill(None);
+            set.policy.reset(per_set_seed(s));
+        }
+        self.stats = CacheStats::default();
+    }
+
+    /// [`Cache::reset_with`] using the same per-set seed derivation as
+    /// [`Cache::new`]; pass the cache seed that was passed there.
+    pub fn reset_seeded(&mut self, cache_seed: u64) {
+        self.reset_with(|set| derive_set_seed(cache_seed, set));
     }
 
     /// The blocks currently cached in `set` (by way).

@@ -2,7 +2,9 @@
 //! L3 with C-Box lookup counters and (optional) adaptive replacement via set
 //! dueling.
 
-use crate::cache::{Cache, CacheConfig, CacheStats, FollowerPolicy, LeaderPolicy, PselCounter};
+use crate::cache::{
+    Cache, CacheConfig, CacheStats, FollowerPolicy, LeaderPolicy, PselCounter, POLICY_B_SEED_SALT,
+};
 use crate::policy::PolicyKind;
 use crate::prefetch::Prefetchers;
 use crate::slice::SliceHash;
@@ -185,8 +187,10 @@ impl CacheHierarchy {
                     let psel = Arc::clone(&psel);
                     Cache::with_policies(sets_per_slice, config.l3.assoc, move |set| {
                         let sa = policy_a.instantiate(config.l3.assoc, slice_seed ^ set as u64);
-                        let sb =
-                            policy_b.instantiate(config.l3.assoc, slice_seed ^ set as u64 ^ 0xB00B);
+                        let sb = policy_b.instantiate(
+                            config.l3.assoc,
+                            slice_seed ^ set as u64 ^ POLICY_B_SEED_SALT,
+                        );
                         match slice_leaders.role_of(set) {
                             SetRole::LeaderA => {
                                 Box::new(LeaderPolicy::new(sa, Arc::clone(&psel), true))
@@ -372,6 +376,26 @@ impl CacheHierarchy {
             total.evictions += s.evictions;
         }
         total
+    }
+
+    /// Restores the hierarchy to the state [`CacheHierarchy::new`] built
+    /// for `seed`, without dropping any set/tag allocations: empties every
+    /// level, rewinds per-set policy state (including probabilistic
+    /// policies' random streams), recentres the PSEL counter, re-enables
+    /// the prefetchers and clears their streams, and zeroes statistics and
+    /// uncore counters. Pass the seed the hierarchy was built with to
+    /// replay bit-identically, or a different one to restart it as if
+    /// freshly built with that seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.l1.reset_seeded(seed ^ 0x11);
+        self.l2.reset_seeded(seed ^ 0x22);
+        for (slice, cache) in self.l3.iter_mut().enumerate() {
+            let slice_seed = seed ^ ((slice as u64 + 1) << 48);
+            cache.reset_with(|set| slice_seed ^ set as u64);
+        }
+        self.psel.reset();
+        self.prefetchers.reset();
+        self.uncore_lookups.fill(0);
     }
 
     /// Resets all statistics (contents are untouched).

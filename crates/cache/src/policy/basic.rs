@@ -54,7 +54,12 @@ impl SetPolicy for Lru {
 
     fn on_flush(&mut self) {
         let assoc = self.stack.len();
-        self.stack = (0..assoc).collect();
+        self.stack.clear();
+        self.stack.extend(0..assoc);
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.on_flush();
     }
 
     fn box_clone(&self) -> Box<dyn SetPolicy> {
@@ -102,7 +107,12 @@ impl SetPolicy for Fifo {
 
     fn on_flush(&mut self) {
         let assoc = self.queue.len();
-        self.queue = (0..assoc).collect();
+        self.queue.clear();
+        self.queue.extend(0..assoc);
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.on_flush();
     }
 
     fn box_clone(&self) -> Box<dyn SetPolicy> {
@@ -198,6 +208,10 @@ impl SetPolicy for Plru {
         self.tree.fill(false);
     }
 
+    fn reset(&mut self, _seed: u64) {
+        self.tree.fill(false);
+    }
+
     fn box_clone(&self) -> Box<dyn SetPolicy> {
         Box::new(self.clone())
     }
@@ -230,6 +244,11 @@ impl SetPolicy for RandomPolicy {
     fn on_invalidate(&mut self, _way: usize) {}
 
     fn on_flush(&mut self) {}
+
+    fn reset(&mut self, seed: u64) {
+        use rand::SeedableRng;
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
 
     fn box_clone(&self) -> Box<dyn SetPolicy> {
         Box::new(self.clone())

@@ -48,6 +48,14 @@ pub trait SetPolicy: fmt::Debug + Send {
     /// Called when the whole cache is flushed (e.g. `WBINVD`).
     fn on_flush(&mut self);
 
+    /// Restores the just-constructed state for `seed`, reusing existing
+    /// allocations. Unlike [`SetPolicy::on_flush`] — which models a
+    /// hardware flush and leaves any random-number stream where it is —
+    /// this also rewinds the stream of probabilistic policies, so a reset
+    /// cache replays bit-identically to a freshly built one.
+    /// Deterministic policies ignore `seed`.
+    fn reset(&mut self, seed: u64);
+
     /// Clones the policy into a fresh box (object-safe `Clone`).
     fn box_clone(&self) -> Box<dyn SetPolicy>;
 }

@@ -78,6 +78,10 @@ impl SetPolicy for Mru {
         self.bits.fill(true);
     }
 
+    fn reset(&mut self, _seed: u64) {
+        self.bits.fill(true);
+    }
+
     fn box_clone(&self) -> Box<dyn SetPolicy> {
         Box::new(self.clone())
     }

@@ -278,7 +278,11 @@ impl SetPolicy for PermutationPolicy {
     fn on_invalidate(&mut self, _way: usize) {}
 
     fn on_flush(&mut self) {
-        self.order = self.spec.initial_order.clone();
+        self.order.clone_from(&self.spec.initial_order);
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.order.clone_from(&self.spec.initial_order);
     }
 
     fn box_clone(&self) -> Box<dyn SetPolicy> {

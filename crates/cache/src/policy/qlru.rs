@@ -362,6 +362,12 @@ impl SetPolicy for QlruPolicy {
         self.ages.fill(3);
     }
 
+    fn reset(&mut self, seed: u64) {
+        use rand::SeedableRng;
+        self.ages.fill(3);
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
     fn box_clone(&self) -> Box<dyn SetPolicy> {
         Box::new(self.clone())
     }

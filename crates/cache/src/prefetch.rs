@@ -149,6 +149,13 @@ impl Prefetchers {
         self.l2_streams.clear();
         self.l1_streams.clear();
     }
+
+    /// Restores power-on state: all prefetchers enabled (MSR 0x1A4 = 0)
+    /// and no stream history.
+    pub fn reset(&mut self) {
+        self.disable_bits = 0;
+        self.reset_streams();
+    }
 }
 
 #[cfg(test)]

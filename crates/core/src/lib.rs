@@ -13,6 +13,11 @@
 //! counter multiplexing from configuration files (§III-J), and a
 //! `nanoBench.sh`-style option interface ([`shell`]).
 //!
+//! Campaigns — many benchmarks against the same machine model — should use
+//! the [`session`] module: a [`Session`] amortizes machine construction
+//! across runs and a [`Campaign`] shards runs over worker threads with
+//! bit-deterministic results ([`session`] has the seeding scheme).
+//!
 //! # Examples
 //!
 //! The paper's §III-A example — L1 data cache latency on Skylake:
@@ -44,9 +49,11 @@ pub mod error;
 pub mod nanobench;
 pub mod result;
 pub mod runner;
+pub mod session;
 pub mod shell;
 
 pub use error::NbError;
 pub use nanobench::NanoBench;
 pub use result::BenchmarkResult;
 pub use runner::Aggregate;
+pub use session::{parallel_map, BenchSpec, Campaign, Session, NB_SEED};

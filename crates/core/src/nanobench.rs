@@ -6,23 +6,24 @@
 //! (§III-C/H), and run. Counter multiplexing, overhead removal by running
 //! two unroll versions (§III-C), and the noMem register mode (§III-I) are
 //! handled automatically.
+//!
+//! `NanoBench` is a thin compatibility facade over the reusable
+//! [`Session`] / [`BenchSpec`] split: it bundles one session with one spec
+//! so the original one-shot builder workflow (and the shell-style option
+//! parser in [`crate::shell`]) keeps working unchanged. Campaign-shaped
+//! callers should use [`Session`] and [`crate::Campaign`] directly and
+//! amortize the machine construction.
 
-use crate::codegen::{self, Arenas, CodegenRequest, ARENA_REGS, ARENA_SIZE, NO_MEM_ACC_REGS};
 use crate::error::NbError;
-use crate::result::{BenchmarkResult, FIXED_COUNTER_NAMES};
-use crate::runner::{measure, Aggregate};
-use nanobench_machine::{Machine, Mode};
-use nanobench_pmu::{parse_config, PerfEvent};
+use crate::result::BenchmarkResult;
+use crate::runner::Aggregate;
+use crate::session::{BenchSpec, Session};
+use nanobench_machine::Machine;
+use nanobench_pmu::PerfEvent;
 use nanobench_uarch::port::MicroArch;
-use nanobench_x86::asm::parse_asm;
-use nanobench_x86::encode::decode_program;
 use nanobench_x86::inst::Instruction;
 
-/// Number of programmable counters readable per round in noMem mode
-/// (three fixed + three programmable fit in R8–R13).
-const NO_MEM_PROG_PER_ROUND: usize = NO_MEM_ACC_REGS.len() - FIXED_COUNTER_NAMES.len();
-
-/// The nanoBench benchmark runner.
+/// The nanoBench benchmark runner: one [`Session`] plus one [`BenchSpec`].
 ///
 /// # Examples
 ///
@@ -47,61 +48,34 @@ const NO_MEM_PROG_PER_ROUND: usize = NO_MEM_ACC_REGS.len() - FIXED_COUNTER_NAMES
 /// ```
 #[derive(Debug)]
 pub struct NanoBench {
-    machine: Machine,
-    init: Vec<Instruction>,
-    code: Vec<Instruction>,
-    events: Vec<PerfEvent>,
-    loop_count: u64,
-    unroll_count: usize,
-    n_measurements: usize,
-    warm_up_count: usize,
-    aggregate: Aggregate,
-    no_mem: bool,
-    basic_mode: bool,
-    arenas: Arenas,
+    session: Session,
+    spec: BenchSpec,
 }
 
 impl NanoBench {
     /// Creates a runner over an existing machine, allocating the dedicated
     /// memory areas of §III-G.
-    pub fn with_machine(mut machine: Machine) -> NanoBench {
-        let control = machine.alloc_region(4096);
-        let mut arena_bases = [0u64; 5];
-        for (i, base) in arena_bases.iter_mut().enumerate() {
-            *base = machine.alloc_region(ARENA_SIZE);
-            let _ = i;
-        }
-        let arenas = Arenas {
-            save_area: control,
-            scratch: control + 0x100,
-            m1: control + 0x200,
-            m2: control + 0x300,
-            arena_bases,
-        };
+    pub fn with_machine(machine: Machine) -> NanoBench {
         NanoBench {
-            machine,
-            init: Vec::new(),
-            code: Vec::new(),
-            events: Vec::new(),
-            loop_count: 0,
-            unroll_count: 1,
-            n_measurements: 10,
-            warm_up_count: 0,
-            aggregate: Aggregate::Median,
-            no_mem: false,
-            basic_mode: false,
-            arenas,
+            session: Session::with_machine(machine),
+            spec: BenchSpec::new(),
         }
     }
 
     /// The kernel-space version (`kernel-nanoBench.sh`, §III-D).
     pub fn kernel(uarch: MicroArch) -> NanoBench {
-        NanoBench::with_machine(Machine::new(uarch, Mode::Kernel, NB_SEED))
+        NanoBench {
+            session: Session::kernel(uarch),
+            spec: BenchSpec::new(),
+        }
     }
 
     /// The user-space version (`nanoBench.sh`).
     pub fn user(uarch: MicroArch) -> NanoBench {
-        NanoBench::with_machine(Machine::new(uarch, Mode::User, NB_SEED))
+        NanoBench {
+            session: Session::user(uarch),
+            spec: BenchSpec::new(),
+        }
     }
 
     /// Sets the main part of the microbenchmark from Intel-syntax assembly.
@@ -110,7 +84,7 @@ impl NanoBench {
     ///
     /// Returns [`NbError::Asm`] on parse failure.
     pub fn asm(&mut self, text: &str) -> Result<&mut NanoBench, NbError> {
-        self.code = parse_asm(text)?;
+        self.spec.asm(text)?;
         Ok(self)
     }
 
@@ -120,7 +94,7 @@ impl NanoBench {
     ///
     /// Returns [`NbError::Asm`] on parse failure.
     pub fn asm_init(&mut self, text: &str) -> Result<&mut NanoBench, NbError> {
-        self.init = parse_asm(text)?;
+        self.spec.asm_init(text)?;
         Ok(self)
     }
 
@@ -131,19 +105,19 @@ impl NanoBench {
     ///
     /// Returns [`NbError::Decode`] for undecodable bytes.
     pub fn code_bytes(&mut self, bytes: &[u8]) -> Result<&mut NanoBench, NbError> {
-        self.code = decode_program(bytes)?;
+        self.spec.code_bytes(bytes)?;
         Ok(self)
     }
 
     /// Sets the main part directly from instructions.
     pub fn code(&mut self, code: Vec<Instruction>) -> &mut NanoBench {
-        self.code = code;
+        self.spec.code(code);
         self
     }
 
     /// Sets the init part directly from instructions.
     pub fn init(&mut self, init: Vec<Instruction>) -> &mut NanoBench {
-        self.init = init;
+        self.spec.init(init);
         self
     }
 
@@ -153,43 +127,43 @@ impl NanoBench {
     ///
     /// Returns [`NbError::Config`] on parse failure.
     pub fn config_str(&mut self, text: &str) -> Result<&mut NanoBench, NbError> {
-        self.events = parse_config(text)?;
+        self.spec.config_str(text)?;
         Ok(self)
     }
 
     /// Sets the events directly.
     pub fn events(&mut self, events: Vec<PerfEvent>) -> &mut NanoBench {
-        self.events = events;
+        self.spec.events(events);
         self
     }
 
     /// Sets `loopCount` (§III-F).
     pub fn loop_count(&mut self, n: u64) -> &mut NanoBench {
-        self.loop_count = n;
+        self.spec.loop_count(n);
         self
     }
 
     /// Sets `unrollCount` (§III-F).
     pub fn unroll_count(&mut self, n: usize) -> &mut NanoBench {
-        self.unroll_count = n.max(1);
+        self.spec.unroll_count(n);
         self
     }
 
     /// Sets the number of measured runs (Algorithm 2).
     pub fn n_measurements(&mut self, n: usize) -> &mut NanoBench {
-        self.n_measurements = n.max(1);
+        self.spec.n_measurements(n);
         self
     }
 
     /// Sets the number of discarded warm-up runs (§III-H).
     pub fn warm_up_count(&mut self, n: usize) -> &mut NanoBench {
-        self.warm_up_count = n;
+        self.spec.warm_up_count(n);
         self
     }
 
     /// Sets the aggregate function (§III-C).
     pub fn aggregate(&mut self, agg: Aggregate) -> &mut NanoBench {
-        self.aggregate = agg;
+        self.spec.aggregate(agg);
         self
     }
 
@@ -197,133 +171,50 @@ impl NanoBench {
     /// (§III-I). The microbenchmark must not modify those registers, nor
     /// RAX/RCX/RDX.
     pub fn no_mem(&mut self, on: bool) -> &mut NanoBench {
-        self.no_mem = on;
+        self.spec.no_mem(on);
         self
     }
 
     /// Uses a `localUnrollCount` of 0 for the baseline run instead of
     /// `2 * unrollCount` (the option described at the end of §III-C).
     pub fn basic_mode(&mut self, on: bool) -> &mut NanoBench {
-        self.basic_mode = on;
+        self.spec.basic_mode(on);
         self
     }
 
     /// The underlying machine (e.g. for pre-writing data areas).
     pub fn machine_mut(&mut self) -> &mut Machine {
-        &mut self.machine
+        self.session.machine_mut()
     }
 
     /// Read access to the machine.
     pub fn machine(&self) -> &Machine {
-        &self.machine
+        self.session.machine()
+    }
+
+    /// The underlying reusable session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The current benchmark specification.
+    pub fn spec(&self) -> &BenchSpec {
+        &self.spec
     }
 
     /// The base address of the memory area register `reg` points into, if
     /// it is one of the dedicated arena registers (§III-G).
     pub fn arena_base(&self, reg: nanobench_x86::reg::Gpr) -> Option<u64> {
-        ARENA_REGS
-            .iter()
-            .position(|r| *r == reg)
-            .map(|i| self.arenas.arena_bases[i])
+        self.session.arena_base(reg)
     }
 
-    /// Runs the benchmark: generates both unroll versions (§III-C), runs
-    /// them per Algorithm 2, multiplexes counters across rounds if the
-    /// configuration has more events than programmable counters (§III-J),
-    /// and reports per-repetition values.
+    /// Runs the configured benchmark; see [`Session::run`].
     ///
     /// # Errors
     ///
     /// Propagates CPU faults (e.g. privileged instructions in user mode)
     /// and configuration errors.
     pub fn run(&mut self) -> Result<BenchmarkResult, NbError> {
-        let denom = (self.loop_count.max(1) as f64) * (self.unroll_count as f64);
-        let n_prog = self.machine.pmu().n_programmable();
-        let per_round = if self.no_mem {
-            NO_MEM_PROG_PER_ROUND.min(n_prog)
-        } else {
-            n_prog
-        };
-
-        let chunks: Vec<Vec<PerfEvent>> = if self.events.is_empty() {
-            vec![Vec::new()]
-        } else {
-            self.events
-                .chunks(per_round)
-                .map(<[PerfEvent]>::to_vec)
-                .collect()
-        };
-
-        let mut fixed_values = [0.0f64; 3];
-        let mut prog_entries: Vec<(String, f64)> = Vec::new();
-
-        for (round, chunk) in chunks.iter().enumerate() {
-            for i in 0..n_prog {
-                let sel = chunk.get(i).map(|e| e.code);
-                self.machine.pmu_mut().configure(i, sel);
-            }
-            let mut selectors: Vec<u32> = (0..3).map(|i| (1 << 30) | i).collect();
-            selectors.extend((0..chunk.len()).map(|i| i as u32));
-
-            let (unroll_a, unroll_b) = if self.basic_mode {
-                (0, self.unroll_count)
-            } else {
-                (self.unroll_count, 2 * self.unroll_count)
-            };
-            let agg_a = self.measure_version(unroll_a, &selectors)?;
-            let agg_b = self.measure_version(unroll_b, &selectors)?;
-
-            for (slot, name_value) in agg_b
-                .iter()
-                .zip(agg_a.iter())
-                .enumerate()
-                .map(|(slot, (b, a))| (slot, (b - a) / denom))
-            {
-                let (slot, value) = (slot, name_value);
-                if slot < 3 {
-                    if round == 0 {
-                        fixed_values[slot] = value;
-                    }
-                } else {
-                    let event = &chunk[slot - 3];
-                    prog_entries.push((event.name.clone(), value));
-                }
-            }
-        }
-
-        let mut entries = Vec::with_capacity(3 + prog_entries.len());
-        for (i, name) in FIXED_COUNTER_NAMES.iter().enumerate() {
-            entries.push(((*name).to_string(), fixed_values[i]));
-        }
-        entries.extend(prog_entries);
-        Ok(BenchmarkResult::new(entries))
-    }
-
-    fn measure_version(
-        &mut self,
-        local_unroll: usize,
-        selectors: &[u32],
-    ) -> Result<Vec<f64>, NbError> {
-        let request = CodegenRequest {
-            init: &self.init,
-            code: &self.code,
-            local_unroll,
-            loop_count: self.loop_count,
-            selectors,
-            no_mem: self.no_mem,
-            arenas: self.arenas,
-        };
-        let generated = codegen::generate(&request);
-        measure(
-            &mut self.machine,
-            &generated,
-            &self.arenas,
-            self.warm_up_count,
-            self.n_measurements,
-            self.aggregate,
-        )
+        self.session.run(&self.spec)
     }
 }
-
-/// Deterministic default machine seed ("NB").
-const NB_SEED: u64 = 0x4E42;

@@ -46,23 +46,43 @@ impl Aggregate {
     ///
     /// Panics on an empty slice.
     pub fn apply(self, values: &[i64]) -> f64 {
+        self.apply_with_scratch(values, &mut Vec::new())
+    }
+
+    /// [`Aggregate::apply`] with a caller-provided scratch buffer, so a
+    /// measurement loop aggregating many sample vectors allocates once.
+    /// `Min` never copies; `Median` uses a linear-time selection instead
+    /// of a full sort; only `TrimmedMean` sorts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn apply_with_scratch(self, values: &[i64], scratch: &mut Vec<i64>) -> f64 {
         assert!(!values.is_empty(), "no measurements to aggregate");
-        let mut sorted = values.to_vec();
-        sorted.sort_unstable();
         match self {
-            Aggregate::Min => sorted[0] as f64,
+            Aggregate::Min => *values.iter().min().expect("non-empty") as f64,
             Aggregate::Median => {
-                let n = sorted.len();
+                scratch.clear();
+                scratch.extend_from_slice(values);
+                let n = scratch.len();
+                let (below, mid, _) = scratch.select_nth_unstable(n / 2);
+                let mid = *mid;
                 if n % 2 == 1 {
-                    sorted[n / 2] as f64
+                    mid as f64
                 } else {
-                    (sorted[n / 2 - 1] + sorted[n / 2]) as f64 / 2.0
+                    // The left partition holds the n/2 smallest values, so
+                    // its maximum is the lower middle element.
+                    let lower = *below.iter().max().expect("n >= 2");
+                    (lower + mid) as f64 / 2.0
                 }
             }
             Aggregate::TrimmedMean => {
-                let n = sorted.len();
+                scratch.clear();
+                scratch.extend_from_slice(values);
+                scratch.sort_unstable();
+                let n = scratch.len();
                 let trim = n / 5;
-                let kept = &sorted[trim..n - trim];
+                let kept = &scratch[trim..n - trim];
                 kept.iter().sum::<i64>() as f64 / kept.len() as f64
             }
         }
@@ -121,6 +141,7 @@ pub fn measure(
     warm_up: usize,
     n: usize,
     agg: Aggregate,
+    scratch: &mut Vec<i64>,
 ) -> Result<Vec<f64>, NbError> {
     assert!(n > 0, "need at least one measurement");
     let mut samples: Vec<Vec<i64>> = vec![Vec::with_capacity(n); generated.selectors.len()];
@@ -132,7 +153,10 @@ pub fn measure(
             }
         }
     }
-    Ok(samples.iter().map(|s| agg.apply(s)).collect())
+    Ok(samples
+        .iter()
+        .map(|s| agg.apply_with_scratch(s, scratch))
+        .collect())
 }
 
 #[cfg(test)]

@@ -1,0 +1,690 @@
+//! Reusable benchmark sessions and parallel campaigns.
+//!
+//! nanoBench's point is *low per-invocation overhead* (§III-K), and both
+//! case studies are campaigns of thousands of invocations (§V, §VI-C).
+//! This module separates the expensive part — building the simulated
+//! machine and the dedicated memory areas of §III-G — from the cheap part,
+//! the per-benchmark configuration:
+//!
+//! * [`Session`] owns the [`Machine`], the §III-G arenas and a default
+//!   counter configuration. [`Session::reset`] restores the deterministic
+//!   initial state *without reallocation*, so one session can run an
+//!   entire campaign.
+//! * [`BenchSpec`] is one benchmark: code, init, events, loop/unroll,
+//!   warm-up and aggregate settings. Cheap to build and [`Clone`].
+//! * [`Campaign`] runs many specs (or arbitrary session-based jobs) across
+//!   `std::thread` workers. Job *j* always runs on a session reseeded to
+//!   `base_seed ^ j`, so results are bit-identical regardless of the
+//!   worker count and identical to running the jobs sequentially.
+//!
+//! The legacy [`crate::NanoBench`] builder is a thin facade over a
+//! `Session` plus a `BenchSpec`.
+
+use crate::codegen::{self, Arenas, CodegenRequest, ARENA_REGS, ARENA_SIZE, NO_MEM_ACC_REGS};
+use crate::error::NbError;
+use crate::result::{BenchmarkResult, FIXED_COUNTER_NAMES};
+use crate::runner::{measure, Aggregate};
+use nanobench_machine::{Machine, Mode};
+use nanobench_pmu::{parse_config, PerfEvent};
+use nanobench_uarch::port::MicroArch;
+use nanobench_x86::asm::parse_asm;
+use nanobench_x86::encode::decode_program;
+use nanobench_x86::inst::Instruction;
+
+/// Deterministic default machine seed ("NB").
+pub const NB_SEED: u64 = 0x4E42;
+
+/// Number of programmable counters readable per round in noMem mode
+/// (three fixed + three programmable fit in R8–R13).
+const NO_MEM_PROG_PER_ROUND: usize = NO_MEM_ACC_REGS.len() - FIXED_COUNTER_NAMES.len();
+
+/// One microbenchmark: everything `nanoBench.sh` takes per invocation
+/// (§III-E), with none of the machine state. Building one is cheap;
+/// running it needs a [`Session`].
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    /// Initialization part (`-asm_init`, not measured).
+    pub init: Vec<Instruction>,
+    /// The main part of the microbenchmark.
+    pub code: Vec<Instruction>,
+    /// Performance events; empty uses the session's default configuration.
+    pub events: Vec<PerfEvent>,
+    /// `loopCount` (§III-F); 0 omits the loop.
+    pub loop_count: u64,
+    /// `unrollCount` (§III-F).
+    pub unroll_count: usize,
+    /// Number of measured runs (Algorithm 2).
+    pub n_measurements: usize,
+    /// Number of discarded warm-up runs (§III-H).
+    pub warm_up_count: usize,
+    /// Aggregate function (§III-C).
+    pub aggregate: Aggregate,
+    /// noMem mode: counter values kept in registers R8–R13 (§III-I).
+    pub no_mem: bool,
+    /// Use a `localUnrollCount` of 0 for the baseline run (§III-C).
+    pub basic_mode: bool,
+}
+
+impl Default for BenchSpec {
+    fn default() -> BenchSpec {
+        BenchSpec {
+            init: Vec::new(),
+            code: Vec::new(),
+            events: Vec::new(),
+            loop_count: 0,
+            unroll_count: 1,
+            n_measurements: 10,
+            warm_up_count: 0,
+            aggregate: Aggregate::Median,
+            no_mem: false,
+            basic_mode: false,
+        }
+    }
+}
+
+impl BenchSpec {
+    /// An empty spec with nanoBench's default settings.
+    pub fn new() -> BenchSpec {
+        BenchSpec::default()
+    }
+
+    /// Sets the main part from Intel-syntax assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Asm`] on parse failure.
+    pub fn asm(&mut self, text: &str) -> Result<&mut BenchSpec, NbError> {
+        self.code = parse_asm(text)?;
+        Ok(self)
+    }
+
+    /// Sets the initialization part from Intel-syntax assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Asm`] on parse failure.
+    pub fn asm_init(&mut self, text: &str) -> Result<&mut BenchSpec, NbError> {
+        self.init = parse_asm(text)?;
+        Ok(self)
+    }
+
+    /// Sets the main part from raw machine code (§III-E); magic
+    /// pause/resume byte sequences (§III-I) are recognized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Decode`] for undecodable bytes.
+    pub fn code_bytes(&mut self, bytes: &[u8]) -> Result<&mut BenchSpec, NbError> {
+        self.code = decode_program(bytes)?;
+        Ok(self)
+    }
+
+    /// Sets the main part directly from instructions.
+    pub fn code(&mut self, code: Vec<Instruction>) -> &mut BenchSpec {
+        self.code = code;
+        self
+    }
+
+    /// Sets the init part directly from instructions.
+    pub fn init(&mut self, init: Vec<Instruction>) -> &mut BenchSpec {
+        self.init = init;
+        self
+    }
+
+    /// Parses a performance-counter configuration (§III-J).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Config`] on parse failure.
+    pub fn config_str(&mut self, text: &str) -> Result<&mut BenchSpec, NbError> {
+        self.events = parse_config(text)?;
+        Ok(self)
+    }
+
+    /// Sets the events directly.
+    pub fn events(&mut self, events: Vec<PerfEvent>) -> &mut BenchSpec {
+        self.events = events;
+        self
+    }
+
+    /// Sets `loopCount` (§III-F).
+    pub fn loop_count(&mut self, n: u64) -> &mut BenchSpec {
+        self.loop_count = n;
+        self
+    }
+
+    /// Sets `unrollCount` (§III-F).
+    pub fn unroll_count(&mut self, n: usize) -> &mut BenchSpec {
+        self.unroll_count = n.max(1);
+        self
+    }
+
+    /// Sets the number of measured runs (Algorithm 2).
+    pub fn n_measurements(&mut self, n: usize) -> &mut BenchSpec {
+        self.n_measurements = n.max(1);
+        self
+    }
+
+    /// Sets the number of discarded warm-up runs (§III-H).
+    pub fn warm_up_count(&mut self, n: usize) -> &mut BenchSpec {
+        self.warm_up_count = n;
+        self
+    }
+
+    /// Sets the aggregate function (§III-C).
+    pub fn aggregate(&mut self, agg: Aggregate) -> &mut BenchSpec {
+        self.aggregate = agg;
+        self
+    }
+
+    /// Enables noMem mode (§III-I).
+    pub fn no_mem(&mut self, on: bool) -> &mut BenchSpec {
+        self.no_mem = on;
+        self
+    }
+
+    /// Uses a `localUnrollCount` of 0 for the baseline run (§III-C).
+    pub fn basic_mode(&mut self, on: bool) -> &mut BenchSpec {
+        self.basic_mode = on;
+        self
+    }
+}
+
+/// A reusable benchmark session: the machine, the §III-G memory areas and
+/// a default counter configuration, built once and reused across many
+/// [`BenchSpec`] runs.
+///
+/// # Examples
+///
+/// The §III-A example, then a second benchmark on the *same* machine:
+///
+/// ```
+/// use nanobench_core::{BenchSpec, Session};
+/// use nanobench_uarch::port::MicroArch;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut session = Session::kernel(MicroArch::Skylake);
+/// let mut spec = BenchSpec::new();
+/// spec.asm("mov R14, [R14]")?
+///     .asm_init("mov [R14], R14")?
+///     .config_str(nanobench_pmu::config::cfg_example())?
+///     .unroll_count(100)
+///     .warm_up_count(1);
+/// assert_eq!(session.run(&spec)?.core_cycles(), Some(4.0));
+///
+/// session.reset(); // back to the deterministic initial state, no realloc
+/// let mut add = BenchSpec::new();
+/// add.asm("add rax, rax")?.unroll_count(100).warm_up_count(1);
+/// assert_eq!(session.run(&add)?.core_cycles(), Some(1.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    machine: Machine,
+    arenas: Arenas,
+    /// Default events used by specs whose own event list is empty.
+    default_events: Vec<PerfEvent>,
+    /// Scratch buffer for aggregate computation (avoids per-run allocs).
+    scratch: Vec<i64>,
+}
+
+impl Session {
+    /// Creates a session over an existing machine, allocating the
+    /// dedicated memory areas of §III-G.
+    pub fn with_machine(mut machine: Machine) -> Session {
+        let control = machine.alloc_region(4096);
+        let mut arena_bases = [0u64; 5];
+        for base in arena_bases.iter_mut() {
+            *base = machine.alloc_region(ARENA_SIZE);
+        }
+        let arenas = Arenas {
+            save_area: control,
+            scratch: control + 0x100,
+            m1: control + 0x200,
+            m2: control + 0x300,
+            arena_bases,
+        };
+        Session {
+            machine,
+            arenas,
+            default_events: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// A kernel-space session (`kernel-nanoBench.sh`, §III-D).
+    pub fn kernel(uarch: MicroArch) -> Session {
+        Session::with_seed(uarch, Mode::Kernel, NB_SEED)
+    }
+
+    /// A user-space session (`nanoBench.sh`).
+    pub fn user(uarch: MicroArch) -> Session {
+        Session::with_seed(uarch, Mode::User, NB_SEED)
+    }
+
+    /// A session with an explicit mode and machine seed (what
+    /// [`Campaign`] uses for its per-job seeding).
+    pub fn with_seed(uarch: MicroArch, mode: Mode, seed: u64) -> Session {
+        Session::with_machine(Machine::new(uarch, mode, seed))
+    }
+
+    /// Restores the deterministic initial state — registers, PMU, caches,
+    /// branch predictor, memory contents, interrupt and random streams —
+    /// without reallocating the machine or the arenas.
+    pub fn reset(&mut self) {
+        self.machine.reset();
+    }
+
+    /// Like [`Session::reset`], but restarts the machine's random streams
+    /// from `seed`, as if it had been built with that seed. This is how a
+    /// campaign worker turns into "the session for job *j*".
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.machine.reset_with_seed(seed);
+    }
+
+    /// Sets the default counter configuration used by specs that do not
+    /// carry their own (§III-J).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Config`] on parse failure.
+    pub fn config_str(&mut self, text: &str) -> Result<&mut Session, NbError> {
+        self.default_events = parse_config(text)?;
+        Ok(self)
+    }
+
+    /// Sets the default events directly.
+    pub fn default_events(&mut self, events: Vec<PerfEvent>) -> &mut Session {
+        self.default_events = events;
+        self
+    }
+
+    /// The underlying machine (e.g. for pre-writing data areas).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Read access to the machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The base address of the memory area register `reg` points into, if
+    /// it is one of the dedicated arena registers (§III-G).
+    pub fn arena_base(&self, reg: nanobench_x86::reg::Gpr) -> Option<u64> {
+        ARENA_REGS
+            .iter()
+            .position(|r| *r == reg)
+            .map(|i| self.arenas.arena_bases[i])
+    }
+
+    /// Runs one benchmark: generates both unroll versions (§III-C), runs
+    /// them per Algorithm 2, multiplexes counters across rounds if the
+    /// configuration has more events than programmable counters (§III-J),
+    /// and reports per-repetition values.
+    ///
+    /// The session state is *not* reset first — state carried over from
+    /// earlier runs is exactly what warm-up effects (§III-H) and the
+    /// cacheSeq tools rely on. Call [`Session::reset`] between unrelated
+    /// benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults (e.g. privileged instructions in user mode)
+    /// and configuration errors.
+    pub fn run(&mut self, spec: &BenchSpec) -> Result<BenchmarkResult, NbError> {
+        let denom = (spec.loop_count.max(1) as f64) * (spec.unroll_count.max(1) as f64);
+        let n_prog = self.machine.pmu().n_programmable();
+        let per_round = if spec.no_mem {
+            NO_MEM_PROG_PER_ROUND.min(n_prog)
+        } else {
+            n_prog
+        };
+
+        let events: &[PerfEvent] = if spec.events.is_empty() {
+            &self.default_events
+        } else {
+            &spec.events
+        };
+        let chunks: Vec<Vec<PerfEvent>> = if events.is_empty() {
+            vec![Vec::new()]
+        } else {
+            events
+                .chunks(per_round)
+                .map(<[PerfEvent]>::to_vec)
+                .collect()
+        };
+
+        let mut fixed_values = [0.0f64; 3];
+        let mut prog_entries: Vec<(String, f64)> = Vec::new();
+
+        for (round, chunk) in chunks.iter().enumerate() {
+            for i in 0..n_prog {
+                let sel = chunk.get(i).map(|e| e.code);
+                self.machine.pmu_mut().configure(i, sel);
+            }
+            let mut selectors: Vec<u32> = (0..3).map(|i| (1 << 30) | i).collect();
+            selectors.extend((0..chunk.len()).map(|i| i as u32));
+
+            let (unroll_a, unroll_b) = if spec.basic_mode {
+                (0, spec.unroll_count.max(1))
+            } else {
+                (spec.unroll_count.max(1), 2 * spec.unroll_count.max(1))
+            };
+            let agg_a = self.measure_version(spec, unroll_a, &selectors)?;
+            let agg_b = self.measure_version(spec, unroll_b, &selectors)?;
+
+            for (slot, value) in agg_b
+                .iter()
+                .zip(agg_a.iter())
+                .enumerate()
+                .map(|(slot, (b, a))| (slot, (b - a) / denom))
+            {
+                if slot < 3 {
+                    if round == 0 {
+                        fixed_values[slot] = value;
+                    }
+                } else {
+                    let event = &chunk[slot - 3];
+                    prog_entries.push((event.name.clone(), value));
+                }
+            }
+        }
+
+        let mut entries = Vec::with_capacity(3 + prog_entries.len());
+        for (i, name) in FIXED_COUNTER_NAMES.iter().enumerate() {
+            entries.push(((*name).to_string(), fixed_values[i]));
+        }
+        entries.extend(prog_entries);
+        Ok(BenchmarkResult::new(entries))
+    }
+
+    fn measure_version(
+        &mut self,
+        spec: &BenchSpec,
+        local_unroll: usize,
+        selectors: &[u32],
+    ) -> Result<Vec<f64>, NbError> {
+        let request = CodegenRequest {
+            init: &spec.init,
+            code: &spec.code,
+            local_unroll,
+            loop_count: spec.loop_count,
+            selectors,
+            no_mem: spec.no_mem,
+            arenas: self.arenas,
+        };
+        let generated = codegen::generate(&request);
+        measure(
+            &mut self.machine,
+            &generated,
+            &self.arenas,
+            spec.warm_up_count,
+            spec.n_measurements.max(1),
+            spec.aggregate,
+            &mut self.scratch,
+        )
+    }
+}
+
+/// A batch of benchmark jobs fanned out across worker threads, one
+/// [`Session`] per worker.
+///
+/// Determinism: job *j* always runs on a session reset to seed
+/// `base_seed ^ j`, whatever worker picks it up — so the output is
+/// byte-identical for 1, 2 or N workers, and identical to running every
+/// job sequentially on fresh sessions with those seeds.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    uarch: MicroArch,
+    mode: Mode,
+    workers: usize,
+    base_seed: u64,
+}
+
+impl Campaign {
+    /// A campaign of kernel-space sessions (§III-D) with the default seed
+    /// and one worker per available CPU.
+    pub fn kernel(uarch: MicroArch) -> Campaign {
+        Campaign {
+            uarch,
+            mode: Mode::Kernel,
+            workers: 0,
+            base_seed: NB_SEED,
+        }
+    }
+
+    /// A campaign of user-space sessions.
+    pub fn user(uarch: MicroArch) -> Campaign {
+        Campaign {
+            mode: Mode::User,
+            ..Campaign::kernel(uarch)
+        }
+    }
+
+    /// Sets the worker-thread count; 0 (the default) uses the available
+    /// parallelism. The results do not depend on this — only the
+    /// wall-clock time does.
+    pub fn workers(mut self, n: usize) -> Campaign {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the base seed; job *j* runs with seed `base_seed ^ j`.
+    pub fn base_seed(mut self, seed: u64) -> Campaign {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The microarchitecture the campaign's sessions simulate.
+    pub fn uarch(&self) -> MicroArch {
+        self.uarch
+    }
+
+    /// The effective worker count for `n_jobs` jobs.
+    pub fn effective_workers(&self, n_jobs: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let w = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        w.clamp(1, n_jobs.max(1))
+    }
+
+    /// Runs every spec and returns the results in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job (deterministic
+    /// regardless of worker count).
+    pub fn run_all(&self, specs: &[BenchSpec]) -> Result<Vec<BenchmarkResult>, NbError> {
+        self.run_map(specs, |session, spec, _| session.run(spec))
+    }
+
+    /// Runs an arbitrary session-based job for every element of `jobs`,
+    /// sharded across workers, returning results in job order. The closure
+    /// receives a session already reset to the job's seed, the job, and
+    /// its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job.
+    pub fn run_map<J, T, F>(&self, jobs: &[J], f: F) -> Result<Vec<T>, NbError>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(&mut Session, &J, usize) -> Result<T, NbError> + Sync,
+    {
+        shard_map(
+            self.effective_workers(jobs.len()),
+            jobs.len(),
+            || Session::with_seed(self.uarch, self.mode, self.base_seed),
+            |session, j| {
+                session.reset_with_seed(self.base_seed ^ j as u64);
+                f(session, &jobs[j], j)
+            },
+        )
+    }
+}
+
+/// Fans arbitrary (non-session) jobs out across `workers` threads,
+/// returning results in job order; the campaign analogue for jobs that
+/// build their own machinery (e.g. one policy inference per CPU model).
+/// `workers == 0` uses the available parallelism.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing job.
+pub fn parallel_map<J, T, F>(workers: usize, jobs: &[J], f: F) -> Result<Vec<T>, NbError>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J, usize) -> Result<T, NbError> + Sync,
+{
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = if workers == 0 { auto } else { workers }.clamp(1, jobs.len().max(1));
+    shard_map(workers, jobs.len(), || (), |(), j| f(&jobs[j], j))
+}
+
+/// The shared sharding engine behind [`Campaign::run_map`] and
+/// [`parallel_map`]: splits job indices `0..n_jobs` into contiguous
+/// chunks, one worker thread per chunk, each with its own state from
+/// `make_state`, and returns the per-job results in job order. Collecting
+/// in job order also makes the reported error the lowest-indexed one,
+/// independent of thread timing.
+fn shard_map<S, T>(
+    workers: usize,
+    n_jobs: usize,
+    make_state: impl Fn() -> S + Sync,
+    run_one: impl Fn(&mut S, usize) -> Result<T, NbError> + Sync,
+) -> Result<Vec<T>, NbError>
+where
+    T: Send,
+{
+    if workers <= 1 {
+        let mut state = make_state();
+        return (0..n_jobs).map(|j| run_one(&mut state, j)).collect();
+    }
+    let mut slots: Vec<Option<Result<T, NbError>>> = Vec::new();
+    slots.resize_with(n_jobs, || None);
+    let chunk = n_jobs.div_ceil(workers);
+    std::thread::scope(|scope| {
+        // Hand each worker a disjoint slice of the result buffer; jobs
+        // are sharded contiguously so the slices line up.
+        let mut rest = slots.as_mut_slice();
+        let mut start = 0usize;
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first = start;
+            start += take;
+            let (make_state, run_one) = (&make_state, &run_one);
+            handles.push(scope.spawn(move || {
+                let mut state = make_state();
+                for (offset, slot) in mine.iter_mut().enumerate() {
+                    *slot = Some(run_one(&mut state, first + offset));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("campaign worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nop_spec() -> BenchSpec {
+        let mut spec = BenchSpec::new();
+        spec.asm("add rax, rax")
+            .unwrap()
+            .unroll_count(50)
+            .warm_up_count(1)
+            .n_measurements(3);
+        spec
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_sessions() {
+        let spec = nop_spec();
+        let mut fresh = Session::kernel(MicroArch::Skylake);
+        let expected = fresh.run(&spec).unwrap();
+        let mut reused = Session::kernel(MicroArch::Skylake);
+        for _ in 0..3 {
+            let got = reused.run(&spec).unwrap();
+            assert_eq!(got, expected);
+            reused.reset();
+        }
+    }
+
+    #[test]
+    fn campaign_results_keep_job_order() {
+        let mut specs = Vec::new();
+        for chain in ["add rax, rax", "imul rax, rax", "mov rax, rax"] {
+            let mut spec = nop_spec();
+            spec.asm(chain).unwrap();
+            specs.push(spec);
+        }
+        let results = Campaign::kernel(MicroArch::Skylake)
+            .workers(2)
+            .run_all(&specs)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        // Job j must equal a fresh session seeded NB_SEED ^ j, in order.
+        for (j, spec) in specs.iter().enumerate() {
+            let mut fresh =
+                Session::with_seed(MicroArch::Skylake, Mode::Kernel, NB_SEED ^ j as u64);
+            assert_eq!(results[j], fresh.run(spec).unwrap(), "job {j}");
+        }
+        let add = results[0].core_cycles().unwrap();
+        assert!((add - 1.0).abs() < 0.05, "1 cycle/add, got {add}");
+    }
+
+    #[test]
+    fn campaign_propagates_lowest_indexed_error() {
+        // Job 1 faults (privileged instruction in user mode); jobs 0 and 2
+        // are fine. Any worker count must surface job 1's error.
+        let mut specs = vec![nop_spec(), nop_spec(), nop_spec()];
+        specs[1].asm("wbinvd").unwrap();
+        for workers in [1, 3] {
+            let err = Campaign::user(MicroArch::Skylake)
+                .workers(workers)
+                .run_all(&specs)
+                .unwrap_err();
+            assert!(matches!(err, NbError::Fault(_)), "workers {workers}: {err}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_orders_and_errors() {
+        let jobs: Vec<u64> = (0..17).collect();
+        let doubled = parallel_map(4, &jobs, |j, idx| {
+            assert_eq!(*j, idx as u64);
+            Ok(j * 2)
+        })
+        .unwrap();
+        assert_eq!(doubled, (0..17).map(|j| j * 2).collect::<Vec<_>>());
+        let err = parallel_map(3, &jobs, |j, _| {
+            if *j == 5 {
+                Err(NbError::InvalidOption("boom".into()))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+}

@@ -13,5 +13,5 @@
 pub mod measure;
 pub mod table;
 
-pub use measure::{measure_instruction, InstMeasurement, InstSpec};
-pub use table::{benchmark_suite, render_table, run_suite, to_json, TableRow};
+pub use measure::{measure_instruction, measure_instruction_on, InstMeasurement, InstSpec};
+pub use table::{benchmark_suite, render_table, run_suite, run_suite_with, to_json, TableRow};

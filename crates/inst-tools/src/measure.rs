@@ -13,7 +13,7 @@
 //! * **Port usage**: the `UOPS_DISPATCHED_PORT.PORT_x` counters from the
 //!   throughput run, normalized per instruction.
 
-use nanobench_core::{Aggregate, NanoBench, NbError};
+use nanobench_core::{Aggregate, BenchSpec, NbError, Session};
 use nanobench_uarch::port::MicroArch;
 
 /// Counter configuration with the port-pressure and µop events.
@@ -122,40 +122,64 @@ impl InstMeasurement {
     }
 }
 
-/// Measures one instruction variant on the given microarchitecture.
+/// Measures one instruction variant on the given microarchitecture,
+/// building (and discarding) a fresh kernel session.
+///
+/// Campaigns over many variants should build one [`Session`] per worker
+/// and call [`measure_instruction_on`] instead — the machine construction
+/// dominates a single measurement's cost.
 ///
 /// # Errors
 ///
 /// Propagates assembly and CPU faults (e.g. privileged variants must run
 /// on the kernel version, which this uses).
 pub fn measure_instruction(uarch: MicroArch, spec: &InstSpec) -> Result<InstMeasurement, NbError> {
+    let mut session = Session::kernel(uarch);
+    measure_instruction_on(&mut session, spec)
+}
+
+/// Measures one instruction variant on a reusable session. The session is
+/// reset (to its current seed) before the latency run and again before the
+/// throughput run, so results are identical to measuring on fresh
+/// machines — the pre-session behaviour — while skipping the rebuilds.
+///
+/// # Errors
+///
+/// Propagates assembly and CPU faults.
+pub fn measure_instruction_on(
+    session: &mut Session,
+    spec: &InstSpec,
+) -> Result<InstMeasurement, NbError> {
     // Latency: dependency chain.
     let latency = match &spec.latency_asm {
         Some(chain) => {
-            let mut nb = NanoBench::kernel(uarch);
-            nb.asm(chain)?
+            session.reset();
+            let mut bench = BenchSpec::new();
+            bench
+                .asm(chain)?
                 .asm_init(&spec.latency_init)?
                 .config_str("0E.01 UOPS_ISSUED.ANY")?
                 .unroll_count(100)
                 .warm_up_count(2)
                 .n_measurements(5)
                 .aggregate(Aggregate::Median);
-            let result = nb.run()?;
-            result.core_cycles()
+            session.run(&bench)?.core_cycles()
         }
         None => None,
     };
 
     // Throughput and port usage: independent copies, unrolled only.
-    let mut nb = NanoBench::kernel(uarch);
-    nb.asm(&spec.throughput_asm)?
+    session.reset();
+    let mut bench = BenchSpec::new();
+    bench
+        .asm(&spec.throughput_asm)?
         .asm_init(&spec.throughput_init)?
         .config_str(PORTS_CONFIG)?
         .unroll_count(50)
         .warm_up_count(2)
         .n_measurements(5)
         .aggregate(Aggregate::Median);
-    let result = nb.run()?;
+    let result = session.run(&bench)?;
     let copies = spec.throughput_copies as f64;
     let throughput = result.core_cycles().unwrap_or(0.0) / copies;
     let uops = result.get("UOPS_ISSUED.ANY").unwrap_or(0.0) / copies;
@@ -241,6 +265,33 @@ mod tests {
         );
         assert!((m.ports[2] - 0.5).abs() < 0.1, "{:?}", m.ports);
         assert!((m.ports[3] - 0.5).abs() < 0.1, "{:?}", m.ports);
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_machines() {
+        // One session measuring three variants back to back must give the
+        // same numbers as three throwaway sessions (the pre-session path).
+        let specs = [
+            InstSpec::new(
+                "ADD (r64, r64)",
+                Some("add rax, rax"),
+                "add rax, rax; add rbx, rbx; add rcx, rcx; add rdx, rdx",
+                4,
+            ),
+            InstSpec::new(
+                "IMUL (r64, r64)",
+                Some("imul rax, rax"),
+                "imul rax, rax; imul rbx, rbx; imul rcx, rcx; imul rdx, rdx",
+                4,
+            ),
+            InstSpec::new("NOP", None, "nop; nop; nop; nop", 4),
+        ];
+        let mut session = Session::kernel(MicroArch::Skylake);
+        for spec in &specs {
+            let reused = measure_instruction_on(&mut session, spec).unwrap();
+            let fresh = measure_instruction(MicroArch::Skylake, spec).unwrap();
+            assert_eq!(reused, fresh, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! the form of a human-readable, interactive HTML table, and as a
 //! machine-readable XML file" — we emit aligned text and JSON).
 
-use crate::measure::{measure_instruction, InstMeasurement, InstSpec};
-use nanobench_core::NbError;
+use crate::measure::{measure_instruction_on, InstMeasurement, InstSpec};
+use nanobench_core::{Campaign, NbError};
 use nanobench_uarch::port::MicroArch;
 use serde::Serialize;
 
@@ -279,16 +279,30 @@ pub fn benchmark_suite() -> Vec<InstSpec> {
     out
 }
 
-/// Runs the whole suite on a microarchitecture.
+/// Runs the whole suite on a microarchitecture, fanned out over a default
+/// [`Campaign`] — one reusable session per worker instead of roughly 270
+/// machine builds (two per variant).
 ///
 /// # Errors
 ///
-/// Propagates measurement errors (each variant runs on a fresh machine).
+/// Propagates measurement errors.
 pub fn run_suite(uarch: MicroArch) -> Result<Vec<TableRow>, NbError> {
-    benchmark_suite()
-        .iter()
-        .map(|spec| measure_instruction(uarch, spec).map(TableRow::from))
-        .collect()
+    run_suite_with(&Campaign::kernel(uarch))
+}
+
+/// Runs the whole suite through a caller-configured campaign (worker
+/// count, seed). Results are in suite order and bit-identical for any
+/// worker count: variant *j* always measures on a session reseeded to
+/// `base_seed ^ j`.
+///
+/// # Errors
+///
+/// Propagates measurement errors.
+pub fn run_suite_with(campaign: &Campaign) -> Result<Vec<TableRow>, NbError> {
+    let suite = benchmark_suite();
+    campaign.run_map(&suite, |session, spec, _| {
+        measure_instruction_on(session, spec).map(TableRow::from)
+    })
 }
 
 /// Renders rows as an aligned text table.
@@ -327,6 +341,7 @@ pub fn to_json(rows: &[TableRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measure::measure_instruction;
 
     #[test]
     fn suite_is_substantial() {

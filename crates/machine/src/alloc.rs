@@ -90,6 +90,14 @@ impl KernelAllocator {
         self.skip_percent = 60;
     }
 
+    /// Rewinds the allocator's random stream to the start for `seed`. The
+    /// heap cursor and uptime state are kept: existing allocations stay
+    /// reserved across a machine reset. An allocator that has never served
+    /// a request becomes bit-identical to `KernelAllocator::new(seed)`.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
     /// Simulates a reboot (§IV-D: "the tool proposes a reboot").
     pub fn reboot(&mut self) {
         self.next = HEAP_BASE;

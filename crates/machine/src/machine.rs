@@ -38,7 +38,11 @@ pub struct Env {
     hierarchy: CacheHierarchy,
     alloc: KernelAllocator,
     user_map: HashMap<u64, u64>,
+    /// Interrupt-arrival randomness. Kept separate from `alloc_rng` so a
+    /// reset can rewind the interrupt stream while page mappings persist.
     rng: SmallRng,
+    /// Frame-scattering randomness for user-mode `alloc_region`.
+    alloc_rng: SmallRng,
     interrupts_enabled: bool,
     cr4_pce: bool,
     next_interrupt: u64,
@@ -167,8 +171,13 @@ pub struct Machine {
     cycle: u64,
     uarch: MicroArch,
     cpu: CpuSpec,
+    seed: u64,
     user_next_vaddr: u64,
     kernel_next_region: u64,
+    /// `(base page, page count)` of every user-mode `alloc_region` call,
+    /// in order — replayed by [`Machine::reset_with_seed`] so the frame
+    /// scattering matches a fresh machine making the same calls.
+    user_region_log: Vec<(u64, u64)>,
 }
 
 impl Machine {
@@ -213,6 +222,7 @@ impl Machine {
                 alloc: KernelAllocator::new(seed ^ 0xA),
                 user_map: HashMap::new(),
                 rng: SmallRng::seed_from_u64(seed ^ 0x1),
+                alloc_rng: SmallRng::seed_from_u64(seed ^ 0x3),
                 interrupts_enabled: mode == Mode::User,
                 cr4_pce: true,
                 next_interrupt: INTERRUPT_MEAN,
@@ -221,9 +231,59 @@ impl Machine {
             cycle: 0,
             uarch,
             cpu,
+            seed,
             user_next_vaddr: 0x7000_0000,
             kernel_next_region: 0x4000_0000,
+            user_region_log: Vec::new(),
         }
+    }
+
+    /// Restores the deterministic initial state for the seed the machine
+    /// was built with, keeping every allocation. See
+    /// [`Machine::reset_with_seed`].
+    pub fn reset(&mut self) {
+        self.reset_with_seed(self.seed);
+    }
+
+    /// Restores the machine to the state a fresh `Machine` built with
+    /// `seed` would reach after making the same `alloc_region` calls —
+    /// without dropping allocations. Registers, PMU counters, caches (tags
+    /// *and* replacement state, including probabilistic policies' random
+    /// streams), branch predictor, AVX warm-up, prefetchers, interrupt
+    /// stream, memory contents, and the cycle counter are all rewound;
+    /// region mappings keep their addresses (user-mode frame scattering is
+    /// replayed from the new seed so it matches a fresh machine).
+    ///
+    /// The kernel heap cursor ([`Machine::alloc_contiguous`]) is the one
+    /// piece that persists: contiguous allocations stay reserved, though
+    /// the allocator's random stream is rewound.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.engine.reset_with_seed(seed ^ 0xE);
+        self.state = CpuState::new();
+        self.pmu.reset();
+        self.cycle = 0;
+        let env = &mut self.env;
+        env.phys.zero_all();
+        env.hierarchy.reset(seed);
+        env.alloc.reseed(seed ^ 0xA);
+        env.rng = SmallRng::seed_from_u64(seed ^ 0x1);
+        env.alloc_rng = SmallRng::seed_from_u64(seed ^ 0x3);
+        env.interrupts_enabled = env.mode == Mode::User;
+        env.cr4_pce = true;
+        env.next_interrupt = INTERRUPT_MEAN;
+        env.uncore_seen.fill(0);
+        for &(base_page, pages) in &self.user_region_log {
+            for i in 0..pages {
+                let frame = env.alloc_rng.gen_range(0x1000u64..0x80000);
+                env.user_map.insert(base_page + i, frame);
+            }
+        }
+    }
+
+    /// The seed the machine's random streams are currently derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Runs a program to completion on the current architectural state.
@@ -263,9 +323,10 @@ impl Machine {
             Mode::User => {
                 let base = self.user_next_vaddr;
                 for i in 0..pages {
-                    let frame = self.env.rng.gen_range(0x1000u64..0x80000);
+                    let frame = self.env.alloc_rng.gen_range(0x1000u64..0x80000);
                     self.env.user_map.insert(base / PAGE_SIZE + i, frame);
                 }
+                self.user_region_log.push((base / PAGE_SIZE, pages));
                 self.user_next_vaddr += (pages + 16) * PAGE_SIZE;
                 base
             }

@@ -23,8 +23,26 @@ impl PhysMem {
             .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
     }
 
+    /// Whether `[paddr, paddr + len)` stays within one 4 KB frame (the
+    /// common case for the ≤8-byte accesses the machine issues).
+    fn within_one_frame(paddr: u64, len: u8) -> bool {
+        len > 0 && (paddr + len as u64 - 1) / PAGE_SIZE == paddr / PAGE_SIZE
+    }
+
     /// Reads `len` bytes (little-endian) at a physical address.
     pub fn read(&mut self, paddr: u64, len: u8) -> u64 {
+        if PhysMem::within_one_frame(paddr, len) {
+            // Resolve the frame once for the whole span.
+            let Some(f) = self.frames.get(&(paddr / PAGE_SIZE)) else {
+                return 0;
+            };
+            let offset = (paddr % PAGE_SIZE) as usize;
+            let mut value = 0u64;
+            for i in (0..len as usize).rev() {
+                value = (value << 8) | f[offset + i] as u64;
+            }
+            return value;
+        }
         let mut value = 0u64;
         for i in (0..len as u64).rev() {
             let addr = paddr + i;
@@ -38,11 +56,28 @@ impl PhysMem {
 
     /// Writes `len` bytes (little-endian) at a physical address.
     pub fn write(&mut self, paddr: u64, len: u8, value: u64) {
+        if PhysMem::within_one_frame(paddr, len) {
+            let f = self.frame_mut(paddr / PAGE_SIZE);
+            let offset = (paddr % PAGE_SIZE) as usize;
+            for i in 0..len as usize {
+                f[offset + i] = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..len as u64 {
             let addr = paddr + i;
             let frame = addr / PAGE_SIZE;
             let offset = (addr % PAGE_SIZE) as usize;
             self.frame_mut(frame)[offset] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Zeroes every materialized frame in place. Observationally identical
+    /// to fresh memory (unwritten bytes read as zero) while keeping the
+    /// frame allocations, which is what makes machine resets cheap.
+    pub fn zero_all(&mut self) {
+        for frame in self.frames.values_mut() {
+            frame.fill(0);
         }
     }
 
@@ -72,6 +107,17 @@ mod tests {
         m.write(PAGE_SIZE - 4, 8, 0xAABB_CCDD_EEFF_0011);
         assert_eq!(m.read(PAGE_SIZE - 4, 8), 0xAABB_CCDD_EEFF_0011);
         assert_eq!(m.frame_count(), 2);
+    }
+
+    #[test]
+    fn zero_all_keeps_frames_but_clears_contents() {
+        let mut m = PhysMem::new();
+        m.write(0x2000, 8, 0x1234_5678);
+        m.write(PAGE_SIZE - 2, 4, 0xAABB_CCDD); // straddles two frames
+        m.zero_all();
+        assert_eq!(m.frame_count(), 3);
+        assert_eq!(m.read(0x2000, 8), 0);
+        assert_eq!(m.read(PAGE_SIZE - 2, 4), 0);
     }
 
     #[test]

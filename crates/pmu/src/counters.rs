@@ -127,6 +127,23 @@ impl Pmu {
         self.mperf_remainder = mperf_total % den;
     }
 
+    /// Restores power-on state — all counters zeroed and deprogrammed,
+    /// counting enabled, cycle bookkeeping rewound — without reallocating
+    /// the counter arrays.
+    pub fn reset(&mut self) {
+        for ctr in &mut self.prog {
+            *ctr = ProgCounter::default();
+        }
+        self.fixed = [0; 3];
+        self.ref_remainder = 0;
+        self.aperf = 0;
+        self.mperf = 0;
+        self.mperf_remainder = 0;
+        self.counting = true;
+        self.last_sync_cycle = 0;
+        self.uncore.fill(0);
+    }
+
     /// Records `n` lookups on C-Box `slice`.
     pub fn count_uncore(&mut self, slice: usize, n: u64) {
         if self.counting {

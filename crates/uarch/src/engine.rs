@@ -202,6 +202,18 @@ impl Engine {
         &self.table
     }
 
+    /// Restores the just-constructed state for `seed` without touching the
+    /// descriptor table or port configuration: forgets all branch-predictor
+    /// history, rewinds the jitter/RDRAND random stream, and powers the
+    /// upper vector unit back down (AVX warm-up state, §III-H).
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.bpred.reset();
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.avx_cold = true;
+        self.non_avx_streak = 0;
+        self.avx_penalty_uops = 0;
+    }
+
     /// Runs `program` to completion.
     ///
     /// `start_cycle` is the absolute cycle the run begins at; pass the
