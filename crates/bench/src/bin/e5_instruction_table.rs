@@ -8,7 +8,8 @@
 use nanobench_bench::write_metrics_json;
 use nanobench_core::Campaign;
 use nanobench_inst_tools::{
-    benchmark_suite, measure_instruction, render_table, run_suite_with, to_json, InstSpec,
+    benchmark_suite, measure_instruction, measure_instruction_on, measure_instruction_via_bytes_on,
+    render_table, run_suite_with, to_json, InstSpec,
 };
 use nanobench_uarch::port::MicroArch;
 use std::time::Instant;
@@ -33,6 +34,33 @@ fn main() {
     assert_eq!(get("IMUL (r64, r64)").latency, Some(3.0));
     assert_eq!(get("MOV load (r64, m64)").latency, Some(4.0));
     assert_eq!(get("MULPS (xmm, xmm)").latency, Some(4.0));
+
+    // §III-E path equivalence: every vector variant of the suite measures
+    // identically when its code goes through the binary code-input path
+    // (assemble → encode to bytes → decode) instead of the asm path.
+    let vector_specs: Vec<InstSpec> = benchmark_suite()
+        .into_iter()
+        .filter(|s| s.throughput_asm.contains("xmm") || s.throughput_asm.contains("ymm"))
+        .collect();
+    assert!(vector_specs.len() >= 20, "the suite has vector variants");
+    let pairs = campaign
+        .run_map(&vector_specs, |session, spec, _| {
+            let via_asm = measure_instruction_on(session, spec)?;
+            let via_bytes = measure_instruction_via_bytes_on(session, spec)?;
+            Ok((via_asm, via_bytes))
+        })
+        .expect("byte-path sweep runs");
+    for (spec, (via_asm, via_bytes)) in vector_specs.iter().zip(&pairs) {
+        assert_eq!(
+            via_asm, via_bytes,
+            "{}: byte path must match asm path",
+            spec.name
+        );
+    }
+    println!(
+        "byte-path equivalence: {} vector variants bit-identical via §III-E code bytes",
+        pairs.len()
+    );
 
     // Microarchitecture comparison: FMA latency Haswell (5) vs Skylake (4).
     let fma = InstSpec::new(

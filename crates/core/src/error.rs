@@ -3,7 +3,7 @@
 use nanobench_pmu::ParseConfigError;
 use nanobench_uarch::bus::CpuFault;
 use nanobench_x86::asm::ParseAsmError;
-use nanobench_x86::encode::DecodeError;
+use nanobench_x86::encode::{DecodeError, EncodeError};
 use std::error::Error;
 use std::fmt;
 
@@ -18,6 +18,8 @@ pub enum NbError {
     Config(ParseConfigError),
     /// Binary microbenchmark code did not decode.
     Decode(DecodeError),
+    /// A benchmark could not be encoded to machine-code bytes (§III-E).
+    Encode(EncodeError),
     /// An option value was invalid.
     InvalidOption(String),
 }
@@ -29,6 +31,7 @@ impl fmt::Display for NbError {
             NbError::Asm(e) => write!(f, "{e}"),
             NbError::Config(e) => write!(f, "{e}"),
             NbError::Decode(e) => write!(f, "{e}"),
+            NbError::Encode(e) => write!(f, "{e}"),
             NbError::InvalidOption(s) => write!(f, "invalid option: {s}"),
         }
     }
@@ -41,6 +44,7 @@ impl Error for NbError {
             NbError::Asm(e) => Some(e),
             NbError::Config(e) => Some(e),
             NbError::Decode(e) => Some(e),
+            NbError::Encode(e) => Some(e),
             NbError::InvalidOption(_) => None,
         }
     }
@@ -67,5 +71,11 @@ impl From<ParseConfigError> for NbError {
 impl From<DecodeError> for NbError {
     fn from(e: DecodeError) -> NbError {
         NbError::Decode(e)
+    }
+}
+
+impl From<EncodeError> for NbError {
+    fn from(e: EncodeError) -> NbError {
+        NbError::Encode(e)
     }
 }

@@ -119,6 +119,16 @@ impl BenchSpec {
         Ok(self)
     }
 
+    /// Sets the initialization part from raw machine code (§III-E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Decode`] for undecodable bytes.
+    pub fn init_bytes(&mut self, bytes: &[u8]) -> Result<&mut BenchSpec, NbError> {
+        self.init = decode_program(bytes)?;
+        Ok(self)
+    }
+
     /// Sets the main part directly from instructions.
     pub fn code(&mut self, code: Vec<Instruction>) -> &mut BenchSpec {
         self.code = code;

@@ -10,7 +10,13 @@ use crate::runner::Aggregate;
 use nanobench_uarch::port::MicroArch;
 
 /// Splits a command line into tokens, honouring double and single quotes.
-pub fn tokenize(line: &str) -> Vec<String> {
+///
+/// # Errors
+///
+/// Returns [`NbError::InvalidOption`] if a quote is left unterminated —
+/// a silently swallowed quote would make the rest of the command line
+/// disappear into one token.
+pub fn tokenize(line: &str) -> Result<Vec<String>, NbError> {
     let mut tokens = Vec::new();
     let mut current = String::new();
     let mut quote: Option<char> = None;
@@ -26,10 +32,34 @@ pub fn tokenize(line: &str) -> Vec<String> {
             (c, _) => current.push(c),
         }
     }
+    if let Some(open) = quote {
+        return Err(NbError::InvalidOption(format!(
+            "unterminated {open} quote in `{line}`"
+        )));
+    }
     if !current.is_empty() {
         tokens.push(current);
     }
-    tokens
+    Ok(tokens)
+}
+
+/// Parses a `-code`-style hex byte string (`"4D8B36"`, whitespace allowed
+/// between bytes) into machine-code bytes.
+fn parse_hex_bytes(v: &str) -> Result<Vec<u8>, NbError> {
+    let digits: Vec<char> = v.chars().filter(|c| !c.is_whitespace()).collect();
+    if digits.is_empty() || !digits.len().is_multiple_of(2) {
+        return Err(NbError::InvalidOption(format!(
+            "`{v}` is not an even-length hex byte string"
+        )));
+    }
+    digits
+        .chunks(2)
+        .map(|pair| {
+            let s: String = pair.iter().collect();
+            u8::from_str_radix(&s, 16)
+                .map_err(|_| NbError::InvalidOption(format!("`{s}` is not a hex byte in `{v}`")))
+        })
+        .collect()
 }
 
 /// Resolves a `-config` value: the name of a built-in configuration file
@@ -45,16 +75,18 @@ fn resolve_config(value: &str) -> &str {
 /// Applies `nanoBench.sh`-style options to a runner.
 ///
 /// Supported options (subset of the real tool's, §III-E):
-/// `-asm`, `-asm_init`, `-config`, `-unroll_count`, `-loop_count`,
-/// `-n_measurements`, `-warm_up_count`, `-min`, `-median`, `-avg`,
-/// `-basic_mode`, `-no_mem`.
+/// `-asm`, `-asm_init`, `-code` (machine-code bytes as a hex string — the
+/// binary-input path, SSE/AVX included), `-config`, `-unroll_count`,
+/// `-loop_count`, `-n_measurements`, `-warm_up_count`, `-min`, `-median`,
+/// `-avg`, `-basic_mode`, `-no_mem`. Numeric values accept decimal and
+/// `0x`-prefixed hex, like the real tool's.
 ///
 /// # Errors
 ///
 /// Returns [`NbError::InvalidOption`] for unknown options or malformed
-/// values, and parse errors for `-asm`/`-config` payloads.
+/// values, and parse errors for `-asm`/`-code`/`-config` payloads.
 pub fn apply_options(nb: &mut NanoBench, line: &str) -> Result<(), NbError> {
-    let tokens = tokenize(line);
+    let tokens = tokenize(line)?;
     let mut i = 0usize;
     let value = |i: &mut usize, name: &str| -> Result<String, NbError> {
         *i += 1;
@@ -72,6 +104,10 @@ pub fn apply_options(nb: &mut NanoBench, line: &str) -> Result<(), NbError> {
             "-asm_init" => {
                 let v = value(&mut i, "-asm_init")?;
                 nb.asm_init(&v)?;
+            }
+            "-code" => {
+                let v = value(&mut i, "-code")?;
+                nb.code_bytes(&parse_hex_bytes(&v)?)?;
             }
             "-config" => {
                 let v = value(&mut i, "-config")?;
@@ -117,9 +153,14 @@ pub fn apply_options(nb: &mut NanoBench, line: &str) -> Result<(), NbError> {
     Ok(())
 }
 
+/// Parses a numeric option value; `nanoBench.sh` accepts both decimal and
+/// `0x`-prefixed hex for its numeric options.
 fn parse_num(v: &str) -> Result<usize, NbError> {
-    v.parse()
-        .map_err(|_| NbError::InvalidOption(format!("`{v}` is not a number")))
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => usize::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    };
+    parsed.ok_or_else(|| NbError::InvalidOption(format!("`{v}` is not a number")))
 }
 
 /// Runs `./kernel-nanoBench.sh <options>` on a fresh machine.
@@ -168,10 +209,61 @@ mod tests {
 
     #[test]
     fn tokenizer_handles_quotes() {
-        let t = tokenize(r#"-asm "mov R14, [R14]" -unroll_count 10"#);
+        let t = tokenize(r#"-asm "mov R14, [R14]" -unroll_count 10"#).unwrap();
         assert_eq!(t, vec!["-asm", "mov R14, [R14]", "-unroll_count", "10"]);
-        let t = tokenize("-asm 'add rax, 1; nop'");
+        let t = tokenize("-asm 'add rax, 1; nop'").unwrap();
         assert_eq!(t, vec!["-asm", "add rax, 1; nop"]);
+    }
+
+    #[test]
+    fn unterminated_quotes_are_errors_for_both_styles() {
+        for line in [r#"-asm "mov rax, rbx"#, "-asm 'mov rax, rbx"] {
+            let err = tokenize(line).unwrap_err();
+            assert!(err.to_string().contains("unterminated"), "`{line}`: {err}");
+            // And the error propagates out of the option parser.
+            let mut nb = NanoBench::kernel(MicroArch::Skylake);
+            assert!(apply_options(&mut nb, line).is_err());
+        }
+    }
+
+    #[test]
+    fn numeric_options_accept_decimal_and_hex() {
+        assert_eq!(parse_num("100").unwrap(), 100);
+        assert_eq!(parse_num("0x40").unwrap(), 64);
+        assert_eq!(parse_num("0X10").unwrap(), 16);
+        assert!(parse_num("abc").is_err());
+        assert!(parse_num("0xZZ").is_err());
+        assert!(parse_num("").is_err());
+        // End to end: a hex unroll count behaves like its decimal twin.
+        let opts = |n: &str| {
+            format!(r#"-asm "add rax, rax" -unroll_count {n} -warm_up_count 1 -n_measurements 3"#)
+        };
+        let hex = kernel_nanobench(MicroArch::Skylake, &opts("0x64")).unwrap();
+        let dec = kernel_nanobench(MicroArch::Skylake, &opts("100")).unwrap();
+        assert_eq!(hex, dec);
+    }
+
+    #[test]
+    fn code_option_takes_hex_machine_code() {
+        // `mov R14, [R14]` (§III-A) as raw bytes through the shell's
+        // binary-input path (§III-E).
+        let out = kernel_nanobench(
+            MicroArch::Skylake,
+            r#"-code "4D 8B 36" -asm_init "mov [R14], R14" -config cfg_example -unroll_count 100 -warm_up_count 1"#,
+        )
+        .unwrap();
+        assert_eq!(out.core_cycles(), Some(4.0));
+        // An SSE benchmark as code bytes: addps xmm0, xmm1 = 0F 58 C1.
+        let sse = kernel_nanobench(
+            MicroArch::Skylake,
+            r#"-code 0F58C1 -unroll_count 50 -warm_up_count 1"#,
+        )
+        .unwrap();
+        assert!(sse.core_cycles().unwrap() > 0.0);
+        // Malformed hex is an option error, not a silent no-op.
+        let mut nb = NanoBench::kernel(MicroArch::Skylake);
+        assert!(apply_options(&mut nb, "-code 4D8").is_err());
+        assert!(apply_options(&mut nb, "-code XY").is_err());
     }
 
     #[test]

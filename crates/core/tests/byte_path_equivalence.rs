@@ -1,0 +1,71 @@
+//! §III-E path equivalence: a microbenchmark submitted as raw machine-code
+//! bytes must produce a `BenchmarkResult` bit-identical to the same
+//! microbenchmark submitted as assembly, over the *entire* round-trip
+//! corpus — every xmm/ymm line included. This is the end-to-end acceptance
+//! check for the byte-level encoder: text → instructions → bytes →
+//! instructions → Algorithm 1 codegen → measurement.
+
+use nanobench_core::{BenchSpec, NbError, Session};
+use nanobench_uarch::port::MicroArch;
+use nanobench_x86::asm::parse_asm;
+use nanobench_x86::corpus::ROUNDTRIP_CORPUS;
+use nanobench_x86::encode::{encode_program, MAGIC_PAUSE, MAGIC_RESUME};
+
+fn run_one(code_as_bytes: bool, text: &str) -> Result<nanobench_core::BenchmarkResult, NbError> {
+    let mut session = Session::kernel(MicroArch::Skylake);
+    let mut spec = BenchSpec::new();
+    if code_as_bytes {
+        let (bytes, _) = encode_program(&parse_asm(text).map_err(NbError::Asm)?)?;
+        spec.code_bytes(&bytes)?;
+    } else {
+        spec.asm(text)?;
+    }
+    spec.unroll_count(10).warm_up_count(1).n_measurements(2);
+    session.run(&spec)
+}
+
+#[test]
+fn asm_and_code_byte_paths_agree_on_the_full_corpus() {
+    for text in ROUNDTRIP_CORPUS {
+        let via_asm = run_one(false, text);
+        let via_bytes = run_one(true, text);
+        assert_eq!(
+            via_asm, via_bytes,
+            "`{text}`: the asm path and the code-bytes path must agree"
+        );
+        // Every vector line must actually run — not just fail identically.
+        if text.contains("xmm") || text.contains("ymm") || text.starts_with('v') {
+            assert!(via_asm.is_ok(), "`{text}` must run: {via_asm:?}");
+        }
+    }
+}
+
+#[test]
+fn vector_code_bytes_honour_magic_pause_resume() {
+    // §III-I over the byte path with vector code: instructions between the
+    // magic pause/resume sequences must not be counted, and the vector
+    // instructions outside them must be.
+    let mut bytes = Vec::new();
+    let counted = parse_asm("vaddps ymm0, ymm1, ymm2").unwrap();
+    bytes.extend_from_slice(&encode_program(&counted).unwrap().0);
+    bytes.extend_from_slice(&MAGIC_PAUSE);
+    let paused = parse_asm(&"mulps xmm3, xmm4\n".repeat(10)).unwrap();
+    bytes.extend_from_slice(&encode_program(&paused).unwrap().0);
+    bytes.extend_from_slice(&MAGIC_RESUME);
+    let counted_too = parse_asm("vfmadd231ps ymm5, ymm6, ymm7").unwrap();
+    bytes.extend_from_slice(&encode_program(&counted_too).unwrap().0);
+
+    let mut session = Session::kernel(MicroArch::Skylake);
+    let mut spec = BenchSpec::new();
+    spec.code_bytes(&bytes)
+        .unwrap()
+        .no_mem(true)
+        .unroll_count(10)
+        .warm_up_count(1);
+    let out = session.run(&spec).unwrap();
+    let retired = out.get("Instructions retired").unwrap();
+    assert!(
+        (retired - 2.0).abs() < 0.2,
+        "only the 2 unpaused vector instructions count, got {retired}"
+    );
+}

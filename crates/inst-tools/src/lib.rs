@@ -13,5 +13,8 @@
 pub mod measure;
 pub mod table;
 
-pub use measure::{measure_instruction, measure_instruction_on, InstMeasurement, InstSpec};
+pub use measure::{
+    measure_instruction, measure_instruction_on, measure_instruction_via_bytes_on, InstMeasurement,
+    InstSpec,
+};
 pub use table::{benchmark_suite, render_table, run_suite, run_suite_with, to_json, TableRow};

@@ -15,6 +15,8 @@
 
 use nanobench_core::{Aggregate, BenchSpec, NbError, Session};
 use nanobench_uarch::port::MicroArch;
+use nanobench_x86::asm::parse_asm;
+use nanobench_x86::encode::encode_program;
 
 /// Counter configuration with the port-pressure and µop events.
 const PORTS_CONFIG: &str = "\
@@ -150,14 +152,51 @@ pub fn measure_instruction_on(
     session: &mut Session,
     spec: &InstSpec,
 ) -> Result<InstMeasurement, NbError> {
+    measure_with(session, spec, false)
+}
+
+/// Like [`measure_instruction_on`], but routes the benchmark through the
+/// §III-E binary code-input path: the assembly is assembled, *encoded to
+/// machine-code bytes*, and handed to the session as raw bytes
+/// ([`BenchSpec::code_bytes`]). Since decode(encode(code)) reproduces the
+/// instruction list exactly, the results are bit-identical to the asm path —
+/// the e5 experiment pins this for every vector variant of the suite.
+///
+/// # Errors
+///
+/// Propagates assembly, encoding and CPU faults.
+pub fn measure_instruction_via_bytes_on(
+    session: &mut Session,
+    spec: &InstSpec,
+) -> Result<InstMeasurement, NbError> {
+    measure_with(session, spec, true)
+}
+
+/// Sets a benchmark's main and init parts either as assembly or through the
+/// encode-to-bytes-and-decode path.
+fn set_code(bench: &mut BenchSpec, code: &str, init: &str, via_bytes: bool) -> Result<(), NbError> {
+    if via_bytes {
+        let (code_bytes, _) = encode_program(&parse_asm(code)?)?;
+        let (init_bytes, _) = encode_program(&parse_asm(init)?)?;
+        bench.code_bytes(&code_bytes)?.init_bytes(&init_bytes)?;
+    } else {
+        bench.asm(code)?.asm_init(init)?;
+    }
+    Ok(())
+}
+
+fn measure_with(
+    session: &mut Session,
+    spec: &InstSpec,
+    via_bytes: bool,
+) -> Result<InstMeasurement, NbError> {
     // Latency: dependency chain.
     let latency = match &spec.latency_asm {
         Some(chain) => {
             session.reset();
             let mut bench = BenchSpec::new();
+            set_code(&mut bench, chain, &spec.latency_init, via_bytes)?;
             bench
-                .asm(chain)?
-                .asm_init(&spec.latency_init)?
                 .config_str("0E.01 UOPS_ISSUED.ANY")?
                 .unroll_count(100)
                 .warm_up_count(2)
@@ -171,9 +210,13 @@ pub fn measure_instruction_on(
     // Throughput and port usage: independent copies, unrolled only.
     session.reset();
     let mut bench = BenchSpec::new();
+    set_code(
+        &mut bench,
+        &spec.throughput_asm,
+        &spec.throughput_init,
+        via_bytes,
+    )?;
     bench
-        .asm(&spec.throughput_asm)?
-        .asm_init(&spec.throughput_init)?
         .config_str(PORTS_CONFIG)?
         .unroll_count(50)
         .warm_up_count(2)
@@ -291,6 +334,33 @@ mod tests {
             let reused = measure_instruction_on(&mut session, spec).unwrap();
             let fresh = measure_instruction(MicroArch::Skylake, spec).unwrap();
             assert_eq!(reused, fresh, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn byte_path_matches_asm_path_for_vector_variants() {
+        // §III-E: a benchmark supplied as machine-code bytes must measure
+        // exactly like the same benchmark supplied as assembly — including
+        // SSE and VEX-coded forms.
+        let specs = [
+            InstSpec::new(
+                "MULPS (xmm, xmm)",
+                Some("mulps xmm0, xmm0"),
+                "mulps xmm0, xmm1; mulps xmm2, xmm3; mulps xmm4, xmm5; mulps xmm6, xmm7",
+                4,
+            ),
+            InstSpec::new(
+                "VFMADD231PS (ymm)",
+                Some("vfmadd231ps ymm0, ymm0, ymm1"),
+                "vfmadd231ps ymm0, ymm1, ymm2; vfmadd231ps ymm3, ymm4, ymm5",
+                2,
+            ),
+        ];
+        let mut session = Session::kernel(MicroArch::Skylake);
+        for spec in &specs {
+            let asm = measure_instruction_on(&mut session, spec).unwrap();
+            let bytes = measure_instruction_via_bytes_on(&mut session, spec).unwrap();
+            assert_eq!(asm, bytes, "{}", spec.name);
         }
     }
 

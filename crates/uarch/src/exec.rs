@@ -429,6 +429,20 @@ pub fn execute(
             state.set_gpr(Gpr::Rsp, rsp.wrapping_add(8));
             return Ok(Next::Jump(target as usize));
         }
+        // Compare instructions write flags only; compare the digests so a
+        // following branch sees deterministic flag state.
+        Comiss | Comisd => {
+            let a = read_operand(state, bus, inst.dst().expect("comis dst"))?;
+            let b = read_operand(state, bus, inst.src().expect("comis src"))?;
+            state.set_flag(Flag::Cf, a < b);
+            state.set_flag(Flag::Zf, a == b);
+            state.set_flag(Flag::Pf, false);
+            state.set_flag(Flag::Sf, false);
+            state.set_flag(Flag::Of, false);
+            state.set_flag(Flag::Af, false);
+        }
+        // Upper-half zeroing is invisible to the digest model.
+        Vzeroupper | Vzeroall => {}
         // Vector arithmetic: opaque dependency-preserving semantics. The
         // destination digest mixes all source digests with a per-mnemonic
         // constant, so chains propagate and distinct ops differ.

@@ -334,6 +334,17 @@ pub fn parse_asm(text: &str) -> Result<Vec<Instruction>, ParseAsmError> {
                 }
             }
         }
+        // Vector memory accesses are modeled at qword granularity (see
+        // `strip_size_prefix`): normalize explicit size prefixes so the asm
+        // path and the §III-E byte path (whose encodings carry no memory
+        // width) see identical instructions.
+        if mnemonic.is_vector() {
+            for op in &mut operands {
+                if let Operand::Mem(m) = op {
+                    m.width = Width::Q;
+                }
+            }
+        }
         instructions.push(Instruction::with_operands(mnemonic, operands));
     }
 

@@ -244,17 +244,37 @@ impl Mnemonic {
         matches!(self, Mnemonic::Cpuid | Mnemonic::Wbinvd | Mnemonic::Invd)
     }
 
-    /// Whether this is one of the SSE/AVX vector mnemonics (used for the
-    /// AVX warm-up model, §III-H).
+    /// Whether this is one of the SSE/AVX vector mnemonics — including the
+    /// scalar-SSE tail, which also lives in the xmm register file (used for
+    /// the AVX warm-up model, §III-H, and the opaque vector execution
+    /// semantics).
     pub fn is_vector(self) -> bool {
         use Mnemonic::*;
         matches!(
             self,
-            Movaps
+            Addss
+                | Addsd
+                | Subss
+                | Subsd
+                | Mulss
+                | Mulsd
+                | Divss
+                | Divsd
+                | Sqrtss
+                | Sqrtsd
+                | Comiss
+                | Comisd
+                | Cvtsi2sd
+                | Cvtsd2si
+                | Cvtss2sd
+                | Cvtsd2ss
+                | Movaps
                 | Movups
                 | Movapd
                 | Movdqa
                 | Movdqu
+                | Movd
+                | Movq
                 | Addps
                 | Addpd
                 | Subps

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod corpus;
 pub mod encode;
 pub mod inst;
 pub mod operand;

@@ -141,6 +141,14 @@ impl Operand {
         }
     }
 
+    /// Returns the vector register if this is a vector operand.
+    pub fn as_vec(&self) -> Option<VecReg> {
+        match self {
+            Operand::Vec(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The access width of the operand, if it has one.
     pub fn width(&self) -> Option<Width> {
         match self {

@@ -210,6 +210,29 @@ pub struct VecReg {
     pub class: VecClass,
 }
 
+impl VecReg {
+    /// The 128-bit register `xmm<index>`.
+    pub fn xmm(index: u8) -> VecReg {
+        VecReg {
+            index,
+            class: VecClass::Xmm,
+        }
+    }
+
+    /// The 256-bit register `ymm<index>`.
+    pub fn ymm(index: u8) -> VecReg {
+        VecReg {
+            index,
+            class: VecClass::Ymm,
+        }
+    }
+
+    /// Whether the register is encodable without EVEX (index 0–15, not zmm).
+    pub fn is_vex_encodable(self) -> bool {
+        self.index < 16 && self.class != VecClass::Zmm
+    }
+}
+
 /// Vector register class / width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VecClass {

@@ -1,89 +1,19 @@
-//! Round-trip tests over a fixed instruction corpus: assembler text →
+//! Round-trip tests over the fixed instruction corpus: assembler text →
 //! instructions → formatted text → instructions, and instructions →
 //! machine code → decoded instructions. Complements the workspace-level
 //! proptests with a deterministic, reviewable corpus.
+//!
+//! Every corpus line — including the whole SSE/AVX subset — must encode to
+//! bytes and decode back identically (§III-E); the former `encodable()`
+//! xmm filter is gone.
 
 use nanobench_x86::asm::{format_program, parse_asm};
+use nanobench_x86::corpus::ROUNDTRIP_CORPUS;
 use nanobench_x86::encode::{decode_program, encode_program, MAGIC_PAUSE, MAGIC_RESUME};
-
-/// One representative per operand shape and instruction family the
-/// assembler supports: ALU reg/reg and reg/imm at several widths, loads and
-/// stores with the addressing modes nanoBench microbenchmarks use,
-/// shifts/rotates, bit counting, wide multiply/divide, moves and extensions,
-/// conditional moves, serialization/fences, SSE/AVX arithmetic and shuffles,
-/// and the system instructions the kernel shell needs.
-const CORPUS: &[&str] = &[
-    // ALU, 64/32-bit register and immediate forms.
-    "add rax, rbx",
-    "add rax, 1",
-    "sub r8, 7",
-    "adc rcx, rdx",
-    "sbb rsi, rdi",
-    "and r9, r10",
-    "or r11, r12",
-    "xor r8d, r9d",
-    "cmp rax, rbx",
-    "test rax, rax",
-    "inc rbx",
-    "dec rcx",
-    "neg rdx",
-    "not rsi",
-    // Shifts, rotates, bit counting.
-    "shl rdx, 5",
-    "shr rax, 1",
-    "sar rbx, 3",
-    "rol rcx, 2",
-    "ror rdx, 7",
-    "popcnt rbx, rcx",
-    "lzcnt rax, rbx",
-    "tzcnt rcx, rdx",
-    "bsf r8, r9",
-    "bsr r10, r11",
-    "bswap rax",
-    // Multiply.
-    "imul rsi, rdi",
-    // Moves, loads, stores, address computation.
-    "mov rax, 6",
-    "mov rcx, rbx",
-    "mov r14, [r14]",
-    "mov rcx, qword ptr [r14+0x40]",
-    "mov rcx, [r14+64]",
-    "mov [rbp-8], rdx",
-    "mov [r14], r14",
-    "lea rax, [rbx+rbx]",
-    "movzx rax, bl",
-    "cmovz rax, rbx",
-    "xchg rax, rbx",
-    "nop",
-    // Serialization and timing (§IV-A1).
-    "lfence",
-    "mfence",
-    "sfence",
-    "cpuid",
-    "rdtsc",
-    // SSE/AVX (case study I port-usage families).
-    "addps xmm0, xmm1",
-    "mulpd xmm2, xmm3",
-    "divps xmm4, xmm5",
-    "sqrtpd xmm6, xmm7",
-    "pand xmm8, xmm9",
-    "pxor xmm10, xmm11",
-    "paddq xmm12, xmm13",
-    "pshufd xmm0, xmm1, 0",
-    "shufps xmm2, xmm3, 0",
-    "aesenc xmm4, xmm5",
-    "pclmulqdq xmm6, xmm7, 0",
-    // Privileged / system (kernel shell, §III-D, §IV-A2).
-    "wbinvd",
-    "clflush [r14]",
-    "rdmsr",
-    "wrmsr",
-    "rdpmc",
-];
 
 #[test]
 fn corpus_parses() {
-    for text in CORPUS {
+    for text in ROUNDTRIP_CORPUS {
         let insts = parse_asm(text).unwrap_or_else(|e| panic!("`{text}` must parse: {e}"));
         assert_eq!(insts.len(), 1, "`{text}` is a single instruction");
     }
@@ -91,7 +21,7 @@ fn corpus_parses() {
 
 #[test]
 fn corpus_text_round_trips_through_formatter() {
-    for text in CORPUS {
+    for text in ROUNDTRIP_CORPUS {
         let insts = parse_asm(text).unwrap();
         let formatted = format_program(&insts);
         let reparsed = parse_asm(&formatted)
@@ -100,16 +30,9 @@ fn corpus_text_round_trips_through_formatter() {
     }
 }
 
-/// The byte-level encoder covers the GPR/system subset nanoBench's binary
-/// code-input path needs (§III-E); SSE/AVX instructions are assembled and
-/// simulated but have no byte encoding yet.
-fn encodable(text: &str) -> bool {
-    !text.contains("xmm")
-}
-
 #[test]
 fn corpus_encodes_and_decodes_back() {
-    for text in CORPUS.iter().filter(|t| encodable(t)) {
+    for text in ROUNDTRIP_CORPUS {
         let insts = parse_asm(text).unwrap();
         let (bytes, offsets) =
             encode_program(&insts).unwrap_or_else(|e| panic!("`{text}` must encode: {e:?}"));
@@ -123,13 +46,11 @@ fn corpus_encodes_and_decodes_back() {
 
 #[test]
 fn whole_corpus_round_trips_as_one_program() {
-    // The encodable corpus concatenated into one program exercises offset
-    // bookkeeping and instruction boundaries in a way single-instruction
-    // tests cannot.
-    let lines: Vec<&str> = CORPUS.iter().copied().filter(|t| encodable(t)).collect();
-    let text = lines.join("\n");
+    // The corpus concatenated into one program exercises offset bookkeeping
+    // and instruction boundaries in a way single-instruction tests cannot.
+    let text = ROUNDTRIP_CORPUS.join("\n");
     let insts = parse_asm(&text).unwrap();
-    assert_eq!(insts.len(), lines.len());
+    assert_eq!(insts.len(), ROUNDTRIP_CORPUS.len());
     let reparsed = parse_asm(&format_program(&insts)).unwrap();
     assert_eq!(reparsed, insts);
     let (bytes, offsets) = encode_program(&insts).unwrap();
@@ -153,8 +74,7 @@ fn paper_example_encodes_to_known_bytes() {
 fn magic_byte_sequences_do_not_collide_with_corpus_encodings() {
     // The §III-I pause/resume markers must never appear inside the encoding
     // of ordinary instructions, or pausing would trigger spuriously.
-    let lines: Vec<&str> = CORPUS.iter().copied().filter(|t| encodable(t)).collect();
-    let insts = parse_asm(&lines.join("\n")).unwrap();
+    let insts = parse_asm(&ROUNDTRIP_CORPUS.join("\n")).unwrap();
     let (bytes, _) = encode_program(&insts).unwrap();
     for marker in [MAGIC_PAUSE, MAGIC_RESUME] {
         assert!(
@@ -162,4 +82,17 @@ fn magic_byte_sequences_do_not_collide_with_corpus_encodings() {
             "magic marker must not occur in ordinary code"
         );
     }
+}
+
+#[test]
+fn vector_code_bytes_interleave_with_magic_markers() {
+    // §III-E + §III-I together: a byte-level benchmark may interleave
+    // vector instructions with the pause/resume markers; decoding must keep
+    // the markers intact and in place.
+    let text = "vaddps ymm0, ymm1, ymm2\nnb_pause\nmulps xmm0, xmm1\nnb_resume\nvzeroupper";
+    let insts = parse_asm(text).unwrap();
+    let (bytes, _) = encode_program(&insts).unwrap();
+    assert!(bytes.windows(MAGIC_PAUSE.len()).any(|w| w == MAGIC_PAUSE));
+    assert!(bytes.windows(MAGIC_RESUME.len()).any(|w| w == MAGIC_RESUME));
+    assert_eq!(decode_program(&bytes).unwrap(), insts);
 }

@@ -3,6 +3,9 @@
 use nanobench::cache::policy::{simulate_sequence, PolicyKind, SetSim};
 use nanobench::x86::asm::{format_program, parse_asm};
 use nanobench::x86::encode::{decode_program, encode_program};
+use nanobench::x86::inst::{Instruction, Mnemonic};
+use nanobench::x86::operand::{MemRef, Operand};
+use nanobench::x86::reg::{Gpr, VecReg, Width};
 use proptest::prelude::*;
 
 fn arbitrary_policy() -> impl Strategy<Value = PolicyKind> {
@@ -80,10 +83,11 @@ proptest! {
         prop_assert_eq!(insts, reparsed);
     }
 
-    /// Machine-code encoding round-trips through the decoder.
+    /// Machine-code encoding round-trips through the decoder, vector
+    /// instructions included.
     #[test]
     fn encode_decode_round_trips(
-        ops in proptest::collection::vec(0usize..8, 1..30),
+        ops in proptest::collection::vec(0usize..14, 1..30),
     ) {
         let text: String = ops.iter().map(|o| match o {
             0 => "add rax, rbx\n",
@@ -93,10 +97,64 @@ proptest! {
             4 => "sub r8, 7\n",
             5 => "imul rsi, rdi\n",
             6 => "mov [rbp-8], rdx\n",
-            _ => "popcnt rbx, rcx\n",
+            7 => "popcnt rbx, rcx\n",
+            8 => "addps xmm0, xmm1\n",
+            9 => "movaps xmm2, [r14+16]\n",
+            10 => "vfmadd231ps ymm0, ymm1, ymm2\n",
+            11 => "pxor xmm10, xmm11\n",
+            12 => "vaddps ymm3, ymm4, [r14]\n",
+            _ => "movq xmm5, rax\n",
         }).collect();
         let insts = parse_asm(&text).unwrap();
         let (bytes, _) = encode_program(&insts).unwrap();
         prop_assert_eq!(decode_program(&bytes).unwrap(), insts);
+    }
+
+    /// The ModRM/SIB emitter round-trips over randomly generated memory
+    /// operands: every base (including the RSP/RBP/R12/R13 special cases
+    /// and no base at all), every scale, and displacements straddling the
+    /// disp8/disp32 boundaries — edge cases the fixed corpus cannot reach.
+    #[test]
+    fn modrm_sib_round_trips_over_random_memory_operands(
+        base_sel in 0usize..17,
+        index_sel in 0usize..16,
+        scale_sel in 0usize..4,
+        disp_sel in 0usize..18,
+        rand_disp in (i32::MIN as i64)..=(i32::MAX as i64),
+        shape in 0usize..5,
+    ) {
+        // Boundary displacements around the disp8 (±0x7F) and disp32 edges,
+        // plus the random draw as the final selector.
+        const DISPS: [i64; 17] = [
+            0, 1, -1, 8, 64, 127, 128, -127, -128, -129, 255, -256, 4096,
+            -4096, i32::MAX as i64, i32::MIN as i64, 0x0012_3456,
+        ];
+        // All 16 GPRs can be bases; RSP cannot be an index.
+        let base = (base_sel < 16).then(|| Gpr::ALL[base_sel]);
+        let index_regs: Vec<Gpr> = Gpr::ALL.iter().copied().filter(|g| *g != Gpr::Rsp).collect();
+        let scale = [1u8, 2, 4, 8][scale_sel];
+        let index = (index_sel < index_regs.len()).then(|| (index_regs[index_sel], scale));
+        let disp = if disp_sel < DISPS.len() { DISPS[disp_sel] } else { rand_disp };
+        let mem = MemRef { base, index, disp, width: Width::Q };
+
+        // Exercise the emitter from GPR, SSE and VEX instructions: the
+        // same ModRM/SIB machinery runs under REX and VEX prefixes.
+        let inst = match shape {
+            0 => Instruction::binary(Mnemonic::Mov, Operand::gpr(Gpr::Rax), Operand::Mem(mem)),
+            1 => Instruction::binary(Mnemonic::Mov, Operand::Mem(mem), Operand::gpr(Gpr::R9)),
+            2 => Instruction::binary(Mnemonic::Movaps, Operand::Vec(VecReg::xmm(9)), Operand::Mem(mem)),
+            3 => Instruction::with_operands(
+                Mnemonic::Vaddps,
+                vec![
+                    Operand::Vec(VecReg::ymm(1)),
+                    Operand::Vec(VecReg::ymm(12)),
+                    Operand::Mem(mem),
+                ],
+            ),
+            _ => Instruction::unary(Mnemonic::Clflush, Operand::Mem(mem)),
+        };
+        let (bytes, _) = encode_program(std::slice::from_ref(&inst)).unwrap();
+        let decoded = decode_program(&bytes).unwrap();
+        prop_assert_eq!(decoded, vec![inst]);
     }
 }
