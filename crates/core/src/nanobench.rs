@@ -208,6 +208,13 @@ impl NanoBench {
         self.session.arena_base(reg)
     }
 
+    /// Decoded-plan cache statistics of the underlying session:
+    /// `(hits, misses)`. Repeated [`NanoBench::run`] calls on an unchanged
+    /// benchmark replay cached plans instead of re-decoding.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        self.session.plan_cache_stats()
+    }
+
     /// Runs the configured benchmark; see [`Session::run`].
     ///
     /// # Errors

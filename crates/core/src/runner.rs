@@ -9,6 +9,7 @@ use crate::codegen::Arenas;
 use crate::codegen::GeneratedCode;
 use crate::error::NbError;
 use nanobench_machine::{Machine, Mode};
+use nanobench_uarch::plan::DecodedProgram;
 use nanobench_x86::inst::{Instruction, Mnemonic};
 use nanobench_x86::operand::Operand;
 use nanobench_x86::reg::Gpr;
@@ -18,7 +19,7 @@ use nanobench_x86::reg::Gpr;
 /// stub models that per-run kernel round trip (the reason the user-space
 /// version is ~3x slower in §III-K; the real tool additionally pays for
 /// process startup).
-fn user_syscall_stub() -> Vec<Instruction> {
+pub(crate) fn user_syscall_stub() -> Vec<Instruction> {
     vec![
         Instruction::binary(Mnemonic::Mov, Operand::gpr(Gpr::R15), Operand::imm(150)),
         Instruction::binary(Mnemonic::Add, Operand::gpr(Gpr::Rax), Operand::imm(1)),
@@ -89,8 +90,11 @@ impl Aggregate {
     }
 }
 
-/// Runs the generated code once and extracts the per-counter deltas
-/// (`m2 - m1`).
+/// Runs the generated code once — through its pre-decoded `plan` — and
+/// extracts the per-counter deltas (`m2 - m1`).
+///
+/// `stub_plan` is the decoded [`user_syscall_stub`] a user-mode session
+/// caches; kernel-mode callers pass `None`.
 ///
 /// # Errors
 ///
@@ -98,12 +102,17 @@ impl Aggregate {
 pub fn run_once(
     machine: &mut Machine,
     generated: &GeneratedCode,
+    plan: &DecodedProgram,
+    stub_plan: Option<&DecodedProgram>,
     arenas: &Arenas,
 ) -> Result<Vec<i64>, NbError> {
     if machine.mode() == Mode::User {
-        machine.run(&user_syscall_stub())?;
+        match stub_plan {
+            Some(stub) => machine.run_plan(stub)?,
+            None => machine.run(&user_syscall_stub())?,
+        };
     }
-    machine.run(&generated.program)?;
+    machine.run_plan(plan)?;
     let mut deltas = Vec::with_capacity(generated.selectors.len());
     if generated.no_mem {
         // The generated code spilled the register accumulators to the m2
@@ -129,14 +138,18 @@ pub fn run_once(
 }
 
 /// Algorithm 2: runs the code `warm_up + n` times and aggregates the last
-/// `n` per-counter deltas.
+/// `n` per-counter deltas. All `warm_up + n` runs replay the same decoded
+/// `plan` — the program is decoded at most once per measurement series.
 ///
 /// # Errors
 ///
 /// Propagates CPU faults from any run.
+#[allow(clippy::too_many_arguments)]
 pub fn measure(
     machine: &mut Machine,
     generated: &GeneratedCode,
+    plan: &DecodedProgram,
+    stub_plan: Option<&DecodedProgram>,
     arenas: &Arenas,
     warm_up: usize,
     n: usize,
@@ -146,7 +159,7 @@ pub fn measure(
     assert!(n > 0, "need at least one measurement");
     let mut samples: Vec<Vec<i64>> = vec![Vec::with_capacity(n); generated.selectors.len()];
     for i in 0..warm_up + n {
-        let deltas = run_once(machine, generated, arenas)?;
+        let deltas = run_once(machine, generated, plan, stub_plan, arenas)?;
         if i >= warm_up {
             for (slot, d) in deltas.into_iter().enumerate() {
                 samples[slot].push(d);

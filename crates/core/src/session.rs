@@ -23,16 +23,43 @@
 use crate::codegen::{self, Arenas, CodegenRequest, ARENA_REGS, ARENA_SIZE, NO_MEM_ACC_REGS};
 use crate::error::NbError;
 use crate::result::{BenchmarkResult, FIXED_COUNTER_NAMES};
-use crate::runner::{measure, Aggregate};
+use crate::runner::{measure, user_syscall_stub, Aggregate};
 use nanobench_machine::{Machine, Mode};
 use nanobench_pmu::{parse_config, PerfEvent};
+use nanobench_uarch::plan::DecodedProgram;
 use nanobench_uarch::port::MicroArch;
 use nanobench_x86::asm::parse_asm;
 use nanobench_x86::encode::decode_program;
 use nanobench_x86::inst::Instruction;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Deterministic default machine seed ("NB").
 pub const NB_SEED: u64 = 0x4E42;
+
+/// Upper bound on cached plans per session. Campaigns sweeping many
+/// distinct programs would otherwise accumulate plans without bound; when
+/// the cap is hit the cache is simply cleared (the working set of a
+/// benchmark — warm-up runs, both counter halves, re-runs across seeds —
+/// is far smaller).
+const PLAN_CACHE_CAP: usize = 64;
+
+/// Session-level cache of decoded execution plans, keyed by a hash of the
+/// generated instruction sequence (verified by full program comparison on
+/// hit, so key collisions cannot alias two programs).
+#[derive(Debug, Default)]
+struct PlanCache {
+    plans: HashMap<u64, DecodedProgram>,
+    hits: u64,
+    misses: u64,
+}
+
+fn program_key(program: &[Instruction]) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.hash(&mut h);
+    h.finish()
+}
 
 /// Number of programmable counters readable per round in noMem mode
 /// (three fixed + three programmable fit in R8–R13).
@@ -237,6 +264,13 @@ pub struct Session {
     default_events: Vec<PerfEvent>,
     /// Scratch buffer for aggregate computation (avoids per-run allocs).
     scratch: Vec<i64>,
+    /// Decoded-plan cache: repeated runs of the same generated program
+    /// (warm-up runs, both counter halves, identical specs re-run across
+    /// seeds) skip decode entirely. Plans hold no machine state, so the
+    /// cache survives [`Session::reset`].
+    plan_cache: PlanCache,
+    /// Decoded user-mode syscall stub (§III-K), built lazily.
+    user_stub_plan: Option<DecodedProgram>,
 }
 
 impl Session {
@@ -260,6 +294,8 @@ impl Session {
             arenas,
             default_events: Vec::new(),
             scratch: Vec::new(),
+            plan_cache: PlanCache::default(),
+            user_stub_plan: None,
         }
     }
 
@@ -410,6 +446,12 @@ impl Session {
         Ok(BenchmarkResult::new(entries))
     }
 
+    /// Decoded-plan cache statistics: `(hits, misses)`. A hit means a
+    /// generated program was replayed without re-decoding it.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_cache.hits, self.plan_cache.misses)
+    }
+
     fn measure_version(
         &mut self,
         spec: &BenchSpec,
@@ -426,9 +468,44 @@ impl Session {
             arenas: self.arenas,
         };
         let generated = codegen::generate(&request);
+
+        // Plan-cache lookup: hash the generated program, verify the hit by
+        // full comparison (hash collisions fall through to a re-decode of
+        // the colliding entry's slot).
+        let key = program_key(&generated.program);
+        let cache = &mut self.plan_cache;
+        let hit = matches!(
+            cache.plans.get(&key),
+            Some(plan) if plan.instructions() == generated.program.as_slice()
+        );
+        if hit {
+            cache.hits += 1;
+        } else {
+            if cache.plans.len() >= PLAN_CACHE_CAP {
+                cache.plans.clear();
+            }
+            cache.misses += 1;
+            cache
+                .plans
+                .insert(key, self.machine.decode(&generated.program));
+        }
+        let plan = &self.plan_cache.plans[&key];
+
+        let stub_plan = if self.machine.mode() == Mode::User {
+            Some(
+                self.user_stub_plan
+                    .get_or_insert_with(|| self.machine.decode(&user_syscall_stub()))
+                    as &DecodedProgram,
+            )
+        } else {
+            None
+        };
+
         measure(
             &mut self.machine,
             &generated,
+            plan,
+            stub_plan,
             &self.arenas,
             spec.warm_up_count,
             spec.n_measurements.max(1),

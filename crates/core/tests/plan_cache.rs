@@ -1,0 +1,88 @@
+//! The session-level plan cache: repeated runs of the same generated
+//! program skip decode entirely, and cached replay is bit-identical to
+//! the first (decoding) run.
+
+use nanobench_core::{BenchSpec, Session};
+use nanobench_uarch::port::MicroArch;
+
+fn add_spec() -> BenchSpec {
+    let mut spec = BenchSpec::new();
+    spec.asm("add rax, rax")
+        .unwrap()
+        .config_str("0E.01 UOPS_ISSUED.ANY")
+        .unwrap()
+        .unroll_count(50)
+        .warm_up_count(3)
+        .n_measurements(5);
+    spec
+}
+
+#[test]
+fn identical_specs_hit_the_cache() {
+    let mut session = Session::kernel(MicroArch::Skylake);
+    let spec = add_spec();
+
+    let first = session.run(&spec).unwrap();
+    let (hits, misses) = session.plan_cache_stats();
+    // One round, two unroll versions: two distinct generated programs,
+    // each decoded exactly once — the 8 runs per version (3 warm-up + 5
+    // measured) all replay the same plan.
+    assert_eq!((hits, misses), (0, 2));
+
+    session.reset();
+    let second = session.run(&spec).unwrap();
+    let (hits, misses) = session.plan_cache_stats();
+    // The re-run generates byte-identical programs: all hits, no decode.
+    assert_eq!((hits, misses), (2, 2));
+    assert_eq!(first, second, "cached-plan replay must be bit-identical");
+}
+
+#[test]
+fn distinct_programs_miss_and_coexist() {
+    let mut session = Session::kernel(MicroArch::Skylake);
+    let add = add_spec();
+    let mut imul = add_spec();
+    imul.asm("imul rax, rax").unwrap();
+
+    session.run(&add).unwrap();
+    session.reset();
+    session.run(&imul).unwrap();
+    assert_eq!(session.plan_cache_stats(), (0, 4));
+
+    // Both specs' plans are cached side by side; re-running either is
+    // pure hits.
+    session.reset();
+    session.run(&add).unwrap();
+    session.reset();
+    session.run(&imul).unwrap();
+    assert_eq!(session.plan_cache_stats(), (4, 4));
+}
+
+#[test]
+fn user_mode_caches_plans_too() {
+    let mut session = Session::user(MicroArch::Skylake);
+    let spec = add_spec();
+    let first = session.run(&spec).unwrap();
+    session.reset();
+    let second = session.run(&spec).unwrap();
+    assert_eq!(session.plan_cache_stats(), (2, 2));
+    assert_eq!(first, second);
+}
+
+#[test]
+fn multiplexed_rounds_reuse_per_round_plans() {
+    // 6 events on 4 programmable counters: two rounds, each generating
+    // its own pair of unroll versions (different selectors → different
+    // programs), so one run decodes 4 programs; the second run hits all.
+    let mut spec = add_spec();
+    spec.config_str("0E.01 UOPS_ISSUED.ANY\nA1.01 P0\nA1.02 P1\nA1.04 P2\nA1.08 P3\nA1.10 P4")
+        .unwrap();
+    let mut session = Session::kernel(MicroArch::Skylake);
+    session.run(&spec).unwrap();
+    let (_, misses) = session.plan_cache_stats();
+    session.reset();
+    session.run(&spec).unwrap();
+    let (hits, misses_after) = session.plan_cache_stats();
+    assert_eq!(misses_after, misses, "second run must not decode");
+    assert_eq!(hits, misses);
+}

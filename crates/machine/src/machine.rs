@@ -8,6 +8,7 @@ use nanobench_cache::presets::{table1_cpus, CpuSpec};
 use nanobench_pmu::Pmu;
 use nanobench_uarch::bus::{Bus, CpuFault, InterruptEvent};
 use nanobench_uarch::engine::{Engine, RunStats};
+use nanobench_uarch::plan::DecodedProgram;
 use nanobench_uarch::port::MicroArch;
 use nanobench_uarch::state::CpuState;
 use nanobench_x86::inst::Instruction;
@@ -148,15 +149,15 @@ impl Bus for Env {
         self.interrupts_enabled = enabled;
     }
 
-    fn drain_uncore_lookups(&mut self) -> Vec<u64> {
+    fn drain_uncore_lookups(&mut self, out: &mut Vec<u64>) {
         let current = self.hierarchy.uncore_lookups();
-        let deltas: Vec<u64> = current
-            .iter()
-            .zip(self.uncore_seen.iter())
-            .map(|(c, s)| c - s)
-            .collect();
+        out.extend(
+            current
+                .iter()
+                .zip(self.uncore_seen.iter())
+                .map(|(c, s)| c - s),
+        );
         self.uncore_seen.copy_from_slice(current);
-        deltas
     }
 }
 
@@ -288,6 +289,10 @@ impl Machine {
 
     /// Runs a program to completion on the current architectural state.
     ///
+    /// Decodes a transient execution plan per call; callers that run the
+    /// same program repeatedly should [`Machine::decode`] once and use
+    /// [`Machine::run_plan`] (what the Session layer's plan cache does).
+    ///
     /// # Errors
     ///
     /// Propagates [`CpuFault`]s — notably privileged instructions in user
@@ -295,6 +300,30 @@ impl Machine {
     pub fn run(&mut self, program: &[Instruction]) -> Result<RunStats, CpuFault> {
         let stats = self.engine.run(
             program,
+            &mut self.state,
+            &mut self.pmu,
+            &mut self.env,
+            self.cycle,
+        )?;
+        self.cycle = stats.end_cycle;
+        Ok(stats)
+    }
+
+    /// Decodes `program` into a reusable execution plan for this machine's
+    /// engine (its descriptor table and port configuration).
+    pub fn decode(&self, program: &[Instruction]) -> DecodedProgram {
+        self.engine.decode(program)
+    }
+
+    /// Runs a pre-decoded plan to completion; bit-identical to
+    /// [`Machine::run`] on the plan's program, minus the per-run decode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuFault`]s exactly like [`Machine::run`].
+    pub fn run_plan(&mut self, plan: &DecodedProgram) -> Result<RunStats, CpuFault> {
+        let stats = self.engine.run_plan(
+            plan,
             &mut self.state,
             &mut self.pmu,
             &mut self.env,

@@ -128,7 +128,9 @@ pub trait Bus {
     /// Sets the interrupt flag (`CLI`/`STI`).
     fn set_interrupt_flag(&mut self, enabled: bool);
 
-    /// Per-slice C-Box lookup deltas since the last call (drained into the
-    /// PMU's uncore counters by the engine).
-    fn drain_uncore_lookups(&mut self) -> Vec<u64>;
+    /// Appends the per-slice C-Box lookup deltas since the last call to
+    /// `out` (drained into the PMU's uncore counters by the engine). The
+    /// caller clears and reuses `out`, so the engine's hot loop performs
+    /// no allocation; implementations push one delta per slice.
+    fn drain_uncore_lookups(&mut self, out: &mut Vec<u64>);
 }

@@ -188,7 +188,9 @@ impl DescriptorTable {
     /// variants case study I sweeps over.
     pub fn variants(&self) -> Vec<(Mnemonic, Vec<OpKind>)> {
         let mut v: Vec<_> = self.exact.keys().cloned().collect();
-        v.sort_by_key(|(m, f)| (format!("{m}"), f.len(), format!("{f:?}")));
+        // The key strings are built once per entry, not once per
+        // comparison as a plain sort_by_key closure would.
+        v.sort_by_cached_key(|(m, f)| (format!("{m}"), f.len(), format!("{f:?}")));
         v
     }
 

@@ -6,11 +6,18 @@
 //! availability, a four-wide front end, LFENCE dispatch serialization
 //! (§IV-A1), branch prediction with persistent state (§III-H), AVX warm-up
 //! (§III-H), and user-mode interrupt injection (§III-D / §IV-A2).
+//!
+//! The interpreter runs over a [`DecodedProgram`] (see [`crate::plan`]):
+//! all per-instruction analysis — descriptor lookups, port-class
+//! resolution, memory-operand classification, dependency extraction — is
+//! hoisted into a one-shot decode pass, so the steady-state loop performs
+//! zero heap allocations. [`Engine::run`] keeps the legacy
+//! instruction-slice signature by building a transient plan.
 
 use crate::bpred::BranchPredictor;
 use crate::bus::{Bus, CpuFault};
-use crate::descriptor::{DescriptorTable, PortClass, UopSpec};
 use crate::exec::{self, Next};
+use crate::plan::{DecodedProgram, PlanBody, PlanEntry, StepKind};
 use crate::port::{MicroArch, PortConfig, PortSet};
 use crate::state::CpuState;
 use nanobench_cache::hierarchy::HitLevel;
@@ -21,6 +28,8 @@ use nanobench_x86::operand::{MemRef, Operand};
 use nanobench_x86::reg::Gpr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::descriptor::DescriptorTable;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,18 +115,31 @@ impl Timing {
             self.max_complete = self.max_complete.max(ready);
             return ready;
         }
-        let mut best_port = 0u8;
-        let mut best_time = u64::MAX;
-        let list: Vec<u8> = ports.iter().collect();
-        let n = list.len();
-        for k in 0..n {
-            let p = list[(self.rr + k) % n];
-            let t = self.port_free[p as usize].max(ready);
-            if t < best_time {
-                best_time = t;
-                best_port = p;
+        // Scan the candidate ports in round-robin order starting at
+        // position `rr % n` without materializing a list: the ports at
+        // positions `start..n` are considered before those at `0..start`,
+        // and the first port with the minimal free time wins — port
+        // selection is identical to rotating an explicit candidate list.
+        let n = ports.len();
+        let start = self.rr % n;
+        let mut tail = (0u8, u64::MAX);
+        let mut head = (0u8, u64::MAX);
+        let mut pos = 0usize;
+        for p in 0..8u8 {
+            if !ports.contains(p) {
+                continue;
             }
+            let t = self.port_free[p as usize].max(ready);
+            if pos >= start {
+                if t < tail.1 {
+                    tail = (p, t);
+                }
+            } else if t < head.1 {
+                head = (p, t);
+            }
+            pos += 1;
         }
+        let (best_port, best_time) = if head.1 < tail.1 { head } else { tail };
         self.rr = self.rr.wrapping_add(1);
         self.port_free[best_port as usize] = best_time + recip.max(1);
         pmu.count(events::uops_dispatched_port(best_port), 1);
@@ -157,6 +179,9 @@ pub struct Engine {
     avx_cold: bool,
     non_avx_streak: u64,
     avx_penalty_uops: u64,
+    /// Scratch for uncore-lookup drains (reused so the hot loop does not
+    /// allocate).
+    uncore_buf: Vec<u64>,
 }
 
 /// Instructions executed since the last AVX µop before the upper vector
@@ -181,6 +206,7 @@ impl Engine {
             avx_cold: true,
             non_avx_streak: 0,
             avx_penalty_uops: 0,
+            uncore_buf: Vec::new(),
         }
     }
 
@@ -214,7 +240,20 @@ impl Engine {
         self.avx_penalty_uops = 0;
     }
 
+    /// Decodes `program` into a reusable execution plan for this engine's
+    /// microarchitecture (descriptor table and port configuration). The
+    /// plan holds no machine state and can be replayed any number of
+    /// times via [`Engine::run_plan`].
+    pub fn decode(&self, program: &[Instruction]) -> DecodedProgram {
+        DecodedProgram::new(program, &self.table)
+    }
+
     /// Runs `program` to completion.
+    ///
+    /// Compatibility wrapper over the plan interpreter: decodes a
+    /// transient plan and discards it. Callers that run the same program
+    /// repeatedly should [`Engine::decode`] once and use
+    /// [`Engine::run_plan`].
     ///
     /// `start_cycle` is the absolute cycle the run begins at; pass the
     /// previous run's [`RunStats::end_cycle`] to keep PMU time monotonic.
@@ -231,12 +270,61 @@ impl Engine {
         bus: &mut dyn Bus,
         start_cycle: u64,
     ) -> Result<RunStats, CpuFault> {
+        let body = PlanBody::build(program, &self.table);
+        self.run_decoded(&body, program, state, pmu, bus, start_cycle)
+    }
+
+    /// Runs a pre-decoded plan to completion. Bit-identical to
+    /// [`Engine::run`] on the plan's program, without the per-run decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault`] on privilege violations, page faults, divide
+    /// errors, or when the instruction limit is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was decoded for a different microarchitecture —
+    /// its port sets and latencies would be silently wrong on this
+    /// engine. (One enum compare per run, not per instruction.)
+    pub fn run_plan(
+        &mut self,
+        plan: &DecodedProgram,
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+        start_cycle: u64,
+    ) -> Result<RunStats, CpuFault> {
+        assert_eq!(
+            plan.uarch(),
+            self.uarch,
+            "plan decoded for a different microarchitecture"
+        );
+        self.run_decoded(
+            plan.body(),
+            plan.instructions(),
+            state,
+            pmu,
+            bus,
+            start_cycle,
+        )
+    }
+
+    fn run_decoded(
+        &mut self,
+        body: &PlanBody,
+        insts: &[Instruction],
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+        start_cycle: u64,
+    ) -> Result<RunStats, CpuFault> {
         let mut t = Timing::new(start_cycle, self.uarch.issue_width());
         let mut pc = 0usize;
         let mut instructions = 0u64;
         let mut uops = 0u64;
 
-        while pc < program.len() {
+        while pc < insts.len() {
             if instructions >= self.config.max_instructions {
                 return Err(CpuFault::RunawayExecution);
             }
@@ -251,12 +339,13 @@ impl Engine {
                 pmu.retire_instructions(intr.instructions);
                 pmu.count(events::UOPS_ISSUED_ANY, intr.uops);
             }
-            let inst = &program[pc];
-            let next = self.step(inst, pc, &mut t, state, pmu, bus)?;
+            let inst = &insts[pc];
+            let entry = &body.entries[pc];
+            let next = self.step(body, entry, inst, pc, &mut t, state, pmu, bus)?;
             instructions += 1;
             // The magic pause/resume markers are byte sequences consumed by
             // the tool, not instructions the benchmark retires (§III-I).
-            if !matches!(inst.mnemonic, Mnemonic::NbPause | Mnemonic::NbResume) {
+            if entry.retires {
                 pmu.retire_instructions(1);
             }
             uops += 1; // approximate per-instruction accounting for stats
@@ -275,18 +364,10 @@ impl Engine {
         })
     }
 
-    fn check_kernel(&self, m: Mnemonic, bus: &dyn Bus) -> Result<(), CpuFault> {
-        if m.is_privileged() && !bus.is_kernel() {
-            Err(CpuFault::PrivilegedInstruction(m))
-        } else {
-            Ok(())
-        }
-    }
-
     /// AVX warm-up bookkeeping; returns the latency multiplier for this
     /// instruction's µops.
-    fn avx_factor(&mut self, m: Mnemonic) -> u64 {
-        if m.is_avx() {
+    fn avx_factor(&mut self, is_avx: bool) -> u64 {
+        if is_avx {
             self.non_avx_streak = 0;
             if self.avx_cold {
                 self.avx_cold = false;
@@ -305,9 +386,11 @@ impl Engine {
         1
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
+        body: &PlanBody,
+        entry: &PlanEntry,
         inst: &Instruction,
         pc: usize,
         t: &mut Timing,
@@ -315,14 +398,116 @@ impl Engine {
         pmu: &mut Pmu,
         bus: &mut dyn Bus,
     ) -> Result<Next, CpuFault> {
+        if entry.privileged && !bus.is_kernel() {
+            return Err(CpuFault::PrivilegedInstruction(inst.mnemonic));
+        }
+        if entry.kind == StepKind::Special {
+            return self.step_special(body, entry, inst, t, state, pmu, bus);
+        }
+
+        // ---- generic path -------------------------------------------------
+        let factor = self.avx_factor(entry.is_avx);
+
+        // Input readiness (registers, vector registers, flags).
+        let mut input_ready = start_of(t);
+        for &r in entry.in_regs.slice(&body.regs) {
+            input_ready = input_ready.max(t.reg[r as usize]);
+        }
+        for &v in entry.in_vregs.slice(&body.regs) {
+            input_ready = input_ready.max(t.vreg[v as usize]);
+        }
+        if entry.flags_read {
+            input_ready = input_ready.max(t.flags);
+        }
+
+        // Loads.
+        let mut load_done = 0u64;
+        for mem in entry.reads.slice(&body.reads) {
+            let a_ready = addr_ready(t, mem);
+            let vaddr = exec::mem_vaddr(state, mem);
+            let done = self.timed_load(t, vaddr, a_ready, pmu, bus)?;
+            load_done = load_done.max(done);
+        }
+        let compute_ready = input_ready.max(load_done);
+
+        // Compute µops.
+        let uops = entry.uops.slice(&body.uops);
+        let mut result_ready = if uops.is_empty() {
+            if load_done > 0 {
+                load_done
+            } else {
+                compute_ready
+            }
+        } else {
+            compute_ready
+        };
+        for (i, u) in uops.iter().enumerate() {
+            let dispatch = t.dispatch(u.ports, compute_ready, u.recip, pmu);
+            let done = dispatch + u.latency * factor;
+            t.complete(done);
+            if i == 0 {
+                result_ready = done.max(load_done);
+            }
+        }
+
+        // Stores.
+        for store in entry.writes.slice(&body.writes) {
+            let a_ready = addr_ready(t, &store.mem);
+            t.dispatch(self.ports.store_addr, a_ready, 1, pmu);
+            t.dispatch(self.ports.store_data, result_ready, 1, pmu);
+            // RMW accesses already touched the line via the load.
+            if !store.covered_by_read {
+                let vaddr = exec::mem_vaddr(state, &store.mem);
+                bus.access(vaddr, true)?;
+                self.drain_uncore(pmu, bus);
+            }
+        }
+
+        // Branches: prediction bookkeeping before the semantic jump.
+        if entry.is_branch {
+            let taken = exec::branch_taken(inst, state);
+            let dispatch = t.dispatch(self.ports.branch, compute_ready, 1, pmu);
+            let done = dispatch + 1;
+            t.complete(done);
+            pmu.count(events::BR_INST_RETIRED, 1);
+            if entry.conditional && self.bpred.update(pc, taken) {
+                pmu.count(events::BR_MISP_RETIRED, 1);
+                t.alloc_cycle = t.alloc_cycle.max(done + self.config.mispredict_penalty);
+                t.alloc_slots = 0;
+            }
+        }
+
+        // Output readiness.
+        for &r in entry.out_regs.slice(&body.regs) {
+            t.reg[r as usize] = result_ready;
+        }
+        if let Some(v) = entry.out_vreg {
+            t.vreg[v as usize] = result_ready;
+        }
+        if entry.flags_written {
+            t.flags = result_ready;
+        }
+
+        exec::execute(inst, state, bus)
+    }
+
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn step_special(
+        &mut self,
+        body: &PlanBody,
+        entry: &PlanEntry,
+        inst: &Instruction,
+        t: &mut Timing,
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+    ) -> Result<Next, CpuFault> {
         use Mnemonic::*;
         let m = inst.mnemonic;
-        self.check_kernel(m, bus)?;
-
         match m {
             Nop => {
                 t.dispatch(PortSet::NONE, start_of(t), 1, pmu);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Lfence => {
                 // "LFENCE does not execute until all prior instructions
@@ -331,14 +516,14 @@ impl Engine {
                 let done = t.max_complete.max(t.alloc_uop());
                 pmu.count(events::UOPS_ISSUED_ANY, 1);
                 t.set_barrier(done);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Mfence | Sfence => {
                 let extra = if m == Mfence { 33 } else { 2 };
                 let done = t.max_complete.max(t.alloc_uop()) + extra;
                 pmu.count(events::UOPS_ISSUED_ANY, 1);
                 t.set_barrier(done);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Cpuid => {
                 // Fully serializing but with variable latency and µop
@@ -360,7 +545,7 @@ impl Engine {
                 for r in [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx] {
                     t.reg[r.number() as usize] = done;
                 }
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Rdtsc | Rdtscp => {
                 let ready = start_of(t);
@@ -376,7 +561,7 @@ impl Engine {
                     state.set_gpr(Gpr::Rcx, 0);
                     t.reg[Gpr::Rcx.number() as usize] = done;
                 }
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Rdpmc => {
                 if !bus.is_kernel() && !bus.rdpmc_allowed() {
@@ -398,7 +583,7 @@ impl Engine {
                 state.set_gpr(Gpr::Rdx, value >> 32);
                 t.reg[Gpr::Rax.number() as usize] = done;
                 t.reg[Gpr::Rdx.number() as usize] = done;
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Rdmsr => {
                 let ready = t.reg[Gpr::Rcx.number() as usize];
@@ -416,7 +601,7 @@ impl Engine {
                 state.set_gpr(Gpr::Rdx, value >> 32);
                 t.reg[Gpr::Rax.number() as usize] = done;
                 t.reg[Gpr::Rdx.number() as usize] = done;
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Wrmsr => {
                 let ready = t.reg[Gpr::Rcx.number() as usize]
@@ -432,14 +617,14 @@ impl Engine {
                 if !pmu.wrmsr(addr, value) {
                     bus.wrmsr(addr, value)?;
                 }
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Wbinvd | Invd => {
                 let done = t.max_complete.max(t.alloc_uop()) + 5000;
                 pmu.count(events::UOPS_ISSUED_ANY, 1);
                 t.set_barrier(done);
                 bus.wbinvd();
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Clflush | Clflushopt => {
                 let mem = inst
@@ -452,7 +637,7 @@ impl Engine {
                 t.complete(dispatch + 2);
                 let vaddr = exec::mem_vaddr(state, &mem);
                 bus.clflush(vaddr);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta => {
                 let mem = inst
@@ -464,17 +649,17 @@ impl Engine {
                 t.complete(dispatch + 1);
                 let vaddr = exec::mem_vaddr(state, &mem);
                 bus.prefetch(vaddr);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Cli => {
                 bus.set_interrupt_flag(false);
                 t.dispatch(self.ports.alu, start_of(t), 1, pmu);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Sti => {
                 bus.set_interrupt_flag(true);
                 t.dispatch(self.ports.alu, start_of(t), 1, pmu);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Hlt | Swapgs | MovCr3 | Invlpg => {
                 // Modeled as serializing, fixed-cost kernel operations.
@@ -484,12 +669,11 @@ impl Engine {
                 if m == Invlpg {
                     // TLBs are not modeled; the flush is a timing event only.
                 }
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Rdrand | Rdseed => {
-                let desc = self.table.lookup(inst).expect("rdrand has a descriptor");
-                let u = desc.uops[0];
-                let dispatch = t.dispatch(u.class.resolve(&self.ports), start_of(t), u.recip, pmu);
+                let u = entry.uops.slice(&body.uops)[0];
+                let dispatch = t.dispatch(u.ports, start_of(t), u.recip, pmu);
                 let done = dispatch + u.latency;
                 t.complete(done);
                 let value: u64 = self.rng.gen();
@@ -498,19 +682,19 @@ impl Engine {
                     t.reg[g.reg.number() as usize] = done;
                 }
                 state.set_flag(nanobench_x86::reg::Flag::Cf, true);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             NbPause => {
                 // Magic marker: pause counting (§III-I). Zero architectural
                 // cost beyond the sync point.
                 pmu.sync_cycles(t.now());
                 pmu.set_counting(false);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             NbResume => {
                 pmu.sync_cycles(t.now());
                 pmu.set_counting(true);
-                return Ok(Next::Seq);
+                Ok(Next::Seq)
             }
             Push => {
                 let data_ready = match inst.dst() {
@@ -525,7 +709,7 @@ impl Engine {
                 t.complete(rsp_done);
                 let vaddr = state.gpr(Gpr::Rsp).wrapping_sub(8);
                 bus.access(vaddr, true)?;
-                return exec::execute(inst, state, bus);
+                exec::execute(inst, state, bus)
             }
             Pop => {
                 let rsp_ready = t.reg[Gpr::Rsp.number() as usize];
@@ -537,109 +721,10 @@ impl Engine {
                     t.reg[g.reg.number() as usize] = load_done;
                 }
                 t.complete(load_done);
-                return exec::execute(inst, state, bus);
+                exec::execute(inst, state, bus)
             }
-            _ => {}
+            other => unreachable!("mnemonic {other} is not an engine special"),
         }
-
-        // ---- generic path -------------------------------------------------
-        let desc = self
-            .table
-            .lookup(inst)
-            .unwrap_or_else(|| crate::descriptor::InstrDesc {
-                uops: vec![UopSpec {
-                    class: PortClass::Alu,
-                    latency: 1,
-                    recip: 1,
-                }],
-            });
-        let factor = self.avx_factor(m);
-
-        // Input readiness (registers, vector registers, flags).
-        let mut input_ready = start_of(t);
-        for g in exec::input_gprs(inst) {
-            input_ready = input_ready.max(t.reg[g.reg.number() as usize]);
-        }
-        for (i, op) in inst.operands.iter().enumerate() {
-            if let Operand::Vec(v) = op {
-                if i > 0 || !crate::descriptor::is_move(m) || inst.operands.len() > 2 {
-                    input_ready = input_ready.max(t.vreg[v.index as usize]);
-                }
-            }
-        }
-        if flags_read(m) {
-            input_ready = input_ready.max(t.flags);
-        }
-
-        // Loads.
-        let mut load_done = 0u64;
-        for mem in mem_reads(inst) {
-            let a_ready = addr_ready(t, &mem);
-            let vaddr = exec::mem_vaddr(state, &mem);
-            let done = self.timed_load(t, vaddr, a_ready, pmu, bus)?;
-            load_done = load_done.max(done);
-        }
-        let compute_ready = input_ready.max(load_done);
-
-        // Compute µops.
-        let mut result_ready = if desc.uops.is_empty() {
-            if load_done > 0 {
-                load_done
-            } else {
-                compute_ready
-            }
-        } else {
-            compute_ready
-        };
-        for (i, u) in desc.uops.iter().enumerate() {
-            let dispatch = t.dispatch(u.class.resolve(&self.ports), compute_ready, u.recip, pmu);
-            let done = dispatch + u.latency * factor;
-            t.complete(done);
-            if i == 0 {
-                result_ready = done.max(load_done);
-            }
-        }
-
-        // Stores.
-        for mem in mem_writes(inst) {
-            let a_ready = addr_ready(t, &mem);
-            t.dispatch(self.ports.store_addr, a_ready, 1, pmu);
-            t.dispatch(self.ports.store_data, result_ready, 1, pmu);
-            // RMW accesses already touched the line via the load.
-            if !mem_reads(inst).contains(&mem) {
-                let vaddr = exec::mem_vaddr(state, &mem);
-                bus.access(vaddr, true)?;
-                self.drain_uncore(pmu, bus);
-            }
-        }
-
-        // Branches: prediction bookkeeping before the semantic jump.
-        if m.is_branch() {
-            let taken = exec::branch_taken(inst, state);
-            let dispatch = t.dispatch(self.ports.branch, compute_ready, 1, pmu);
-            let done = dispatch + 1;
-            t.complete(done);
-            pmu.count(events::BR_INST_RETIRED, 1);
-            let conditional = matches!(m, Jz | Jnz | Jc | Jnc);
-            if conditional && self.bpred.update(pc, taken) {
-                pmu.count(events::BR_MISP_RETIRED, 1);
-                t.alloc_cycle = t.alloc_cycle.max(done + self.config.mispredict_penalty);
-                t.alloc_slots = 0;
-            }
-        }
-
-        // Output readiness.
-        for g in exec::output_gprs(inst) {
-            t.reg[g.reg.number() as usize] = result_ready;
-        }
-        if let Some(Operand::Vec(v)) = inst.dst() {
-            t.vreg[v.index as usize] = result_ready;
-        }
-        if flags_written(m) {
-            t.flags = result_ready;
-        }
-
-        exec::execute(inst, state, bus)
     }
 
     fn timed_load(
@@ -679,9 +764,11 @@ impl Engine {
     }
 
     fn drain_uncore(&mut self, pmu: &mut Pmu, bus: &mut dyn Bus) {
-        for (slice, n) in bus.drain_uncore_lookups().into_iter().enumerate() {
-            if n > 0 {
-                pmu.count_uncore(slice, n);
+        self.uncore_buf.clear();
+        bus.drain_uncore_lookups(&mut self.uncore_buf);
+        for (slice, n) in self.uncore_buf.iter().enumerate() {
+            if *n > 0 {
+                pmu.count_uncore(slice, *n);
             }
         }
     }
@@ -700,95 +787,4 @@ fn addr_ready(t: &Timing, mem: &MemRef) -> u64 {
         ready = ready.max(t.reg[i.number() as usize]);
     }
     ready
-}
-
-fn flags_read(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    matches!(
-        m,
-        Adc | Sbb | Cmovz | Cmovnz | Setz | Setnz | Jz | Jnz | Jc | Jnc
-    )
-}
-
-fn flags_written(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    matches!(
-        m,
-        Add | Adc
-            | Sub
-            | Sbb
-            | And
-            | Or
-            | Xor
-            | Cmp
-            | Test
-            | Inc
-            | Dec
-            | Neg
-            | Imul
-            | Mul
-            | Shl
-            | Shr
-            | Sar
-            | Rol
-            | Ror
-            | Popcnt
-            | Lzcnt
-            | Tzcnt
-            | Bsf
-            | Bsr
-            | Xadd
-            | Comiss
-            | Comisd
-            | Ptest
-    )
-}
-
-/// Memory operands an instruction reads.
-fn mem_reads(inst: &Instruction) -> Vec<MemRef> {
-    use Mnemonic::*;
-    let m = inst.mnemonic;
-    if matches!(
-        m,
-        Lea | Clflush | Clflushopt | Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta | Invlpg
-    ) {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    for (i, op) in inst.operands.iter().enumerate() {
-        if let Operand::Mem(mem) = op {
-            let is_dst = i == 0;
-            let reads = if is_dst { dst_mem_is_read(m) } else { true };
-            if reads {
-                out.push(*mem);
-            }
-        }
-    }
-    out
-}
-
-/// Memory operands an instruction writes.
-fn mem_writes(inst: &Instruction) -> Vec<MemRef> {
-    let m = inst.mnemonic;
-    let mut out = Vec::new();
-    if let Some(Operand::Mem(mem)) = inst.dst() {
-        if dst_mem_is_written(m) {
-            out.push(*mem);
-        }
-    }
-    out
-}
-
-fn dst_mem_is_read(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    // Pure stores and SETcc only write; CMP/TEST only read; RMW both.
-    !matches!(
-        m,
-        Mov | Movaps | Movups | Movapd | Movdqa | Movdqu | Movd | Movq | Setz | Setnz
-    )
-}
-
-fn dst_mem_is_written(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    !matches!(m, Cmp | Test | Ptest | Comiss | Comisd | Push)
 }

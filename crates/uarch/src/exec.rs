@@ -685,9 +685,7 @@ mod tests {
             None
         }
         fn set_interrupt_flag(&mut self, _enabled: bool) {}
-        fn drain_uncore_lookups(&mut self) -> Vec<u64> {
-            Vec::new()
-        }
+        fn drain_uncore_lookups(&mut self, _out: &mut Vec<u64>) {}
     }
 
     fn run_seq(text: &str, state: &mut CpuState) {

@@ -5,9 +5,11 @@
 //! assignments ([`port`]), instruction descriptors with µop decomposition
 //! and latencies ([`descriptor`]), architectural state ([`state`]),
 //! functional execution ([`exec`]), a persistent branch predictor
-//! ([`bpred`]), and the dataflow timing engine ([`engine`]) that ties them
-//! together with LFENCE/CPUID serialization semantics (§IV-A1), AVX
-//! warm-up, and user-mode interrupt injection.
+//! ([`bpred`]), decode-once execution plans ([`plan`]), and the dataflow
+//! timing engine ([`engine`]) that ties them together with LFENCE/CPUID
+//! serialization semantics (§IV-A1), AVX warm-up, and user-mode interrupt
+//! injection. The engine interprets pre-decoded plans so its steady-state
+//! loop performs no per-instruction analysis or allocation.
 //!
 //! The environment (memory, caches, privilege, MSRs) is abstracted by the
 //! [`bus::Bus`] trait and implemented by `nanobench-machine`.
@@ -19,6 +21,7 @@ pub mod bus;
 pub mod descriptor;
 pub mod engine;
 pub mod exec;
+pub mod plan;
 pub mod port;
 pub mod state;
 
@@ -26,5 +29,6 @@ pub use bpred::BranchPredictor;
 pub use bus::{Bus, CpuFault, InterruptEvent};
 pub use descriptor::{DescriptorTable, InstrDesc, PortClass, UopSpec};
 pub use engine::{Engine, EngineConfig, RunStats};
+pub use plan::DecodedProgram;
 pub use port::{MicroArch, PortConfig, PortSet};
 pub use state::CpuState;

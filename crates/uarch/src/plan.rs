@@ -1,0 +1,508 @@
+//! Decode-once execution plans.
+//!
+//! nanoBench's methodology runs the *same* static program tens of
+//! thousands of dynamic times (`loop_count` × `unroll_count`, warm-up
+//! runs, both unroll versions of §III-C). The legacy interpreter
+//! re-derived everything about an instruction on every dynamic execution:
+//! descriptor lookups allocated a form key and cloned the µop list, the
+//! memory-operand scans built fresh vectors, and port dispatch collected a
+//! candidate list per µop. A [`DecodedProgram`] hoists all of that into a
+//! one-shot analysis pass: each static instruction maps to a flat
+//! [`PlanEntry`] whose variable-length data (resolved µops, register
+//! dependencies, memory operands) lives in contiguous arenas addressed by
+//! spans — so the engine's steady-state loop performs no heap allocation
+//! and no hashing.
+//!
+//! Invariants:
+//!
+//! * A plan is **pure static decode**: it holds no machine state, so one
+//!   plan can be replayed any number of times (warm-up runs, both counter
+//!   halves, campaign re-runs) and shared across resets of the session
+//!   that decoded it.
+//! * A plan is specific to a [`MicroArch`]: port classes are resolved to
+//!   concrete [`PortSet`]s at decode time. [`crate::engine::Engine::run_plan`]
+//!   debug-asserts the match.
+//! * The interpreter over a plan is **bit-identical** to the legacy
+//!   instruction-slice path ([`crate::engine::Engine::run`], which now
+//!   builds a transient plan): same PMU counts, cycles, and architectural
+//!   state, pinned by the `plan_equivalence` suite over the full corpus.
+
+use crate::descriptor::{is_move, DescriptorTable, PortClass, UopSpec};
+use crate::exec;
+use crate::port::{MicroArch, PortSet};
+use nanobench_x86::inst::{Instruction, Mnemonic};
+use nanobench_x86::operand::{MemRef, Operand};
+
+/// A µop with its port class resolved to the concrete ports of the
+/// microarchitecture the plan was decoded for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedUop {
+    /// Ports the µop may dispatch to.
+    pub ports: PortSet,
+    /// Latency in cycles.
+    pub latency: u64,
+    /// Reciprocal throughput on its port.
+    pub recip: u64,
+}
+
+/// How the interpreter steps one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepKind {
+    /// The generic dataflow path, fully described by the plan entry.
+    Generic,
+    /// One of the engine's special-cased mnemonics (fences, counter
+    /// reads, privileged operations, push/pop, magic markers).
+    Special,
+}
+
+/// A store operand plus whether this instruction's load µop already
+/// touched the line (RMW forms skip the second cache access).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlannedStore {
+    pub mem: MemRef,
+    pub covered_by_read: bool,
+}
+
+/// A `[start, start+len)` range into one of the plan arenas.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Span {
+    start: u32,
+    len: u32,
+}
+
+impl Span {
+    fn push<T>(arena: &mut Vec<T>, items: impl IntoIterator<Item = T>) -> Span {
+        let start = arena.len() as u32;
+        arena.extend(items);
+        Span {
+            start,
+            len: arena.len() as u32 - start,
+        }
+    }
+
+    pub(crate) fn slice<T>(self, arena: &[T]) -> &[T] {
+        &arena[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+/// Everything the interpreter needs to step one static instruction,
+/// precomputed. Fixed-size; variable-length data lives in the
+/// [`PlanBody`] arenas.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanEntry {
+    pub kind: StepKind,
+    /// `check_kernel` outcome precomputed (the bus side stays dynamic).
+    pub privileged: bool,
+    /// Drives the AVX warm-up bookkeeping (§III-H).
+    pub is_avx: bool,
+    pub flags_read: bool,
+    pub flags_written: bool,
+    pub is_branch: bool,
+    /// Conditional branches feed the predictor; unconditional ones only
+    /// count as retired branches.
+    pub conditional: bool,
+    /// Magic pause/resume markers do not retire (§III-I).
+    pub retires: bool,
+    /// Resolved compute µops (also carries the RDRAND/RDSEED descriptor
+    /// for that special, so its arm needs no table lookup either).
+    pub uops: Span,
+    /// Input GPR numbers (operand and implicit, address registers
+    /// included).
+    pub in_regs: Span,
+    /// Input vector-register indices.
+    pub in_vregs: Span,
+    /// Output GPR numbers.
+    pub out_regs: Span,
+    /// Output vector register, if any.
+    pub out_vreg: Option<u8>,
+    /// Memory operands read.
+    pub reads: Span,
+    /// Memory operands written.
+    pub writes: Span,
+}
+
+/// The flat, index-addressed decode of a program: one [`PlanEntry`] per
+/// static instruction plus the shared arenas their spans point into.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanBody {
+    pub entries: Vec<PlanEntry>,
+    pub uops: Vec<ResolvedUop>,
+    /// Shared arena for `in_regs` / `in_vregs` / `out_regs`.
+    pub regs: Vec<u8>,
+    pub reads: Vec<MemRef>,
+    pub writes: Vec<PlannedStore>,
+}
+
+/// Whether the engine handles the mnemonic in a special-cased arm rather
+/// than the generic dataflow path. Must mirror the interpreter's match.
+fn is_special(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    matches!(
+        m,
+        Nop | Lfence
+            | Mfence
+            | Sfence
+            | Cpuid
+            | Rdtsc
+            | Rdtscp
+            | Rdpmc
+            | Rdmsr
+            | Wrmsr
+            | Wbinvd
+            | Invd
+            | Clflush
+            | Clflushopt
+            | Prefetcht0
+            | Prefetcht1
+            | Prefetcht2
+            | Prefetchnta
+            | Cli
+            | Sti
+            | Hlt
+            | Swapgs
+            | MovCr3
+            | Invlpg
+            | Rdrand
+            | Rdseed
+            | NbPause
+            | NbResume
+            | Push
+            | Pop
+    )
+}
+
+fn flags_read(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    matches!(
+        m,
+        Adc | Sbb | Cmovz | Cmovnz | Setz | Setnz | Jz | Jnz | Jc | Jnc
+    )
+}
+
+fn flags_written(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    matches!(
+        m,
+        Add | Adc
+            | Sub
+            | Sbb
+            | And
+            | Or
+            | Xor
+            | Cmp
+            | Test
+            | Inc
+            | Dec
+            | Neg
+            | Imul
+            | Mul
+            | Shl
+            | Shr
+            | Sar
+            | Rol
+            | Ror
+            | Popcnt
+            | Lzcnt
+            | Tzcnt
+            | Bsf
+            | Bsr
+            | Xadd
+            | Comiss
+            | Comisd
+            | Ptest
+    )
+}
+
+/// Memory operands an instruction reads.
+fn mem_reads(inst: &Instruction, out: &mut Vec<MemRef>) {
+    use Mnemonic::*;
+    let m = inst.mnemonic;
+    out.clear();
+    if matches!(
+        m,
+        Lea | Clflush | Clflushopt | Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta | Invlpg
+    ) {
+        return;
+    }
+    for (i, op) in inst.operands.iter().enumerate() {
+        if let Operand::Mem(mem) = op {
+            let is_dst = i == 0;
+            let reads = if is_dst { dst_mem_is_read(m) } else { true };
+            if reads {
+                out.push(*mem);
+            }
+        }
+    }
+}
+
+/// Memory operands an instruction writes.
+fn mem_writes(inst: &Instruction) -> Option<MemRef> {
+    if let Some(Operand::Mem(mem)) = inst.dst() {
+        if dst_mem_is_written(inst.mnemonic) {
+            return Some(*mem);
+        }
+    }
+    None
+}
+
+fn dst_mem_is_read(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    // Pure stores and SETcc only write; CMP/TEST only read; RMW both.
+    !matches!(
+        m,
+        Mov | Movaps | Movups | Movapd | Movdqa | Movdqu | Movd | Movq | Setz | Setnz
+    )
+}
+
+fn dst_mem_is_written(m: Mnemonic) -> bool {
+    use Mnemonic::*;
+    !matches!(m, Cmp | Test | Ptest | Comiss | Comisd | Push)
+}
+
+impl PlanBody {
+    /// Analyzes every instruction of `program` against the descriptor
+    /// table (whose [`crate::port::PortConfig`] resolves port classes).
+    pub(crate) fn build(program: &[Instruction], table: &DescriptorTable) -> PlanBody {
+        let ports = table.ports();
+        let mut body = PlanBody {
+            entries: Vec::with_capacity(program.len()),
+            uops: Vec::new(),
+            regs: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        };
+        let mut reads_buf: Vec<MemRef> = Vec::new();
+        for inst in program {
+            let m = inst.mnemonic;
+            let special = is_special(m);
+            let mut entry = PlanEntry {
+                kind: if special {
+                    StepKind::Special
+                } else {
+                    StepKind::Generic
+                },
+                privileged: m.is_privileged(),
+                is_avx: m.is_avx(),
+                flags_read: flags_read(m),
+                flags_written: flags_written(m),
+                is_branch: m.is_branch(),
+                conditional: matches!(
+                    m,
+                    Mnemonic::Jz | Mnemonic::Jnz | Mnemonic::Jc | Mnemonic::Jnc
+                ),
+                retires: !matches!(m, Mnemonic::NbPause | Mnemonic::NbResume),
+                uops: Span::default(),
+                in_regs: Span::default(),
+                in_vregs: Span::default(),
+                out_regs: Span::default(),
+                out_vreg: None,
+                reads: Span::default(),
+                writes: Span::default(),
+            };
+
+            if special {
+                // RDRAND/RDSEED are the only specials whose arm consults
+                // the descriptor table; resolve theirs here too.
+                if matches!(m, Mnemonic::Rdrand | Mnemonic::Rdseed) {
+                    let desc = table.lookup(inst).expect("rdrand has a descriptor");
+                    entry.uops = Span::push(
+                        &mut body.uops,
+                        desc.uops.iter().map(|u| ResolvedUop {
+                            ports: u.class.resolve(ports),
+                            latency: u.latency,
+                            recip: u.recip,
+                        }),
+                    );
+                }
+                body.entries.push(entry);
+                continue;
+            }
+
+            // Compute µops: table entry, or the single-ALU-µop default the
+            // legacy path synthesized for unknown mnemonics.
+            let desc = table
+                .lookup(inst)
+                .unwrap_or_else(|| crate::descriptor::InstrDesc {
+                    uops: vec![UopSpec {
+                        class: PortClass::Alu,
+                        latency: 1,
+                        recip: 1,
+                    }],
+                });
+            entry.uops = Span::push(
+                &mut body.uops,
+                desc.uops.iter().map(|u| ResolvedUop {
+                    ports: u.class.resolve(ports),
+                    latency: u.latency,
+                    recip: u.recip,
+                }),
+            );
+
+            // Register dependencies (input order is irrelevant: readiness
+            // is a max over the set).
+            entry.in_regs = Span::push(
+                &mut body.regs,
+                exec::input_gprs(inst).iter().map(|g| g.reg.number()),
+            );
+            entry.in_vregs = Span::push(
+                &mut body.regs,
+                inst.operands.iter().enumerate().filter_map(|(i, op)| {
+                    if let Operand::Vec(v) = op {
+                        if i > 0 || !is_move(m) || inst.operands.len() > 2 {
+                            return Some(v.index);
+                        }
+                    }
+                    None
+                }),
+            );
+            entry.out_regs = Span::push(
+                &mut body.regs,
+                exec::output_gprs(inst).iter().map(|g| g.reg.number()),
+            );
+            if let Some(Operand::Vec(v)) = inst.dst() {
+                entry.out_vreg = Some(v.index);
+            }
+
+            // Memory operands.
+            mem_reads(inst, &mut reads_buf);
+            entry.reads = Span::push(&mut body.reads, reads_buf.iter().copied());
+            if let Some(mem) = mem_writes(inst) {
+                entry.writes = Span::push(
+                    &mut body.writes,
+                    std::iter::once(PlannedStore {
+                        mem,
+                        covered_by_read: reads_buf.contains(&mem),
+                    }),
+                );
+            }
+
+            body.entries.push(entry);
+        }
+        body
+    }
+}
+
+/// A program decoded once into an execution plan, ready to be replayed by
+/// [`crate::engine::Engine::run_plan`] any number of times.
+///
+/// Owns a copy of the instruction sequence (semantic execution still
+/// interprets operands) next to the flat timing metadata. Decode via
+/// [`crate::engine::Engine::decode`].
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    insts: Vec<Instruction>,
+    body: PlanBody,
+    uarch: MicroArch,
+}
+
+impl DecodedProgram {
+    pub(crate) fn new(program: &[Instruction], table: &DescriptorTable) -> DecodedProgram {
+        DecodedProgram {
+            insts: program.to_vec(),
+            body: PlanBody::build(program, table),
+            uarch: table.uarch(),
+        }
+    }
+
+    /// The instruction sequence the plan was decoded from (cache layers
+    /// use this to verify key collisions).
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// The microarchitecture the plan's port sets were resolved for.
+    pub fn uarch(&self) -> MicroArch {
+        self.uarch
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    pub(crate) fn body(&self) -> &PlanBody {
+        &self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobench_x86::asm::parse_asm;
+
+    fn plan(text: &str) -> DecodedProgram {
+        let table = DescriptorTable::for_uarch(MicroArch::Skylake);
+        DecodedProgram::new(&parse_asm(text).unwrap(), &table)
+    }
+
+    #[test]
+    fn generic_entry_precomputes_everything() {
+        let p = plan("add [r14+8], rax");
+        let e = &p.body().entries[0];
+        assert_eq!(e.kind, StepKind::Generic);
+        assert!(e.flags_written && !e.flags_read);
+        // RMW: one read, one write covered by the read.
+        assert_eq!(e.reads.slice(&p.body().reads).len(), 1);
+        let stores = e.writes.slice(&p.body().writes);
+        assert_eq!(stores.len(), 1);
+        assert!(stores[0].covered_by_read);
+        // One ALU µop resolved to Skylake's four ALU ports.
+        let uops = e.uops.slice(&p.body().uops);
+        assert_eq!(uops.len(), 1);
+        assert_eq!(uops[0].ports.len(), 4);
+        // Inputs: rax and the address register r14.
+        let ins = e.in_regs.slice(&p.body().regs);
+        assert_eq!(ins.len(), 2);
+    }
+
+    #[test]
+    fn pure_store_is_not_covered_by_read() {
+        let p = plan("mov [r14], rax");
+        let e = &p.body().entries[0];
+        assert_eq!(e.reads.slice(&p.body().reads).len(), 0);
+        let stores = e.writes.slice(&p.body().writes);
+        assert_eq!(stores.len(), 1);
+        assert!(!stores[0].covered_by_read);
+        // Pure move with memory operand: no compute µops.
+        assert_eq!(e.uops.slice(&p.body().uops).len(), 0);
+    }
+
+    #[test]
+    fn specials_are_classified_and_rdrand_resolved() {
+        let p = plan("lfence; rdpmc; push rax; rdrand rbx");
+        let body = p.body();
+        for e in &body.entries {
+            assert_eq!(e.kind, StepKind::Special);
+        }
+        // RDRAND carries its resolved descriptor µop.
+        let rdrand = &body.entries[3];
+        let uops = rdrand.uops.slice(&body.uops);
+        assert_eq!(uops.len(), 1);
+        assert_eq!(uops[0].recip, 300);
+    }
+
+    #[test]
+    fn branch_entries_distinguish_conditional() {
+        let p = plan("jmp 0; jnz 0");
+        let body = p.body();
+        assert!(body.entries[0].is_branch && !body.entries[0].conditional);
+        assert!(body.entries[1].is_branch && body.entries[1].conditional);
+    }
+
+    #[test]
+    fn plans_are_uarch_specific() {
+        let skl = plan("addps xmm0, xmm1");
+        let table = DescriptorTable::for_uarch(MicroArch::Nehalem);
+        let nhm = DecodedProgram::new(&parse_asm("addps xmm0, xmm1").unwrap(), &table);
+        let u_skl = skl.body().entries[0].uops.slice(&skl.body().uops)[0];
+        let u_nhm = nhm.body().entries[0].uops.slice(&nhm.body().uops)[0];
+        assert_eq!(u_skl.latency, 4);
+        assert_eq!(u_nhm.latency, 3);
+        assert_eq!(skl.uarch(), MicroArch::Skylake);
+    }
+}
