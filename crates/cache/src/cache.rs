@@ -45,6 +45,35 @@ impl CacheConfig {
     }
 }
 
+/// MESI coherence state of a cached line (§VI context: the shared L3 is
+/// contended by several cores; private L1/L2 copies carry these states).
+///
+/// `Invalid` is represented by the line's absence; [`Cache::state_of`]
+/// returns it for lines that are not present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineState {
+    /// Not present.
+    Invalid,
+    /// Present in exactly one core's private caches, clean.
+    Exclusive,
+    /// Present in one or more cores' private caches, clean.
+    Shared,
+    /// Present in exactly one core's private caches, dirty.
+    Modified,
+}
+
+impl LineState {
+    /// One-letter MESI name (`M`/`E`/`S`/`I`), used by the golden traces.
+    pub fn letter(self) -> char {
+        match self {
+            LineState::Modified => 'M',
+            LineState::Exclusive => 'E',
+            LineState::Shared => 'S',
+            LineState::Invalid => 'I',
+        }
+    }
+}
+
 /// Aggregate hit/miss statistics for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -59,6 +88,8 @@ pub struct CacheStats {
 #[derive(Debug, Clone)]
 struct CacheSet {
     tags: Vec<Option<u64>>,
+    /// MESI state per way; meaningful only where the tag is `Some`.
+    states: Vec<LineState>,
     policy: Box<dyn SetPolicy>,
 }
 
@@ -273,6 +304,7 @@ impl Cache {
         let sets = (0..num_sets)
             .map(|s| CacheSet {
                 tags: vec![None; assoc],
+                states: vec![LineState::Invalid; assoc],
                 policy: factory(s),
             })
             .collect();
@@ -324,23 +356,59 @@ impl Cache {
         }
     }
 
-    /// Inserts the line for `paddr`, returning the physical block address
-    /// of the evicted line if a valid line was displaced.
+    /// Inserts the line for `paddr` in the `Exclusive` state, returning
+    /// the physical block address of the evicted line if a valid line was
+    /// displaced.
     pub fn fill(&mut self, paddr: u64) -> Option<u64> {
+        self.fill_with_state(paddr, LineState::Exclusive)
+    }
+
+    /// Inserts the line for `paddr` with an explicit MESI state (what the
+    /// coherent hierarchy uses), returning the physical block address of
+    /// the evicted line if a valid line was displaced. If the line is
+    /// already present, only its state is updated.
+    pub fn fill_with_state(&mut self, paddr: u64, state: LineState) -> Option<u64> {
         let block = paddr / LINE_SIZE;
         let idx = self.set_index(paddr);
         let set = &mut self.sets[idx];
-        if set.tags.contains(&Some(block)) {
-            return None; // already present (e.g. racing prefetch)
+        if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
+            set.states[way] = state; // already present (e.g. racing prefetch)
+            return None;
         }
         let occupied = set.occupied();
         let way = set.policy.on_miss(&occupied);
         let evicted = set.tags[way].take();
         set.tags[way] = Some(block);
+        set.states[way] = state;
         if evicted.is_some() {
             self.stats.evictions += 1;
         }
         evicted.map(|b| b * LINE_SIZE)
+    }
+
+    /// The MESI state of the line containing `paddr`; `Invalid` if absent.
+    pub fn state_of(&self, paddr: u64) -> LineState {
+        let block = paddr / LINE_SIZE;
+        let set = &self.sets[self.set_index(paddr)];
+        set.tags
+            .iter()
+            .position(|t| *t == Some(block))
+            .map_or(LineState::Invalid, |way| set.states[way])
+    }
+
+    /// Sets the MESI state of the line containing `paddr`; returns whether
+    /// the line was present (absent lines are left `Invalid`).
+    pub fn set_state(&mut self, paddr: u64, state: LineState) -> bool {
+        let block = paddr / LINE_SIZE;
+        let idx = self.set_index(paddr);
+        let set = &mut self.sets[idx];
+        match set.tags.iter().position(|t| *t == Some(block)) {
+            Some(way) => {
+                set.states[way] = state;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Invalidates the line containing `paddr` if present; returns whether
@@ -351,6 +419,7 @@ impl Cache {
         let set = &mut self.sets[idx];
         if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
             set.tags[way] = None;
+            set.states[way] = LineState::Invalid;
             set.policy.on_invalidate(way);
             true
         } else {
@@ -362,6 +431,7 @@ impl Cache {
     pub fn flush_all(&mut self) {
         for set in &mut self.sets {
             set.tags.fill(None);
+            set.states.fill(LineState::Invalid);
             set.policy.on_flush();
         }
     }
@@ -383,6 +453,7 @@ impl Cache {
     pub fn reset_with(&mut self, mut per_set_seed: impl FnMut(usize) -> u64) {
         for (s, set) in self.sets.iter_mut().enumerate() {
             set.tags.fill(None);
+            set.states.fill(LineState::Invalid);
             set.policy.reset(per_set_seed(s));
         }
         self.stats = CacheStats::default();

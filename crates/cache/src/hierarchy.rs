@@ -1,9 +1,11 @@
-//! The three-level cache hierarchy: per-core L1/L2 and a sliced, inclusive
-//! L3 with C-Box lookup counters and (optional) adaptive replacement via set
-//! dueling.
+//! The three-level cache hierarchy: per-core private L1/L2 and a sliced,
+//! inclusive L3 shared by all cores, with C-Box lookup counters, (optional)
+//! adaptive replacement via set dueling, and a MESI-style snooping
+//! coherence layer between the cores' private caches.
 
 use crate::cache::{
-    Cache, CacheConfig, CacheStats, FollowerPolicy, LeaderPolicy, PselCounter, POLICY_B_SEED_SALT,
+    Cache, CacheConfig, CacheStats, FollowerPolicy, LeaderPolicy, LineState, PselCounter,
+    POLICY_B_SEED_SALT,
 };
 use crate::policy::PolicyKind;
 use crate::prefetch::Prefetchers;
@@ -24,6 +26,19 @@ pub enum HitLevel {
     Memory,
 }
 
+/// What the coherence snoop of the *other* cores' private caches found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SnoopResult {
+    /// No other core held the line (always the case on a 1-core machine).
+    Miss,
+    /// Another core held a clean (`E`/`S`) copy.
+    Hit,
+    /// Another core held the line `Modified`; its copy was downgraded
+    /// (read) or invalidated (write), and the data was forwarded
+    /// cross-core at [`Latencies::snoop_hitm`] cost.
+    HitM,
+}
+
 /// The outcome of one data access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccessResult {
@@ -33,6 +48,11 @@ pub struct MemAccessResult {
     pub latency: u64,
     /// The L3 slice looked up, when the access reached the L3.
     pub slice: Option<usize>,
+    /// What snooping the other cores found (`Miss` on a 1-core machine).
+    pub snoop: SnoopResult,
+    /// Remote private-cache copies invalidated by this access (stores to
+    /// shared lines; 0 on a 1-core machine).
+    pub invalidated: u8,
 }
 
 /// Load-to-use latencies per level, in core cycles.
@@ -47,6 +67,9 @@ pub struct Latencies {
     pub l3: u64,
     /// Main-memory latency.
     pub mem: u64,
+    /// Cross-core forward latency when the snoop finds a `Modified` copy
+    /// in another core's private caches (an `XSNP_HITM` hit).
+    pub snoop_hitm: u64,
 }
 
 impl Default for Latencies {
@@ -56,6 +79,7 @@ impl Default for Latencies {
             l2: 12,
             l3: 42,
             mem: 200,
+            snoop_hitm: 70,
         }
     }
 }
@@ -147,22 +171,104 @@ pub struct HierarchyConfig {
     pub inclusive_l3: bool,
 }
 
-/// The simulated cache hierarchy of one core + shared L3.
+impl HierarchyConfig {
+    /// The number of L3 slices / C-Boxes. This is the *single* derivation
+    /// point every consumer that must agree with the hierarchy uses — the
+    /// slice hash, the C-Box lookup counters, `Pmu::new`'s uncore counter
+    /// count, and the machine's per-core drain buffers.
+    pub fn slice_count(&self) -> usize {
+        self.l3.slices
+    }
+}
+
+/// One core's private cache levels plus its prefetcher bank.
+#[derive(Debug)]
+struct PrivateCaches {
+    l1: Cache,
+    l2: Cache,
+    prefetchers: Prefetchers,
+}
+
+/// Seed salt separating core `i`'s private-cache random streams from core
+/// 0's; core 0's salt is 0, so a 1-core hierarchy is bit-identical to the
+/// historical single-core one.
+fn core_salt(core: usize) -> u64 {
+    (core as u64) << 40
+}
+
+impl PrivateCaches {
+    fn new(config: &HierarchyConfig, seed: u64, core: usize) -> PrivateCaches {
+        PrivateCaches {
+            l1: Cache::new(&config.l1, seed ^ 0x11 ^ core_salt(core)),
+            l2: Cache::new(&config.l2, seed ^ 0x22 ^ core_salt(core)),
+            prefetchers: Prefetchers::new(),
+        }
+    }
+
+    /// The strongest MESI state this core holds the line in (its L1 and
+    /// L2 copies normally agree; prefetch fills may leave only one level).
+    fn state_of(&self, paddr: u64) -> LineState {
+        self.l1.state_of(paddr).max(self.l2.state_of(paddr))
+    }
+
+    fn set_state(&mut self, paddr: u64, state: LineState) {
+        self.l1.set_state(paddr, state);
+        self.l2.set_state(paddr, state);
+    }
+
+    fn invalidate(&mut self, paddr: u64) -> bool {
+        let in_l1 = self.l1.invalidate(paddr);
+        let in_l2 = self.l2.invalidate(paddr);
+        in_l1 || in_l2
+    }
+}
+
+/// The simulated cache hierarchy: per-core private L1/L2 + shared L3,
+/// kept coherent with a MESI-style snooping protocol.
 #[derive(Debug)]
 pub struct CacheHierarchy {
     config: HierarchyConfig,
-    l1: Cache,
-    l2: Cache,
+    cores: Vec<PrivateCaches>,
     l3: Vec<Cache>,
     hash: SliceHash,
     psel: Arc<PselCounter>,
-    prefetchers: Prefetchers,
     uncore_lookups: Vec<u64>,
+    /// Per-slice snoops that found a copy in another core (HIT or HITM).
+    snoop_hits: Vec<u64>,
+    /// Total cross-core invalidations (remote copies killed by stores).
+    invalidations: u64,
 }
 
 impl CacheHierarchy {
-    /// Builds the hierarchy; `seed` drives probabilistic replacement.
+    /// Builds a single-core hierarchy; `seed` drives probabilistic
+    /// replacement. Identical to `new_multi(config, seed, 1)`.
     pub fn new(config: &HierarchyConfig, seed: u64) -> CacheHierarchy {
+        CacheHierarchy::new_multi(config, seed, 1)
+    }
+
+    /// Builds the hierarchy with `n_cores` sets of private L1/L2 caches
+    /// sharing the sliced L3. Core 0's caches derive the same random
+    /// streams as the historical single-core hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is 0 or greater than 8, or if the L3 geometry
+    /// is inconsistent.
+    pub fn new_multi(config: &HierarchyConfig, seed: u64, n_cores: usize) -> CacheHierarchy {
+        assert!(
+            (1..=8).contains(&n_cores),
+            "core count must be between 1 and 8 (got {n_cores})"
+        );
+        // The snoop protocol relies on inclusion: a line held in any
+        // core's private caches is guaranteed to be in the L3, so only
+        // the L3-hit path needs to probe remote cores. A non-inclusive
+        // multi-core L3 would let private copies outlive their L3 line
+        // and break the coherence invariants (all Table I parts are
+        // inclusive, so this constrains nothing the paper models).
+        assert!(
+            n_cores == 1 || config.inclusive_l3,
+            "multi-core hierarchies require an inclusive L3"
+        );
         let psel = PselCounter::new();
         let sets_per_slice = config.l3.sets_per_slice();
         assert!(
@@ -207,14 +313,17 @@ impl CacheHierarchy {
             };
             l3.push(cache);
         }
+        let slices = config.slice_count();
         CacheHierarchy {
-            l1: Cache::new(&config.l1, seed ^ 0x11),
-            l2: Cache::new(&config.l2, seed ^ 0x22),
+            cores: (0..n_cores)
+                .map(|core| PrivateCaches::new(config, seed, core))
+                .collect(),
             l3,
-            hash: SliceHash::new(config.l3.slices),
+            hash: SliceHash::new(slices).expect("L3 slice count validated by the preset"),
             psel,
-            prefetchers: Prefetchers::new(),
-            uncore_lookups: vec![0; config.l3.slices],
+            uncore_lookups: vec![0; slices],
+            snoop_hits: vec![0; slices],
+            invalidations: 0,
             config: config.clone(),
         }
     }
@@ -224,115 +333,276 @@ impl CacheHierarchy {
         &self.config
     }
 
-    /// Performs a data access (load or store — both allocate on miss).
+    /// Number of cores (sets of private L1/L2 caches).
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Performs a data access from core 0 (load semantics). Kept for the
+    /// single-core callers; see [`CacheHierarchy::access_from`].
     pub fn access(&mut self, paddr: u64) -> MemAccessResult {
+        self.access_from(0, paddr, false)
+    }
+
+    /// Performs a data access from `core` (load or store — both allocate
+    /// on miss), running the MESI coherence protocol against the other
+    /// cores' private caches:
+    ///
+    /// * a store that hits a `Shared` line issues an RFO upgrade —
+    ///   invalidating every remote copy — before writing (`S → M`);
+    /// * a load that misses privately but snoop-hits a remote `Modified`
+    ///   copy is forwarded cross-core ([`Latencies::snoop_hitm`]) and
+    ///   downgrades the remote copy (`M → S`);
+    /// * a store that misses privately invalidates all remote copies
+    ///   (read-for-ownership) and fills `Modified`.
+    ///
+    /// With one core every snoop loop is empty, so the behaviour — hit
+    /// levels, latencies, replacement updates, C-Box counts — is
+    /// bit-identical to the historical single-core hierarchy.
+    pub fn access_from(&mut self, core: usize, paddr: u64, is_write: bool) -> MemAccessResult {
         let lat = self.config.latencies;
-        let l1_hit = self.l1.access(paddr);
-        let l1_pref = self.prefetchers.observe_l1_access(paddr, l1_hit);
+        let l1_hit = self.cores[core].l1.access(paddr);
+        let l1_pref = self.cores[core]
+            .prefetchers
+            .observe_l1_access(paddr, l1_hit);
         if l1_hit {
-            self.apply_prefetches(l1_pref.into_l1, l1_pref.into_l2);
+            let (latency, snoop, invalidated) = self.private_hit(core, paddr, is_write, lat.l1);
+            self.apply_prefetches(core, l1_pref.into_l1, l1_pref.into_l2);
             return MemAccessResult {
                 level: HitLevel::L1,
-                latency: lat.l1,
+                latency,
                 slice: None,
+                snoop,
+                invalidated,
             };
         }
-        let l2_hit = self.l2.access(paddr);
-        let l2_pref = self.prefetchers.observe_l2_access(paddr, l2_hit);
+        let l2_hit = self.cores[core].l2.access(paddr);
+        let l2_pref = self.cores[core]
+            .prefetchers
+            .observe_l2_access(paddr, l2_hit);
         if l2_hit {
-            self.l1.fill(paddr);
-            self.apply_prefetches(l1_pref.into_l1, l2_pref.into_l2);
+            let state = self.cores[core].l2.state_of(paddr);
+            self.cores[core].l1.fill_with_state(paddr, state);
+            let (latency, snoop, invalidated) = self.private_hit(core, paddr, is_write, lat.l2);
+            self.apply_prefetches(core, l1_pref.into_l1, l2_pref.into_l2);
             return MemAccessResult {
                 level: HitLevel::L2,
-                latency: lat.l2,
+                latency,
                 slice: None,
+                snoop,
+                invalidated,
             };
         }
         let slice = self.hash.slice_of(paddr);
         self.uncore_lookups[slice] += 1;
         let l3_hit = self.l3[slice].access(paddr);
         if l3_hit {
-            self.l2.fill(paddr);
-            self.l1.fill(paddr);
-            self.apply_prefetches(l1_pref.into_l1, l2_pref.into_l2);
+            // The L3 is inclusive, so remote copies can exist only here.
+            let (snoop, invalidated) = self.snoop_remote(core, paddr, is_write, slice);
+            let fill_state = if is_write {
+                LineState::Modified
+            } else if snoop == SnoopResult::Miss {
+                LineState::Exclusive
+            } else {
+                LineState::Shared
+            };
+            self.cores[core].l2.fill_with_state(paddr, fill_state);
+            self.cores[core].l1.fill_with_state(paddr, fill_state);
+            self.apply_prefetches(core, l1_pref.into_l1, l2_pref.into_l2);
+            let latency = if snoop == SnoopResult::HitM {
+                lat.snoop_hitm
+            } else {
+                lat.l3
+            };
             return MemAccessResult {
                 level: HitLevel::L3,
-                latency: lat.l3,
+                latency,
                 slice: Some(slice),
+                snoop,
+                invalidated,
             };
         }
         self.fill_l3(paddr);
-        self.l2.fill(paddr);
-        self.l1.fill(paddr);
-        self.apply_prefetches(l1_pref.into_l1, l2_pref.into_l2);
+        let fill_state = if is_write {
+            LineState::Modified
+        } else {
+            LineState::Exclusive
+        };
+        self.cores[core].l2.fill_with_state(paddr, fill_state);
+        self.cores[core].l1.fill_with_state(paddr, fill_state);
+        self.apply_prefetches(core, l1_pref.into_l1, l2_pref.into_l2);
         MemAccessResult {
             level: HitLevel::Memory,
             latency: lat.mem,
             slice: Some(slice),
+            snoop: SnoopResult::Miss,
+            invalidated: 0,
         }
     }
 
-    /// Fills a block into the L3, back-invalidating inner levels if an
-    /// inclusive eviction displaces a block.
+    /// Coherence work for an access that hit in `core`'s private caches.
+    /// Reads cost nothing extra; writes upgrade `E → M` silently and
+    /// `S → M` via an RFO through the line's C-Box that invalidates every
+    /// remote copy. Returns `(latency, snoop, invalidated)`.
+    fn private_hit(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        is_write: bool,
+        base_latency: u64,
+    ) -> (u64, SnoopResult, u8) {
+        if !is_write {
+            return (base_latency, SnoopResult::Miss, 0);
+        }
+        match self.cores[core].state_of(paddr) {
+            LineState::Shared => {
+                // RFO upgrade: the request goes through the uncore even if
+                // no other core still holds a copy.
+                let slice = self.hash.slice_of(paddr);
+                self.uncore_lookups[slice] += 1;
+                let (snoop, invalidated) = self.snoop_remote(core, paddr, true, slice);
+                self.cores[core].set_state(paddr, LineState::Modified);
+                (self.config.latencies.l3, snoop, invalidated)
+            }
+            LineState::Exclusive => {
+                self.cores[core].set_state(paddr, LineState::Modified);
+                (base_latency, SnoopResult::Miss, 0)
+            }
+            _ => (base_latency, SnoopResult::Miss, 0),
+        }
+    }
+
+    /// Snoops every core other than `core` for the line. On a write all
+    /// remote copies are invalidated; on a read a remote `Modified` copy
+    /// is downgraded to `Shared` (and any remote `Exclusive` copy too,
+    /// since the requester now shares the line). Returns the strongest
+    /// snoop outcome and the number of invalidated remote copies.
+    fn snoop_remote(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        is_write: bool,
+        slice: usize,
+    ) -> (SnoopResult, u8) {
+        let mut snoop = SnoopResult::Miss;
+        let mut invalidated = 0u8;
+        for (i, remote) in self.cores.iter_mut().enumerate() {
+            if i == core {
+                continue;
+            }
+            let state = remote.state_of(paddr);
+            if state == LineState::Invalid {
+                continue;
+            }
+            snoop = snoop.max(if state == LineState::Modified {
+                SnoopResult::HitM
+            } else {
+                SnoopResult::Hit
+            });
+            if is_write {
+                remote.invalidate(paddr);
+                invalidated += 1;
+            } else {
+                remote.set_state(paddr, LineState::Shared);
+            }
+        }
+        if snoop != SnoopResult::Miss {
+            self.snoop_hits[slice] += 1;
+        }
+        self.invalidations += u64::from(invalidated);
+        (snoop, invalidated)
+    }
+
+    /// Fills a block into the L3, back-invalidating every core's private
+    /// caches if an inclusive eviction displaces a block.
     fn fill_l3(&mut self, paddr: u64) {
         let slice = self.hash.slice_of(paddr);
         if let Some(evicted) = self.l3[slice].fill(paddr) {
             if self.config.inclusive_l3 {
-                self.l2.invalidate(evicted);
-                self.l1.invalidate(evicted);
+                for core in &mut self.cores {
+                    core.invalidate(evicted);
+                }
             }
         }
     }
 
-    fn apply_prefetches(&mut self, into_l1: Vec<u64>, into_l2: Vec<u64>) {
+    /// Whether any core *other than* `core` holds the line privately.
+    fn remote_holder(&self, core: usize, paddr: u64) -> bool {
+        self.cores
+            .iter()
+            .enumerate()
+            .any(|(i, c)| i != core && c.state_of(paddr) != LineState::Invalid)
+    }
+
+    fn apply_prefetches(&mut self, core: usize, into_l1: Vec<u64>, into_l2: Vec<u64>) {
         for paddr in into_l2 {
-            if !self.l2.probe(paddr) {
+            if !self.cores[core].l2.probe(paddr) {
+                // A prefetch never forces a coherence transition: if some
+                // other core holds the line it is simply dropped (as
+                // hardware prefetchers do on snoop conflicts).
+                if self.remote_holder(core, paddr) {
+                    continue;
+                }
                 let slice = self.hash.slice_of(paddr);
                 if !self.l3[slice].probe(paddr) {
                     self.uncore_lookups[slice] += 1;
                     self.fill_l3(paddr);
                 }
-                self.l2.fill(paddr);
+                self.cores[core].l2.fill(paddr);
             }
         }
         for paddr in into_l1 {
-            if !self.l1.probe(paddr) {
-                if !self.l2.probe(paddr) {
+            if !self.cores[core].l1.probe(paddr) {
+                if !self.cores[core].l2.probe(paddr) {
+                    if self.remote_holder(core, paddr) {
+                        continue;
+                    }
                     let slice = self.hash.slice_of(paddr);
                     if !self.l3[slice].probe(paddr) {
                         self.uncore_lookups[slice] += 1;
                         self.fill_l3(paddr);
                     }
-                    self.l2.fill(paddr);
+                    self.cores[core].l2.fill(paddr);
                 }
-                self.l1.fill(paddr);
+                let state = self.cores[core].l2.state_of(paddr);
+                self.cores[core].l1.fill_with_state(paddr, state);
             }
         }
     }
 
-    /// `WBINVD`: writes back and invalidates all caches (§VI-C).
+    /// `WBINVD`: writes back and invalidates all caches — every core's
+    /// private levels and the shared L3 (§VI-C).
     pub fn wbinvd(&mut self) {
-        self.l1.flush_all();
-        self.l2.flush_all();
+        for core in &mut self.cores {
+            core.l1.flush_all();
+            core.l2.flush_all();
+            core.prefetchers.reset_streams();
+        }
         for slice in &mut self.l3 {
             slice.flush_all();
         }
-        self.prefetchers.reset_streams();
     }
 
-    /// `CLFLUSH`: invalidates one line from every level.
+    /// `CLFLUSH`: invalidates one line from every level of every core.
     pub fn clflush(&mut self, paddr: u64) {
-        self.l1.invalidate(paddr);
-        self.l2.invalidate(paddr);
+        for core in &mut self.cores {
+            core.invalidate(paddr);
+        }
         let slice = self.hash.slice_of(paddr);
         self.l3[slice].invalidate(paddr);
     }
 
-    /// Non-destructive probe: the level that would serve an access now.
+    /// Non-destructive probe: the level that would serve a core-0 access.
     pub fn probe_level(&self, paddr: u64) -> HitLevel {
-        if self.l1.probe(paddr) {
+        self.probe_level_from(0, paddr)
+    }
+
+    /// Non-destructive probe: the level that would serve an access by
+    /// `core` now.
+    pub fn probe_level_from(&self, core: usize, paddr: u64) -> HitLevel {
+        if self.cores[core].l1.probe(paddr) {
             HitLevel::L1
-        } else if self.l2.probe(paddr) {
+        } else if self.cores[core].l2.probe(paddr) {
             HitLevel::L2
         } else if self.l3[self.hash.slice_of(paddr)].probe(paddr) {
             HitLevel::L3
@@ -341,29 +611,62 @@ impl CacheHierarchy {
         }
     }
 
-    /// The prefetcher bank (MSR 0x1A4 is routed here by the machine).
+    /// The strongest MESI state `core` holds the line in (`Invalid` when
+    /// its private caches do not hold it).
+    pub fn line_state(&self, core: usize, paddr: u64) -> LineState {
+        self.cores[core].state_of(paddr)
+    }
+
+    /// Core 0's prefetcher bank (MSR 0x1A4 is routed here by the machine).
     pub fn prefetchers_mut(&mut self) -> &mut Prefetchers {
-        &mut self.prefetchers
+        &mut self.cores[0].prefetchers
     }
 
-    /// Read-only access to the prefetcher bank.
+    /// Read-only access to core 0's prefetcher bank.
     pub fn prefetchers(&self) -> &Prefetchers {
-        &self.prefetchers
+        &self.cores[0].prefetchers
     }
 
-    /// Per-slice C-Box lookup counts (uncore counters, §II-B).
+    /// Core `core`'s prefetcher bank.
+    pub fn prefetchers_of_mut(&mut self, core: usize) -> &mut Prefetchers {
+        &mut self.cores[core].prefetchers
+    }
+
+    /// Per-slice C-Box lookup counts (uncore counters, §II-B). Counts
+    /// traffic from *all* cores, as the package-wide C-Box counters do.
     pub fn uncore_lookups(&self) -> &[u64] {
         &self.uncore_lookups
     }
 
-    /// L1 statistics.
-    pub fn l1_stats(&self) -> CacheStats {
-        self.l1.stats()
+    /// Per-slice snoops that found the line in another core's private
+    /// caches (clean or modified).
+    pub fn snoop_hits(&self) -> &[u64] {
+        &self.snoop_hits
     }
 
-    /// L2 statistics.
+    /// Total remote copies invalidated by stores (cross-core traffic).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Core 0's L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.cores[0].l1.stats()
+    }
+
+    /// Core 0's L2 statistics.
     pub fn l2_stats(&self) -> CacheStats {
-        self.l2.stats()
+        self.cores[0].l2.stats()
+    }
+
+    /// Core `core`'s L1 statistics.
+    pub fn l1_stats_of(&self, core: usize) -> CacheStats {
+        self.cores[core].l1.stats()
+    }
+
+    /// Core `core`'s L2 statistics.
+    pub fn l2_stats_of(&self, core: usize) -> CacheStats {
+        self.cores[core].l2.stats()
     }
 
     /// Combined L3 statistics across slices.
@@ -387,25 +690,33 @@ impl CacheHierarchy {
     /// replay bit-identically, or a different one to restart it as if
     /// freshly built with that seed.
     pub fn reset(&mut self, seed: u64) {
-        self.l1.reset_seeded(seed ^ 0x11);
-        self.l2.reset_seeded(seed ^ 0x22);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.l1.reset_seeded(seed ^ 0x11 ^ core_salt(i));
+            core.l2.reset_seeded(seed ^ 0x22 ^ core_salt(i));
+            core.prefetchers.reset();
+        }
         for (slice, cache) in self.l3.iter_mut().enumerate() {
             let slice_seed = seed ^ ((slice as u64 + 1) << 48);
             cache.reset_with(|set| slice_seed ^ set as u64);
         }
         self.psel.reset();
-        self.prefetchers.reset();
         self.uncore_lookups.fill(0);
+        self.snoop_hits.fill(0);
+        self.invalidations = 0;
     }
 
     /// Resets all statistics (contents are untouched).
     pub fn reset_stats(&mut self) {
-        self.l1.reset_stats();
-        self.l2.reset_stats();
+        for core in &mut self.cores {
+            core.l1.reset_stats();
+            core.l2.reset_stats();
+        }
         for slice in &mut self.l3 {
             slice.reset_stats();
         }
         self.uncore_lookups.fill(0);
+        self.snoop_hits.fill(0);
+        self.invalidations = 0;
     }
 
     /// The (slice, set) an address maps to in the L3.
@@ -414,14 +725,14 @@ impl CacheHierarchy {
         (slice, self.l3[slice].set_index(paddr))
     }
 
-    /// The L1 set index of an address.
+    /// The L1 set index of an address (same geometry on every core).
     pub fn l1_set(&self, paddr: u64) -> usize {
-        self.l1.set_index(paddr)
+        self.cores[0].l1.set_index(paddr)
     }
 
-    /// The L2 set index of an address.
+    /// The L2 set index of an address (same geometry on every core).
     pub fn l2_set(&self, paddr: u64) -> usize {
-        self.l2.set_index(paddr)
+        self.cores[0].l2.set_index(paddr)
     }
 
     /// The PSEL counter (exposed for the set-dueling experiments).

@@ -32,12 +32,12 @@ pub mod prefetch;
 pub mod presets;
 pub mod slice;
 
-pub use cache::{Cache, CacheConfig, CacheStats, PselCounter, LINE_SIZE};
+pub use cache::{Cache, CacheConfig, CacheStats, LineState, PselCounter, LINE_SIZE};
 pub use hierarchy::{
     CacheHierarchy, HierarchyConfig, HitLevel, L3Config, L3PolicyConfig, Latencies,
-    MemAccessResult, SetRole, SliceLeaders,
+    MemAccessResult, SetRole, SliceLeaders, SnoopResult,
 };
 pub use policy::{PolicyKind, QlruVariant, SetPolicy};
 pub use prefetch::{Prefetchers, MSR_MISC_FEATURE_CONTROL};
 pub use presets::{cpu_by_microarch, table1_cpus, CpuSpec};
-pub use slice::SliceHash;
+pub use slice::{SliceHash, SliceHashError};

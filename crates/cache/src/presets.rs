@@ -273,8 +273,11 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l2_policy: qlru("QLRU_H00_M1_R2_U1"),
             l3_size: 8 * MB,
             l3_assoc: 16,
-            // The i7-8700K has six C-Boxes; we model four slices so that the
-            // per-slice set count stays a power of two (see DESIGN.md §5).
+            // The i7-8700K has six C-Boxes. The slice hash can model six
+            // (3-bit hash reduced mod 6), but the per-slice *set* count
+            // must stay a power of two for the cache geometry, and
+            // 8 MB / 6 slices is not — so we keep four slices here (see
+            // DESIGN.md §5).
             l3_slices: 4,
             l3_policy: L3PolicyConfig::Uniform(qlru("QLRU_H11_M1_R0_U0")),
         },

@@ -33,10 +33,33 @@ fn parity(value: u64, mask: u64) -> u64 {
     ((value & mask).count_ones() & 1) as u64
 }
 
+/// Error for slice counts the hash cannot represent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceHashError {
+    /// The rejected slice count.
+    pub num_slices: usize,
+}
+
+impl std::fmt::Display for SliceHashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "slice count must be between 1 and 8 (got {})",
+            self.num_slices
+        )
+    }
+}
+
+impl std::error::Error for SliceHashError {}
+
 /// The slice-selection hash.
 ///
-/// `num_slices` must be 1, 2, 4 or 8; for 1 the function returns 0 (the
-/// pre-Sandy-Bridge unsliced organization of Nehalem/Westmere).
+/// `num_slices` must be between 1 and 8. For 1 the function returns 0 (the
+/// pre-Sandy-Bridge unsliced organization of Nehalem/Westmere); powers of
+/// two use the low bits of the XOR hash directly; other counts (e.g. the
+/// six C-Boxes of the i7-8700K) reduce the full 3-bit hash modulo the
+/// slice count, which is deterministic but slightly unbalanced — the real
+/// non-power-of-two hash is unpublished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SliceHash {
     num_slices: usize,
@@ -45,15 +68,15 @@ pub struct SliceHash {
 impl SliceHash {
     /// Creates a hash for the given slice count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_slices` is not 1, 2, 4 or 8.
-    pub fn new(num_slices: usize) -> SliceHash {
-        assert!(
-            matches!(num_slices, 1 | 2 | 4 | 8),
-            "slice count must be 1, 2, 4 or 8 (got {num_slices})"
-        );
-        SliceHash { num_slices }
+    /// Returns [`SliceHashError`] if `num_slices` is 0 or greater than 8.
+    pub fn new(num_slices: usize) -> Result<SliceHash, SliceHashError> {
+        if (1..=8).contains(&num_slices) {
+            Ok(SliceHash { num_slices })
+        } else {
+            Err(SliceHashError { num_slices })
+        }
     }
 
     /// Number of slices.
@@ -67,12 +90,14 @@ impl SliceHash {
             1 => 0,
             2 => parity(paddr, SLICE_BIT0_MASK) as usize,
             4 => (parity(paddr, SLICE_BIT0_MASK) | (parity(paddr, SLICE_BIT1_MASK) << 1)) as usize,
-            8 => {
-                (parity(paddr, SLICE_BIT0_MASK)
+            // 5..=8 reduce the full 3-bit hash; for 8 the reduction is the
+            // identity, so this is also the plain 8-slice hash.
+            n => {
+                let h3 = (parity(paddr, SLICE_BIT0_MASK)
                     | (parity(paddr, SLICE_BIT1_MASK) << 1)
-                    | (parity(paddr, SLICE_BIT2_MASK) << 2)) as usize
+                    | (parity(paddr, SLICE_BIT2_MASK) << 2)) as usize;
+                h3 % n
             }
-            _ => unreachable!(),
         }
     }
 }
@@ -83,8 +108,8 @@ mod tests {
 
     #[test]
     fn slice_of_is_stable_and_in_range() {
-        for slices in [1usize, 2, 4, 8] {
-            let h = SliceHash::new(slices);
+        for slices in 1usize..=8 {
+            let h = SliceHash::new(slices).unwrap();
             for i in 0..4096u64 {
                 let paddr = i * 64;
                 let s = h.slice_of(paddr);
@@ -96,7 +121,7 @@ mod tests {
 
     #[test]
     fn slices_are_roughly_balanced() {
-        let h = SliceHash::new(4);
+        let h = SliceHash::new(4).unwrap();
         let mut counts = [0usize; 4];
         for i in 0..65536u64 {
             counts[h.slice_of(i * 64)] += 1;
@@ -114,7 +139,7 @@ mod tests {
         // §VI-D discusses that (contrary to an earlier claim in the
         // literature) the set-index bits DO influence the slice for
         // power-of-two core counts; our hash includes bits below 17.
-        let h = SliceHash::new(2);
+        let h = SliceHash::new(2).unwrap();
         let differing = (0..64u64)
             .filter(|i| h.slice_of(i * 64) != h.slice_of((i + 64) * 64))
             .count();
@@ -122,8 +147,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "slice count")]
-    fn bad_slice_count_panics() {
-        let _ = SliceHash::new(3);
+    fn six_slices_reduce_the_three_bit_hash() {
+        // The i7-8700K case: six C-Boxes. The reduced hash must agree with
+        // the full 3-bit hash wherever that hash is already in range, so
+        // power-of-two behaviour is a strict restriction of it.
+        let h6 = SliceHash::new(6).unwrap();
+        let h8 = SliceHash::new(8).unwrap();
+        for i in 0..4096u64 {
+            let paddr = i * 64;
+            assert_eq!(h6.slice_of(paddr), h8.slice_of(paddr) % 6);
+        }
+        let mut seen = [false; 6];
+        for i in 0..65536u64 {
+            seen[h6.slice_of(i * 64)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all six slices must be reachable");
+    }
+
+    #[test]
+    fn bad_slice_count_is_an_error() {
+        assert!(SliceHash::new(0).is_err());
+        assert!(SliceHash::new(9).is_err());
+        assert!(SliceHash::new(3).is_ok());
+        let err = SliceHash::new(12).unwrap_err();
+        assert!(err.to_string().contains("12"));
     }
 }

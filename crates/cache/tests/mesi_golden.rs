@@ -1,0 +1,143 @@
+//! Golden tests pinning the MESI coherence transitions of the multi-core
+//! hierarchy for small fixed traces. If a protocol change alters any
+//! state, hit level, snoop outcome, or invalidation count in these
+//! sequences, the test fails with the exact step that moved.
+
+use nanobench_cache::hierarchy::{CacheHierarchy, HitLevel, SnoopResult};
+use nanobench_cache::presets::cpu_by_microarch;
+use nanobench_cache::LineState;
+
+/// One observed step: `(core, is_write, level, snoop, invalidated,
+/// state_core0, state_core1)` compressed into a compact string.
+fn step(h: &mut CacheHierarchy, core: usize, paddr: u64, is_write: bool) -> String {
+    let r = h.access_from(core, paddr, is_write);
+    let level = match r.level {
+        HitLevel::L1 => "L1",
+        HitLevel::L2 => "L2",
+        HitLevel::L3 => "L3",
+        HitLevel::Memory => "Mem",
+    };
+    let snoop = match r.snoop {
+        SnoopResult::Miss => "-",
+        SnoopResult::Hit => "hit",
+        SnoopResult::HitM => "hitm",
+    };
+    format!(
+        "c{core}{} {level} {snoop} i{} {}{}",
+        if is_write { "W" } else { "R" },
+        r.invalidated,
+        h.line_state(0, paddr).letter(),
+        h.line_state(1, paddr).letter(),
+    )
+}
+
+fn skylake_2core() -> CacheHierarchy {
+    let cfg = cpu_by_microarch("Skylake").unwrap().hierarchy_config();
+    let mut h = CacheHierarchy::new_multi(&cfg, 7, 2);
+    for core in 0..2 {
+        h.prefetchers_of_mut(core).disable_all();
+    }
+    h
+}
+
+#[test]
+fn false_sharing_trace_transitions_are_pinned() {
+    let mut h = skylake_2core();
+    let line = 0x4_0000;
+    let trace = [
+        (0usize, line, true), // c0 write-miss: fetch for ownership -> M
+        (0, line, false),     // c0 read hit, no transition
+        (1, line, true),      // c1 write: snoops c0's M copy, kills it
+        (1, line, true),      // c1 write hit on its own M copy: silent
+        (0, line, false),     // c0 read: HITM forward, both end Shared
+        (1, line, true),      // c1 write on S: RFO upgrade, invalidates c0
+        (0, line, true),      // c0 write: HITM, steals ownership
+        (1, line, false),     // c1 read: HITM forward, both Shared
+        (0, line, false),     // c0 read hit on its S copy
+    ];
+    let got: Vec<String> = trace
+        .iter()
+        .map(|&(core, paddr, w)| step(&mut h, core, paddr, w))
+        .collect();
+    let expected = [
+        "c0W Mem - i0 MI",
+        "c0R L1 - i0 MI",
+        "c1W L3 hitm i1 IM",
+        "c1W L1 - i0 IM",
+        "c0R L3 hitm i0 SS",
+        "c1W L1 hit i1 IM",
+        "c0W L3 hitm i1 MI",
+        "c1R L3 hitm i0 SS",
+        "c0R L1 - i0 SS",
+    ];
+    assert_eq!(got, expected, "MESI transition trace moved");
+    assert_eq!(h.invalidations(), 3);
+    let snoops: u64 = h.snoop_hits().iter().sum();
+    assert_eq!(snoops, 5, "five accesses found a remote copy");
+}
+
+#[test]
+fn read_sharing_trace_stays_clean() {
+    // Two cores reading the same line: Exclusive on first touch, Shared
+    // once the second core joins, and no invalidation traffic at all.
+    let mut h = skylake_2core();
+    let line = 0x8_0000;
+    let got: Vec<String> = [(0usize, false), (1, false), (0, false), (1, false)]
+        .iter()
+        .map(|&(core, w)| step(&mut h, core, line, w))
+        .collect();
+    let expected = [
+        "c0R Mem - i0 EI",
+        "c1R L3 hit i0 SS",
+        "c0R L1 - i0 SS",
+        "c1R L1 - i0 SS",
+    ];
+    assert_eq!(got, expected);
+    assert_eq!(h.invalidations(), 0);
+}
+
+#[test]
+fn snoop_latencies_follow_the_config() {
+    let mut h = skylake_2core();
+    let lat = h.config().latencies;
+    let line = 0xC_0000;
+    h.access_from(0, line, true); // c0 owns the line Modified
+    let r = h.access_from(1, line, false);
+    assert_eq!(r.snoop, SnoopResult::HitM);
+    assert_eq!(
+        r.latency, lat.snoop_hitm,
+        "HITM forwards at the cross-core latency"
+    );
+    let clean = 0xC_1000;
+    h.access_from(0, clean, false); // Exclusive, clean, in core 0
+    let r = h.access_from(1, clean, false);
+    assert_eq!(r.snoop, SnoopResult::Hit);
+    assert_eq!(r.latency, lat.l3, "clean snoop hits serve at L3 latency");
+}
+
+#[test]
+fn inclusive_l3_eviction_back_invalidates_all_cores() {
+    // Fill one L3 set past its associativity from core 0 and verify a
+    // line core 1 holds gets back-invalidated when the L3 evicts it.
+    let mut h = skylake_2core();
+    let line = 0x10_0000;
+    h.access_from(1, line, false);
+    assert_eq!(h.line_state(1, line), LineState::Exclusive);
+    let (slice, set) = h.l3_location(line);
+    let assoc = h.config().l3.assoc;
+    // Generate enough conflicting lines (same slice and set) to evict.
+    let mut conflicts = 0;
+    let mut addr = line;
+    while conflicts < 4 * assoc {
+        addr += 64 * h.config().l3.sets_per_slice() as u64;
+        if h.l3_location(addr) == (slice, set) {
+            h.access_from(0, addr, false);
+            conflicts += 1;
+        }
+    }
+    assert_eq!(
+        h.line_state(1, line),
+        LineState::Invalid,
+        "inclusive eviction must invalidate the remote private copy"
+    );
+}

@@ -93,6 +93,10 @@ impl Aggregate {
 /// Runs the generated code once — through its pre-decoded `plan` — and
 /// extracts the per-counter deltas (`m2 - m1`).
 ///
+/// `corunner_plans` loop on cores 1..N of a multi-core machine while the
+/// plan runs on core 0 (pass `&[]` for an uncontended measurement — the
+/// path is then byte-for-byte the single-core one).
+///
 /// `stub_plan` is the decoded [`user_syscall_stub`] a user-mode session
 /// caches; kernel-mode callers pass `None`.
 ///
@@ -103,6 +107,7 @@ pub fn run_once(
     machine: &mut Machine,
     generated: &GeneratedCode,
     plan: &DecodedProgram,
+    corunner_plans: &[&DecodedProgram],
     stub_plan: Option<&DecodedProgram>,
     arenas: &Arenas,
 ) -> Result<Vec<i64>, NbError> {
@@ -112,7 +117,11 @@ pub fn run_once(
             None => machine.run(&user_syscall_stub())?,
         };
     }
-    machine.run_plan(plan)?;
+    if corunner_plans.is_empty() {
+        machine.run_plan(plan)?;
+    } else {
+        machine.run_plan_with_corunners(plan, corunner_plans)?;
+    }
     let mut deltas = Vec::with_capacity(generated.selectors.len());
     if generated.no_mem {
         // The generated code spilled the register accumulators to the m2
@@ -149,6 +158,7 @@ pub fn measure(
     machine: &mut Machine,
     generated: &GeneratedCode,
     plan: &DecodedProgram,
+    corunner_plans: &[&DecodedProgram],
     stub_plan: Option<&DecodedProgram>,
     arenas: &Arenas,
     warm_up: usize,
@@ -159,7 +169,7 @@ pub fn measure(
     assert!(n > 0, "need at least one measurement");
     let mut samples: Vec<Vec<i64>> = vec![Vec::with_capacity(n); generated.selectors.len()];
     for i in 0..warm_up + n {
-        let deltas = run_once(machine, generated, plan, stub_plan, arenas)?;
+        let deltas = run_once(machine, generated, plan, corunner_plans, stub_plan, arenas)?;
         if i >= warm_up {
             for (slot, d) in deltas.into_iter().enumerate() {
                 samples[slot].push(d);

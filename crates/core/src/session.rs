@@ -39,20 +39,50 @@ use std::hash::{Hash, Hasher};
 pub const NB_SEED: u64 = 0x4E42;
 
 /// Upper bound on cached plans per session. Campaigns sweeping many
-/// distinct programs would otherwise accumulate plans without bound; when
-/// the cap is hit the cache is simply cleared (the working set of a
-/// benchmark — warm-up runs, both counter halves, re-runs across seeds —
-/// is far smaller).
+/// distinct programs would otherwise accumulate plans without bound; at
+/// the cap the least-recently-used plan is evicted — one entry per miss,
+/// in a deterministic order (use ticks are a per-session sequence, so the
+/// victim never depends on map iteration order or host timing).
 const PLAN_CACHE_CAP: usize = 64;
+
+/// A cached plan plus the session-monotonic tick of its last use (the LRU
+/// eviction key).
+#[derive(Debug)]
+struct CachedPlan {
+    plan: DecodedProgram,
+    last_used: u64,
+}
 
 /// Session-level cache of decoded execution plans, keyed by a hash of the
 /// generated instruction sequence (verified by full program comparison on
 /// hit, so key collisions cannot alias two programs).
 #[derive(Debug, Default)]
 struct PlanCache {
-    plans: HashMap<u64, DecodedProgram>,
+    plans: HashMap<u64, CachedPlan>,
     hits: u64,
     misses: u64,
+    /// Monotonic use counter driving LRU eviction.
+    tick: u64,
+}
+
+impl PlanCache {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts the least-recently-used plan. Ticks are unique, so the
+    /// victim is fully determined by the use history.
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .plans
+            .iter()
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(k, _)| *k)
+        {
+            self.plans.remove(&victim);
+        }
+    }
 }
 
 fn program_key(program: &[Instruction]) -> u64 {
@@ -90,6 +120,13 @@ pub struct BenchSpec {
     pub no_mem: bool,
     /// Use a `localUnrollCount` of 0 for the baseline run (§III-C).
     pub basic_mode: bool,
+    /// Interference programs for multi-core sessions: while the measured
+    /// code runs on core 0, co-runner `i` loops on core `i + 1` (programs
+    /// cycle if the session's machine has more spare cores). Empty — the
+    /// default — measures without interference; specs with co-runners need
+    /// a session built with [`Session::with_seed_cores`] (on a single-core
+    /// machine co-runners are ignored).
+    pub corunners: Vec<Vec<Instruction>>,
 }
 
 impl Default for BenchSpec {
@@ -105,6 +142,7 @@ impl Default for BenchSpec {
             aggregate: Aggregate::Median,
             no_mem: false,
             basic_mode: false,
+            corunners: Vec::new(),
         }
     }
 }
@@ -225,6 +263,23 @@ impl BenchSpec {
         self.basic_mode = on;
         self
     }
+
+    /// Adds an interference co-runner from Intel-syntax assembly; it loops
+    /// on a spare core while the main part is measured on core 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NbError::Asm`] on parse failure.
+    pub fn corunner_asm(&mut self, text: &str) -> Result<&mut BenchSpec, NbError> {
+        self.corunners.push(parse_asm(text)?);
+        Ok(self)
+    }
+
+    /// Adds an interference co-runner directly from instructions.
+    pub fn corunner(&mut self, program: Vec<Instruction>) -> &mut BenchSpec {
+        self.corunners.push(program);
+        self
+    }
 }
 
 /// A reusable benchmark session: the machine, the §III-G memory areas and
@@ -312,7 +367,14 @@ impl Session {
     /// A session with an explicit mode and machine seed (what
     /// [`Campaign`] uses for its per-job seeding).
     pub fn with_seed(uarch: MicroArch, mode: Mode, seed: u64) -> Session {
-        Session::with_machine(Machine::new(uarch, mode, seed))
+        Session::with_seed_cores(uarch, mode, seed, 1)
+    }
+
+    /// A session over a multi-core machine: core 0 runs the measured
+    /// code, cores 1..`n_cores` run a spec's co-runners. With `n_cores`
+    /// = 1 this is exactly [`Session::with_seed`].
+    pub fn with_seed_cores(uarch: MicroArch, mode: Mode, seed: u64, n_cores: usize) -> Session {
+        Session::with_machine(Machine::with_cores(uarch, mode, seed, n_cores))
     }
 
     /// Restores the deterministic initial state — registers, PMU, caches,
@@ -447,9 +509,57 @@ impl Session {
     }
 
     /// Decoded-plan cache statistics: `(hits, misses)`. A hit means a
-    /// generated program was replayed without re-decoding it.
+    /// generated program was replayed without re-decoding it. The stats
+    /// accumulate across [`Session::reset`] (plans hold no machine state,
+    /// so the cache and its counters survive resets by design).
     pub fn plan_cache_stats(&self) -> (u64, u64) {
         (self.plan_cache.hits, self.plan_cache.misses)
+    }
+
+    /// Number of plans currently cached (at most the cap of 64).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.plans.len()
+    }
+
+    /// Looks `program` up in the plan cache, decoding and inserting it on
+    /// a miss (evicting the LRU plan at the cap), and returns its key.
+    /// Hits are verified by full program comparison, so a hash collision
+    /// re-decodes into the colliding slot instead of aliasing.
+    ///
+    /// Keys ensured back-to-back stay valid together: each `ensure` marks
+    /// its entry most-recently-used, so later ensures in the same batch
+    /// can only evict *older* entries (the cap far exceeds the plans one
+    /// run needs — one measured program plus its co-runners).
+    fn ensure_plan(&mut self, program: &[Instruction]) -> u64 {
+        let key = program_key(program);
+        let cache = &mut self.plan_cache;
+        let tick = cache.next_tick();
+        match cache.plans.get_mut(&key) {
+            Some(cached) if cached.plan.instructions() == program => {
+                cached.last_used = tick;
+                cache.hits += 1;
+            }
+            Some(cached) => {
+                // Hash collision: replace the slot with this program.
+                cache.misses += 1;
+                cached.plan = self.machine.decode(program);
+                cached.last_used = tick;
+            }
+            None => {
+                if cache.plans.len() >= PLAN_CACHE_CAP {
+                    cache.evict_lru();
+                }
+                cache.misses += 1;
+                cache.plans.insert(
+                    key,
+                    CachedPlan {
+                        plan: self.machine.decode(program),
+                        last_used: tick,
+                    },
+                );
+            }
+        }
+        key
     }
 
     fn measure_version(
@@ -469,27 +579,20 @@ impl Session {
         };
         let generated = codegen::generate(&request);
 
-        // Plan-cache lookup: hash the generated program, verify the hit by
-        // full comparison (hash collisions fall through to a re-decode of
-        // the colliding entry's slot).
-        let key = program_key(&generated.program);
-        let cache = &mut self.plan_cache;
-        let hit = matches!(
-            cache.plans.get(&key),
-            Some(plan) if plan.instructions() == generated.program.as_slice()
-        );
-        if hit {
-            cache.hits += 1;
-        } else {
-            if cache.plans.len() >= PLAN_CACHE_CAP {
-                cache.plans.clear();
-            }
-            cache.misses += 1;
-            cache
-                .plans
-                .insert(key, self.machine.decode(&generated.program));
-        }
-        let plan = &self.plan_cache.plans[&key];
+        // Ensure every plan this run needs (measured program first, then
+        // co-runners) before borrowing any of them out of the cache.
+        let key = self.ensure_plan(&generated.program);
+        let corunner_keys: Vec<u64> = spec
+            .corunners
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| self.ensure_plan(p))
+            .collect();
+        let plan = &self.plan_cache.plans[&key].plan;
+        let corunner_plans: Vec<&DecodedProgram> = corunner_keys
+            .iter()
+            .map(|k| &self.plan_cache.plans[k].plan)
+            .collect();
 
         let stub_plan = if self.machine.mode() == Mode::User {
             Some(
@@ -505,6 +608,7 @@ impl Session {
             &mut self.machine,
             &generated,
             plan,
+            &corunner_plans,
             stub_plan,
             &self.arenas,
             spec.warm_up_count,
@@ -528,6 +632,7 @@ pub struct Campaign {
     mode: Mode,
     workers: usize,
     base_seed: u64,
+    cores: usize,
 }
 
 impl Campaign {
@@ -539,6 +644,7 @@ impl Campaign {
             mode: Mode::Kernel,
             workers: 0,
             base_seed: NB_SEED,
+            cores: 1,
         }
     }
 
@@ -561,6 +667,16 @@ impl Campaign {
     /// Sets the base seed; job *j* runs with seed `base_seed ^ j`.
     pub fn base_seed(mut self, seed: u64) -> Campaign {
         self.base_seed = seed;
+        self
+    }
+
+    /// Sets the simulated core count of every worker's machine (default
+    /// 1). Specs with co-runners need at least 2. Worker count shards
+    /// *jobs* across host threads; this is the number of *simulated*
+    /// cores inside each job's machine — results never depend on the
+    /// former and always on the latter.
+    pub fn cores(mut self, n: usize) -> Campaign {
+        self.cores = n.max(1);
         self
     }
 
@@ -607,7 +723,7 @@ impl Campaign {
         shard_map(
             self.effective_workers(jobs.len()),
             jobs.len(),
-            || Session::with_seed(self.uarch, self.mode, self.base_seed),
+            || Session::with_seed_cores(self.uarch, self.mode, self.base_seed, self.cores),
             |session, j| {
                 session.reset_with_seed(self.base_seed ^ j as u64);
                 f(session, &jobs[j], j)

@@ -175,6 +175,121 @@ fn machine_reset_with_seed_matches_fresh_seed() {
     }
 }
 
+/// An e10-shaped batch: measured programs on core 0 with co-runners
+/// looping on cores 1..3 (same-line stores and a streaming walk).
+fn multicore_specs() -> Vec<BenchSpec> {
+    // Every session allocates identically, so the R14 arena sits at the
+    // same address in every campaign worker — probe it once.
+    let arena = Session::kernel(MicroArch::Skylake)
+        .arena_base(Gpr::R14)
+        .unwrap();
+    let mut specs = Vec::new();
+    for (asm, init) in [
+        ("mov r14, [r14]", Some("mov [r14], r14")),
+        ("mov rax, [r14]", Some("mov [r14], r14")),
+        ("add rax, rax", None),
+    ] {
+        let mut spec = BenchSpec::new();
+        spec.asm(asm)
+            .unwrap()
+            .unroll_count(40)
+            .loop_count(8)
+            .warm_up_count(1)
+            .n_measurements(3);
+        if let Some(init) = init {
+            spec.asm_init(init).unwrap();
+        }
+        // Co-runner 1: false-sharing stores into the line the measured
+        // code self-chases. Co-runner 2: a short streaming loop.
+        spec.corunner_asm(&format!("mov [{0:#x}], rbx; mov [{0:#x}], rbx", arena + 8))
+            .unwrap();
+        spec.corunner_asm(
+            "mov rbx, 0x60000000; mov rax, [rbx]; add rbx, 64; \
+             mov rax, [rbx]; add rbx, 64; mov rax, [rbx]",
+        )
+        .unwrap();
+        specs.push(spec);
+    }
+    specs
+}
+
+#[test]
+fn multicore_campaign_is_bit_identical_across_worker_counts() {
+    let specs = multicore_specs();
+    let campaign = |workers| {
+        Campaign::kernel(MicroArch::Skylake)
+            .cores(3)
+            .workers(workers)
+            .run_all(&specs)
+            .unwrap()
+    };
+    let sequential = campaign(1);
+    for workers in [2usize, 8] {
+        assert_eq!(campaign(workers), sequential, "{workers} workers");
+    }
+    // And equal to per-job fresh multi-core sessions.
+    for (j, spec) in specs.iter().enumerate() {
+        let mut fresh =
+            Session::with_seed_cores(MicroArch::Skylake, Mode::Kernel, NB_SEED ^ j as u64, 3);
+        assert_eq!(sequential[j], fresh.run(spec).unwrap(), "job {j}");
+    }
+}
+
+#[test]
+fn multicore_machine_reset_equals_fresh_machine() {
+    // Interfered runs must replay bit-identically after Machine::reset,
+    // and equal a fresh machine making the same calls.
+    let drive_interfered = |machine: &mut Machine, base: u64| -> Vec<u64> {
+        machine.state_mut().set_gpr(Gpr::R14, base);
+        machine.run(&parse_asm("mov [r14], r14").unwrap()).unwrap();
+        let chase = machine.decode(&parse_asm(&"mov r14, [r14]; ".repeat(60)).unwrap());
+        let store =
+            machine.decode(&parse_asm(&format!("mov [{:#x}], rax", base + 8).repeat(1)).unwrap());
+        let stream = machine.decode(
+            &parse_asm("mov rbx, 0x60000000; mov rax, [rbx]; add rbx, 64; mov rax, [rbx]").unwrap(),
+        );
+        let mut observed = Vec::new();
+        for _ in 0..3 {
+            let stats = machine
+                .run_plan_with_corunners(&chase, &[&store, &stream])
+                .unwrap();
+            observed.extend([
+                stats.instructions,
+                stats.uops,
+                stats.cycles,
+                stats.end_cycle,
+            ]);
+        }
+        observed.push(machine.cycle_of(1));
+        observed.push(machine.cycle_of(2));
+        observed.push(machine.hierarchy().invalidations());
+        observed.extend(machine.hierarchy().snoop_hits().iter().copied());
+        let l1 = machine.hierarchy().l1_stats_of(1);
+        observed.extend([l1.hits, l1.misses]);
+        observed
+    };
+
+    let mut machine = Machine::with_cores(MicroArch::Skylake, Mode::Kernel, 77, 3);
+    let base = machine.alloc_region(1 << 16);
+    let first = drive_interfered(&mut machine, base);
+    assert!(
+        *first.last().unwrap() > 0 || first.iter().any(|v| *v > 0),
+        "the interfered run must actually run"
+    );
+
+    machine.reset();
+    assert_eq!(
+        drive_interfered(&mut machine, base),
+        first,
+        "reset + rerun must replay the interfered workload bit-identically"
+    );
+
+    let mut fresh = Machine::with_cores(MicroArch::Skylake, Mode::Kernel, 77, 3);
+    let fresh_base = fresh.alloc_region(1 << 16);
+    assert_eq!(fresh_base, base);
+    assert_eq!(drive_interfered(&mut fresh, fresh_base), first, "fresh");
+}
+
 #[test]
 fn session_reset_replays_noisy_user_benchmarks() {
     // User mode injects interrupts from the machine's random stream; a

@@ -70,6 +70,60 @@ fn user_mode_caches_plans_too() {
 }
 
 #[test]
+fn cap_eviction_is_lru_and_survives_reset() {
+    // Each spec generates two distinct programs (the two unroll versions
+    // of §III-C), so 40 specs push 80 plans through the cap-64 cache.
+    let spec_for = |i: usize| {
+        let mut spec = add_spec();
+        spec.asm(&format!("add rax, {}", i + 1))
+            .unwrap()
+            .warm_up_count(0)
+            .n_measurements(1);
+        spec
+    };
+    let mut session = Session::kernel(MicroArch::Skylake);
+    for i in 0..40 {
+        session.run(&spec_for(i)).unwrap();
+        session.reset();
+    }
+    assert_eq!(session.plan_cache_len(), 64, "cache must stay at the cap");
+    assert_eq!(session.plan_cache_stats(), (0, 80));
+
+    // LRU eviction: the 16 oldest plans — specs 0..8's — are gone, the
+    // newest are still cached. Re-running the newest spec is pure hits...
+    session.run(&spec_for(39)).unwrap();
+    assert_eq!(session.plan_cache_stats(), (2, 80));
+
+    // ...while the oldest re-decodes both versions (and evicts the then
+    // least-recently-used entries, keeping the cache at the cap).
+    session.reset();
+    session.run(&spec_for(0)).unwrap();
+    assert_eq!(session.plan_cache_stats(), (2, 82));
+    assert_eq!(session.plan_cache_len(), 64);
+
+    // The same fill sequence on a fresh session evicts identically: the
+    // same survivors hit, the same victims miss (deterministic order).
+    let mut replay = Session::kernel(MicroArch::Skylake);
+    for i in 0..40 {
+        replay.run(&spec_for(i)).unwrap();
+        replay.reset();
+    }
+    replay.run(&spec_for(39)).unwrap();
+    replay.reset();
+    replay.run(&spec_for(0)).unwrap();
+    assert_eq!(replay.plan_cache_stats(), session.plan_cache_stats());
+
+    // Stats and cached plans survive reset(): a reset then re-run of a
+    // cached spec only adds hits, never misses.
+    session.reset();
+    let before = session.plan_cache_stats();
+    session.run(&spec_for(0)).unwrap();
+    let after = session.plan_cache_stats();
+    assert_eq!(after.1, before.1, "reset must not drop cached plans");
+    assert_eq!(after.0, before.0 + 2);
+}
+
+#[test]
 fn multiplexed_rounds_reuse_per_round_plans() {
     // 6 events on 4 programmable counters: two rounds, each generating
     // its own pair of unroll versions (different selectors → different

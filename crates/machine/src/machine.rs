@@ -1,5 +1,12 @@
-//! The virtual machine: a simulated core plus its environment, in kernel
-//! or user mode (§III-D of the paper).
+//! The virtual machine: one or more simulated cores plus their shared
+//! environment, in kernel or user mode (§III-D of the paper).
+//!
+//! Core 0 is the *measured* core — every legacy entry point ([`Machine::run`],
+//! [`Machine::run_plan`], the register/PMU accessors) operates on it, so a
+//! 1-core machine behaves bit-identically to the historical single-core
+//! model. Additional cores ([`Machine::with_cores`]) run *co-runner*
+//! programs via [`Machine::run_plan_with_corunners`], contending for the
+//! shared L3 through the MESI coherence layer of `nanobench-cache`.
 
 use crate::alloc::{AllocError, KernelAllocator};
 use crate::phys::{PhysMem, PAGE_SIZE};
@@ -7,7 +14,7 @@ use nanobench_cache::hierarchy::{CacheHierarchy, HierarchyConfig, MemAccessResul
 use nanobench_cache::presets::{table1_cpus, CpuSpec};
 use nanobench_pmu::Pmu;
 use nanobench_uarch::bus::{Bus, CpuFault, InterruptEvent};
-use nanobench_uarch::engine::{Engine, RunStats};
+use nanobench_uarch::engine::{Engine, RunContext, RunStats};
 use nanobench_uarch::plan::DecodedProgram;
 use nanobench_uarch::port::MicroArch;
 use nanobench_uarch::state::CpuState;
@@ -31,7 +38,10 @@ pub enum Mode {
 /// Mean cycles between user-mode interrupts.
 const INTERRUPT_MEAN: u64 = 120_000;
 
-/// The environment of the core: memory, caches, privilege, interrupts.
+/// The environment shared by all cores: memory, caches, privilege,
+/// interrupts. `current_core` routes each access to the right private
+/// L1/L2 inside the coherent hierarchy; the scheduler sets it before
+/// stepping a core.
 #[derive(Debug)]
 pub struct Env {
     mode: Mode,
@@ -47,7 +57,11 @@ pub struct Env {
     interrupts_enabled: bool,
     cr4_pce: bool,
     next_interrupt: u64,
-    uncore_seen: Vec<u64>,
+    /// The core whose accesses the bus currently serves.
+    current_core: usize,
+    /// Per-core snapshot of the C-Box lookup counters at that core's last
+    /// drain (each core's PMU sees the deltas since *its* last read).
+    uncore_seen: Vec<Vec<u64>>,
 }
 
 impl Env {
@@ -79,9 +93,11 @@ impl Bus for Env {
         Ok(())
     }
 
-    fn access(&mut self, vaddr: u64, _is_write: bool) -> Result<MemAccessResult, CpuFault> {
+    fn access(&mut self, vaddr: u64, is_write: bool) -> Result<MemAccessResult, CpuFault> {
         let paddr = self.translate_or_fault(vaddr)?;
-        Ok(self.hierarchy.access(paddr))
+        Ok(self
+            .hierarchy
+            .access_from(self.current_core, paddr, is_write))
     }
 
     fn is_kernel(&self) -> bool {
@@ -94,9 +110,10 @@ impl Bus for Env {
 
     fn rdmsr(&mut self, addr: u32) -> Result<u64, CpuFault> {
         match addr {
-            nanobench_pmu::msr::MSR_MISC_FEATURE_CONTROL => {
-                Ok(self.hierarchy.prefetchers().disable_bits())
-            }
+            nanobench_pmu::msr::MSR_MISC_FEATURE_CONTROL => Ok(self
+                .hierarchy
+                .prefetchers_of_mut(self.current_core)
+                .disable_bits()),
             _ => Err(CpuFault::BadMsr { addr }),
         }
     }
@@ -104,7 +121,9 @@ impl Bus for Env {
     fn wrmsr(&mut self, addr: u32, value: u64) -> Result<(), CpuFault> {
         match addr {
             nanobench_pmu::msr::MSR_MISC_FEATURE_CONTROL => {
-                self.hierarchy.prefetchers_mut().set_disable_bits(value);
+                self.hierarchy
+                    .prefetchers_of_mut(self.current_core)
+                    .set_disable_bits(value);
                 Ok(())
             }
             _ => Err(CpuFault::BadMsr { addr }),
@@ -128,7 +147,11 @@ impl Bus for Env {
     }
 
     fn poll_interrupt(&mut self, cycle: u64) -> Option<InterruptEvent> {
-        if !self.interrupts_enabled || cycle < self.next_interrupt {
+        // Only the measured core takes interrupts: delivering the shared
+        // random stream to co-runner cores would make the measured core's
+        // interrupt arrivals depend on the interleaving. (Co-runner cores
+        // are modeled as running with interrupts masked.)
+        if self.current_core != 0 || !self.interrupts_enabled || cycle < self.next_interrupt {
             return None;
         }
         self.next_interrupt = cycle + INTERRUPT_MEAN / 2 + self.rng.gen_range(0..INTERRUPT_MEAN);
@@ -151,25 +174,34 @@ impl Bus for Env {
 
     fn drain_uncore_lookups(&mut self, out: &mut Vec<u64>) {
         let current = self.hierarchy.uncore_lookups();
-        out.extend(
-            current
-                .iter()
-                .zip(self.uncore_seen.iter())
-                .map(|(c, s)| c - s),
-        );
-        self.uncore_seen.copy_from_slice(current);
+        let seen = &mut self.uncore_seen[self.current_core];
+        out.extend(current.iter().zip(seen.iter()).map(|(c, s)| c - s));
+        seen.copy_from_slice(current);
     }
 }
 
-/// A complete simulated machine: core + PMU + caches + memory + OS-ish
-/// environment.
+/// One simulated core: its out-of-order engine, architectural state,
+/// per-core PMU, and local cycle clock.
 #[derive(Debug)]
-pub struct Machine {
+struct Core {
     engine: Engine,
     state: CpuState,
     pmu: Pmu,
-    env: Env,
     cycle: u64,
+}
+
+/// Seed salt separating core `i`'s engine random stream from core 0's;
+/// core 0's salt is 0, so a 1-core machine replays the historical stream.
+fn engine_seed(seed: u64, core: usize) -> u64 {
+    seed ^ 0xE ^ ((core as u64) << 32)
+}
+
+/// A complete simulated machine: one or more cores + per-core PMUs +
+/// coherent caches + memory + OS-ish environment.
+#[derive(Debug)]
+pub struct Machine {
+    cores: Vec<Core>,
+    env: Env,
     uarch: MicroArch,
     cpu: CpuSpec,
     seed: u64,
@@ -182,15 +214,39 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Creates a machine for a Table I CPU model.
+    /// Creates a single-core machine for a Table I CPU model.
     pub fn from_cpu(cpu: &CpuSpec, mode: Mode, seed: u64) -> Machine {
-        let uarch = MicroArch::parse(cpu.microarch).unwrap_or(MicroArch::Skylake);
-        Machine::build(uarch, cpu.clone(), &cpu.hierarchy_config(), mode, seed)
+        Machine::from_cpu_with_cores(cpu, mode, seed, 1)
     }
 
-    /// Creates a machine for a microarchitecture, using its Table I cache
-    /// preset (or Skylake's geometry if the microarchitecture has no row).
+    /// Creates a machine for a Table I CPU model with `n_cores` cores.
+    pub fn from_cpu_with_cores(cpu: &CpuSpec, mode: Mode, seed: u64, n_cores: usize) -> Machine {
+        let uarch = MicroArch::parse(cpu.microarch).unwrap_or(MicroArch::Skylake);
+        Machine::build(
+            uarch,
+            cpu.clone(),
+            &cpu.hierarchy_config(),
+            mode,
+            seed,
+            n_cores,
+        )
+    }
+
+    /// Creates a single-core machine for a microarchitecture, using its
+    /// Table I cache preset (or Skylake's geometry if the
+    /// microarchitecture has no row).
     pub fn new(uarch: MicroArch, mode: Mode, seed: u64) -> Machine {
+        Machine::with_cores(uarch, mode, seed, 1)
+    }
+
+    /// Like [`Machine::new`] but with `n_cores` cores sharing the L3.
+    /// Core 0 is the measured core; a 1-core machine is bit-identical to
+    /// [`Machine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is 0 or greater than 8.
+    pub fn with_cores(uarch: MicroArch, mode: Mode, seed: u64, n_cores: usize) -> Machine {
         let cpu = table1_cpus()
             .into_iter()
             .find(|c| MicroArch::parse(c.microarch) == Some(uarch))
@@ -201,7 +257,7 @@ impl Machine {
                     .expect("Skylake preset exists")
             });
         let cfg = cpu.hierarchy_config();
-        Machine::build(uarch, cpu, &cfg, mode, seed)
+        Machine::build(uarch, cpu, &cfg, mode, seed, n_cores)
     }
 
     fn build(
@@ -210,16 +266,22 @@ impl Machine {
         cfg: &HierarchyConfig,
         mode: Mode,
         seed: u64,
+        n_cores: usize,
     ) -> Machine {
-        let slices = cfg.l3.slices;
+        let slices = cfg.slice_count();
         Machine {
-            engine: Engine::new(uarch, seed ^ 0xE),
-            state: CpuState::new(),
-            pmu: Pmu::new(uarch.n_prog_counters(), slices),
+            cores: (0..n_cores)
+                .map(|core| Core {
+                    engine: Engine::new(uarch, engine_seed(seed, core)),
+                    state: CpuState::new(),
+                    pmu: Pmu::new(uarch.n_prog_counters(), slices),
+                    cycle: 0,
+                })
+                .collect(),
             env: Env {
                 mode,
                 phys: PhysMem::new(),
-                hierarchy: CacheHierarchy::new(cfg, seed),
+                hierarchy: CacheHierarchy::new_multi(cfg, seed, n_cores),
                 alloc: KernelAllocator::new(seed ^ 0xA),
                 user_map: HashMap::new(),
                 rng: SmallRng::seed_from_u64(seed ^ 0x1),
@@ -227,9 +289,9 @@ impl Machine {
                 interrupts_enabled: mode == Mode::User,
                 cr4_pce: true,
                 next_interrupt: INTERRUPT_MEAN,
-                uncore_seen: vec![0; slices],
+                current_core: 0,
+                uncore_seen: vec![vec![0; slices]; n_cores],
             },
-            cycle: 0,
             uarch,
             cpu,
             seed,
@@ -237,6 +299,11 @@ impl Machine {
             kernel_next_region: 0x4000_0000,
             user_region_log: Vec::new(),
         }
+    }
+
+    /// Number of simulated cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
     }
 
     /// Restores the deterministic initial state for the seed the machine
@@ -260,10 +327,12 @@ impl Machine {
     /// the allocator's random stream is rewound.
     pub fn reset_with_seed(&mut self, seed: u64) {
         self.seed = seed;
-        self.engine.reset_with_seed(seed ^ 0xE);
-        self.state = CpuState::new();
-        self.pmu.reset();
-        self.cycle = 0;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.engine.reset_with_seed(engine_seed(seed, i));
+            core.state = CpuState::new();
+            core.pmu.reset();
+            core.cycle = 0;
+        }
         let env = &mut self.env;
         env.phys.zero_all();
         env.hierarchy.reset(seed);
@@ -273,7 +342,10 @@ impl Machine {
         env.interrupts_enabled = env.mode == Mode::User;
         env.cr4_pce = true;
         env.next_interrupt = INTERRUPT_MEAN;
-        env.uncore_seen.fill(0);
+        env.current_core = 0;
+        for seen in &mut env.uncore_seen {
+            seen.fill(0);
+        }
         for &(base_page, pages) in &self.user_region_log {
             for i in 0..pages {
                 let frame = env.alloc_rng.gen_range(0x1000u64..0x80000);
@@ -298,39 +370,136 @@ impl Machine {
     /// Propagates [`CpuFault`]s — notably privileged instructions in user
     /// mode (§III-D).
     pub fn run(&mut self, program: &[Instruction]) -> Result<RunStats, CpuFault> {
-        let stats = self.engine.run(
+        self.env.current_core = 0;
+        let core = &mut self.cores[0];
+        let stats = core.engine.run(
             program,
-            &mut self.state,
-            &mut self.pmu,
+            &mut core.state,
+            &mut core.pmu,
             &mut self.env,
-            self.cycle,
+            core.cycle,
         )?;
-        self.cycle = stats.end_cycle;
+        core.cycle = stats.end_cycle;
         Ok(stats)
     }
 
     /// Decodes `program` into a reusable execution plan for this machine's
-    /// engine (its descriptor table and port configuration).
+    /// engines (all cores share one descriptor table and port
+    /// configuration, so one plan serves any core).
     pub fn decode(&self, program: &[Instruction]) -> DecodedProgram {
-        self.engine.decode(program)
+        self.cores[0].engine.decode(program)
     }
 
-    /// Runs a pre-decoded plan to completion; bit-identical to
+    /// Runs a pre-decoded plan to completion on core 0; bit-identical to
     /// [`Machine::run`] on the plan's program, minus the per-run decode.
     ///
     /// # Errors
     ///
     /// Propagates [`CpuFault`]s exactly like [`Machine::run`].
     pub fn run_plan(&mut self, plan: &DecodedProgram) -> Result<RunStats, CpuFault> {
-        let stats = self.engine.run_plan(
+        self.env.current_core = 0;
+        let core = &mut self.cores[0];
+        let stats = core.engine.run_plan(
             plan,
-            &mut self.state,
-            &mut self.pmu,
+            &mut core.state,
+            &mut core.pmu,
             &mut self.env,
-            self.cycle,
+            core.cycle,
         )?;
-        self.cycle = stats.end_cycle;
+        core.cycle = stats.end_cycle;
         Ok(stats)
+    }
+
+    /// Runs `plan` to completion on core 0 while cores 1..N loop the
+    /// co-runner plans (core `i` runs `corunners[(i - 1) % len]`,
+    /// restarting from the top whenever it completes), contending for the
+    /// shared L3 through the coherence layer.
+    ///
+    /// Scheduling is deterministic round-robin cycle interleaving: at each
+    /// step the core with the smallest local cycle executes one
+    /// instruction (ties broken by core index), so results are
+    /// bit-identical for a given machine state regardless of host
+    /// threading. Idle cores are fast-forwarded to the measured core's
+    /// clock before the run begins.
+    ///
+    /// With no co-runners (or a 1-core machine) this is exactly
+    /// [`Machine::run_plan`]. Empty co-runner programs are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuFault`] raised by *any* core, in
+    /// scheduling order (deterministic).
+    pub fn run_plan_with_corunners(
+        &mut self,
+        plan: &DecodedProgram,
+        corunners: &[&DecodedProgram],
+    ) -> Result<RunStats, CpuFault> {
+        let assignments: Vec<Option<&DecodedProgram>> = (1..self.cores.len())
+            .map(|i| {
+                if corunners.is_empty() {
+                    None
+                } else {
+                    Some(corunners[(i - 1) % corunners.len()])
+                        .filter(|p| !p.instructions().is_empty())
+                }
+            })
+            .collect();
+        if assignments.iter().all(Option::is_none) {
+            return self.run_plan(plan);
+        }
+
+        // Idle cores resume at the measured core's clock (they were
+        // parked, but their cycle counters kept ticking).
+        let start = self.cores.iter().map(|c| c.cycle).max().expect("core 0");
+        let mut ctxs: Vec<RunContext> = self
+            .cores
+            .iter()
+            .map(|c| c.engine.begin_plan(c.cycle.max(start)))
+            .collect();
+
+        let result = loop {
+            // Pick the runnable core with the smallest local cycle;
+            // ties go to the lowest core index.
+            let mut best = 0usize;
+            let mut best_now = ctxs[0].now();
+            for (i, ctx) in ctxs.iter().enumerate().skip(1) {
+                if assignments[i - 1].is_some() && ctx.now() < best_now {
+                    best = i;
+                    best_now = ctx.now();
+                }
+            }
+            let chosen_plan = if best == 0 {
+                plan
+            } else {
+                assignments[best - 1].expect("only runnable cores are picked")
+            };
+            self.env.current_core = best;
+            let core = &mut self.cores[best];
+            match core.engine.step_plan(
+                &mut ctxs[best],
+                chosen_plan,
+                &mut core.state,
+                &mut core.pmu,
+                &mut self.env,
+            ) {
+                Err(fault) => break Err(fault),
+                Ok(true) => {}
+                Ok(false) if best == 0 => break Ok(()),
+                Ok(false) => ctxs[best].restart(),
+            }
+        };
+        self.env.current_core = 0;
+        result?;
+
+        let mut stats0 = None;
+        for (i, (core, ctx)) in self.cores.iter_mut().zip(&ctxs).enumerate() {
+            let stats = core.engine.finish_plan(ctx, &mut core.pmu);
+            core.cycle = stats.end_cycle;
+            if i == 0 {
+                stats0 = Some(stats);
+            }
+        }
+        Ok(stats0.expect("core 0 exists"))
     }
 
     /// Allocates a virtual memory region of `size` bytes and returns its
@@ -397,29 +566,44 @@ impl Machine {
         &self.cpu
     }
 
-    /// Current absolute cycle.
+    /// Current absolute cycle of core 0 (the measured core).
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.cores[0].cycle
     }
 
-    /// Architectural register state.
+    /// Current absolute cycle of `core`.
+    pub fn cycle_of(&self, core: usize) -> u64 {
+        self.cores[core].cycle
+    }
+
+    /// Core 0's architectural register state.
     pub fn state(&self) -> &CpuState {
-        &self.state
+        &self.cores[0].state
     }
 
-    /// Mutable architectural register state.
+    /// Core 0's mutable architectural register state.
     pub fn state_mut(&mut self) -> &mut CpuState {
-        &mut self.state
+        &mut self.cores[0].state
     }
 
-    /// The PMU.
+    /// Architectural register state of `core`.
+    pub fn state_of(&self, core: usize) -> &CpuState {
+        &self.cores[core].state
+    }
+
+    /// Core 0's PMU.
     pub fn pmu(&self) -> &Pmu {
-        &self.pmu
+        &self.cores[0].pmu
     }
 
-    /// Mutable PMU (for configuring counters).
+    /// Core 0's mutable PMU (for configuring counters).
     pub fn pmu_mut(&mut self) -> &mut Pmu {
-        &mut self.pmu
+        &mut self.cores[0].pmu
+    }
+
+    /// The PMU of `core` (co-runner cores count their own events).
+    pub fn pmu_of(&self, core: usize) -> &Pmu {
+        &self.cores[core].pmu
     }
 
     /// The cache hierarchy (for experiment instrumentation).
@@ -432,14 +616,14 @@ impl Machine {
         &mut self.env.hierarchy
     }
 
-    /// The engine (branch predictor state, descriptor table).
+    /// Core 0's engine (branch predictor state, descriptor table).
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        &self.cores[0].engine
     }
 
-    /// Mutable engine.
+    /// Core 0's mutable engine.
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        &mut self.cores[0].engine
     }
 
     /// Reads memory through the current mapping without touching cache or
@@ -556,6 +740,79 @@ mod tests {
         let mut k = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
         let addr = k.alloc_contiguous(8 * 1024 * 1024).unwrap();
         assert_eq!(k.translate(addr), Some(addr));
+    }
+
+    #[test]
+    fn false_sharing_corunner_slows_the_measured_core() {
+        // Measured core: dependent loads of one line. Co-runner: stores to
+        // the same line from another core — every store invalidates core
+        // 0's copy, so its loads keep snoop-missing and re-fetching.
+        let run = |n_cores: usize, with_corunner: bool| {
+            let mut m = Machine::with_cores(MicroArch::Skylake, Mode::Kernel, 7, n_cores);
+            let base = m.alloc_region(4096);
+            m.state_mut().set_gpr(Gpr::R14, base);
+            m.run(&parse_asm("mov [R14], R14").unwrap()).unwrap();
+            let chase = m.decode(&parse_asm(&"mov R14, [R14]; ".repeat(100)).unwrap());
+            // The co-runner stores to a *different word of the same line*,
+            // so it invalidates core 0's copy without clobbering the
+            // chase pointer at [base].
+            let store =
+                m.decode(&parse_asm(&format!("mov [{:#x}], rax; ", base + 8).repeat(8)).unwrap());
+            let corunners: Vec<&nanobench_uarch::plan::DecodedProgram> =
+                if with_corunner { vec![&store] } else { vec![] };
+            let stats = m.run_plan_with_corunners(&chase, &corunners).unwrap();
+            let inval = m.hierarchy().invalidations();
+            (stats, inval)
+        };
+        let (solo, solo_inval) = run(2, false);
+        assert_eq!(solo_inval, 0);
+        let (contended, inval) = run(2, true);
+        assert!(inval > 0, "false sharing must invalidate remote copies");
+        assert!(
+            contended.cycles > solo.cycles * 2,
+            "false sharing must slow the measured core substantially \
+             (solo {} vs contended {})",
+            solo.cycles,
+            contended.cycles
+        );
+        // Deterministic: an identical fresh machine replays bit-identically.
+        let (again, inval_again) = run(2, true);
+        assert_eq!(again, contended);
+        assert_eq!(inval_again, inval);
+    }
+
+    #[test]
+    fn rmw_corunner_participates_in_coherence() {
+        // A read-modify-write co-runner (`add [line], rbx`) never issues
+        // a separate store bus access — its covering load must run the
+        // write side of the protocol, or RMW false sharing would be
+        // silently absent while `mov`-store co-runners model it.
+        let mut m = Machine::with_cores(MicroArch::Skylake, Mode::Kernel, 7, 2);
+        let base = m.alloc_region(4096);
+        m.state_mut().set_gpr(Gpr::R14, base);
+        m.run(&parse_asm("mov [R14], R14").unwrap()).unwrap();
+        let chase = m.decode(&parse_asm(&"mov R14, [R14]; ".repeat(100)).unwrap());
+        let rmw = m.decode(&parse_asm(&format!("add [{:#x}], rbx; ", base + 8).repeat(4)).unwrap());
+        let stats = m.run_plan_with_corunners(&chase, &[&rmw]).unwrap();
+        assert!(
+            m.hierarchy().invalidations() > 0,
+            "RMW stores must invalidate the measured core's copies"
+        );
+        assert!(
+            stats.cycles > 100 * 8,
+            "RMW false sharing must slow the chase (got {} cycles)",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn single_core_machine_ignores_corunner_api() {
+        let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let plan = m.decode(&parse_asm("add rax, rax; add rax, rax").unwrap());
+        let a = m.run_plan_with_corunners(&plan, &[]).unwrap();
+        let mut m2 = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+        let b = m2.run_plan(&plan).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

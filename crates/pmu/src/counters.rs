@@ -18,6 +18,17 @@ use crate::msr;
 /// reference cycles): 22/25 = 0.88.
 pub const REF_CYCLE_RATIO: (u64, u64) = (22, 25);
 
+/// Width of the fixed, programmable, and C-Box counters: 48 bits on the
+/// CPUs the paper considers. Counters accumulate internally in 64 bits but
+/// every architectural read (`RDPMC`, `RDMSR`) and write (`WRMSR`) is
+/// reduced modulo 2^48, so a counter that runs past 2^48 wraps exactly as
+/// the hardware's does. `APERF`/`MPERF` are full-width 64-bit MSRs and are
+/// not masked.
+pub const COUNTER_WIDTH: u32 = 48;
+
+/// Mask applied to counter reads/writes (low [`COUNTER_WIDTH`] bits).
+const CTR_MASK: u64 = (1 << COUNTER_WIDTH) - 1;
+
 #[derive(Debug, Clone, Copy, Default)]
 struct ProgCounter {
     sel: Option<EventCode>,
@@ -145,7 +156,17 @@ impl Pmu {
     }
 
     /// Records `n` lookups on C-Box `slice`.
+    ///
+    /// Out-of-range slices indicate a PMU built for a different slice
+    /// count than the hierarchy feeding it — a configuration bug, caught
+    /// by a debug assertion rather than silently dropping the counts.
     pub fn count_uncore(&mut self, slice: usize, n: u64) {
+        debug_assert!(
+            slice < self.uncore.len(),
+            "C-Box index {slice} out of range: PMU has {} uncore counters \
+             (slice count must come from HierarchyConfig::slice_count)",
+            self.uncore.len()
+        );
         if self.counting {
             if let Some(c) = self.uncore.get_mut(slice) {
                 *c += n;
@@ -154,28 +175,32 @@ impl Pmu {
     }
 
     /// `RDPMC` semantics: `ecx` selects a programmable counter (0..N) or,
-    /// with bit 30 set, a fixed counter (0..2). Returns `None` for invalid
-    /// selectors (hardware would fault with #GP).
+    /// with bit 30 set, a fixed counter (0..2). Values are truncated to
+    /// the 48-bit counter width ([`COUNTER_WIDTH`]). Returns `None` for
+    /// invalid selectors (hardware would fault with #GP).
     pub fn rdpmc(&self, ecx: u32) -> Option<u64> {
         if ecx & (1 << 30) != 0 {
             self.fixed.get((ecx & 0x3FFF_FFFF) as usize).copied()
         } else {
             self.prog.get(ecx as usize).map(|c| c.value)
         }
+        .map(|v| v & CTR_MASK)
     }
 
     /// `RDMSR` for PMU-owned MSRs; `None` if the address is not ours.
+    /// Counter MSRs read truncated to 48 bits; `APERF`/`MPERF` are
+    /// full-width.
     pub fn rdmsr(&self, addr: u32) -> Option<u64> {
         match addr {
             msr::IA32_APERF => Some(self.aperf),
             msr::IA32_MPERF => Some(self.mperf),
-            msr::IA32_FIXED_CTR0 => Some(self.fixed[0]),
-            msr::IA32_FIXED_CTR1 => Some(self.fixed[1]),
-            msr::IA32_FIXED_CTR2 => Some(self.fixed[2]),
+            msr::IA32_FIXED_CTR0 => Some(self.fixed[0] & CTR_MASK),
+            msr::IA32_FIXED_CTR1 => Some(self.fixed[1] & CTR_MASK),
+            msr::IA32_FIXED_CTR2 => Some(self.fixed[2] & CTR_MASK),
             a if (msr::IA32_PMC0..msr::IA32_PMC0 + 8).contains(&a) => self
                 .prog
                 .get((a - msr::IA32_PMC0) as usize)
-                .map(|c| c.value),
+                .map(|c| c.value & CTR_MASK),
             a if (msr::IA32_PERFEVTSEL0..msr::IA32_PERFEVTSEL0 + 8).contains(&a) => self
                 .prog
                 .get((a - msr::IA32_PERFEVTSEL0) as usize)
@@ -190,23 +215,23 @@ impl Pmu {
             a if (msr::MSR_UNC_CBO_PERFCTR0..msr::MSR_UNC_CBO_PERFCTR0 + 8).contains(&a) => self
                 .uncore
                 .get((a - msr::MSR_UNC_CBO_PERFCTR0) as usize)
-                .copied(),
+                .map(|v| v & CTR_MASK),
             _ => None,
         }
     }
 
     /// `WRMSR` for PMU-owned MSRs; returns `false` if the address is not
-    /// ours.
+    /// ours. Counter MSRs store only their 48 writable bits.
     pub fn wrmsr(&mut self, addr: u32, value: u64) -> bool {
         match addr {
             msr::IA32_APERF => self.aperf = value,
             msr::IA32_MPERF => self.mperf = value,
-            msr::IA32_FIXED_CTR0 => self.fixed[0] = value,
-            msr::IA32_FIXED_CTR1 => self.fixed[1] = value,
-            msr::IA32_FIXED_CTR2 => self.fixed[2] = value,
+            msr::IA32_FIXED_CTR0 => self.fixed[0] = value & CTR_MASK,
+            msr::IA32_FIXED_CTR1 => self.fixed[1] = value & CTR_MASK,
+            msr::IA32_FIXED_CTR2 => self.fixed[2] = value & CTR_MASK,
             a if (msr::IA32_PMC0..msr::IA32_PMC0 + 8).contains(&a) => {
                 if let Some(c) = self.prog.get_mut((a - msr::IA32_PMC0) as usize) {
-                    c.value = value;
+                    c.value = value & CTR_MASK;
                 }
             }
             a if (msr::IA32_PERFEVTSEL0..msr::IA32_PERFEVTSEL0 + 8).contains(&a) => {
@@ -227,7 +252,7 @@ impl Pmu {
                     .uncore
                     .get_mut((a - msr::MSR_UNC_CBO_PERFCTR0) as usize)
                 {
-                    *c = value;
+                    *c = value & CTR_MASK;
                 }
             }
             _ => return false,
@@ -314,6 +339,49 @@ mod tests {
         pmu.sync_cycles(50);
         assert_eq!(pmu.rdmsr(msr::IA32_APERF), Some(50));
         assert_eq!(pmu.rdmsr(msr::IA32_MPERF), Some(44));
+    }
+
+    #[test]
+    fn counters_are_48_bits_and_wrap() {
+        let mut pmu = Pmu::new(2, 1);
+        pmu.configure(0, Some(events::UOPS_ISSUED_ANY));
+
+        // Programmable counter: park it just below 2^48, count past it.
+        assert!(pmu.wrmsr(msr::IA32_PMC0, (1 << 48) - 5));
+        pmu.count(events::UOPS_ISSUED_ANY, 5);
+        assert_eq!(pmu.rdpmc(0), Some(0), "exactly 2^48 wraps to zero");
+        pmu.count(events::UOPS_ISSUED_ANY, 7);
+        assert_eq!(pmu.rdpmc(0), Some(7));
+        assert_eq!(pmu.rdmsr(msr::IA32_PMC0), Some(7));
+
+        // Fixed cycle counter: the same, driven by sync_cycles.
+        assert!(pmu.wrmsr(msr::IA32_FIXED_CTR1, (1 << 48) - 3));
+        pmu.sync_cycles(10);
+        assert_eq!(pmu.rdpmc((1 << 30) | 1), Some(7));
+        assert_eq!(pmu.rdmsr(msr::IA32_FIXED_CTR1), Some(7));
+
+        // Fixed instruction counter past 2^48 via retirement.
+        assert!(pmu.wrmsr(msr::IA32_FIXED_CTR0, (1 << 48) - 1));
+        pmu.retire_instructions(2);
+        assert_eq!(pmu.rdpmc(1 << 30), Some(1));
+
+        // Uncore counter wraps too.
+        assert!(pmu.wrmsr(msr::MSR_UNC_CBO_PERFCTR0, (1 << 48) - 2));
+        pmu.count_uncore(0, 6);
+        assert_eq!(pmu.rdmsr(msr::MSR_UNC_CBO_PERFCTR0), Some(4));
+
+        // Writes themselves only keep the writable 48 bits.
+        assert!(pmu.wrmsr(msr::IA32_PMC0, u64::MAX));
+        assert_eq!(pmu.rdpmc(0), Some((1 << 48) - 1));
+    }
+
+    #[test]
+    fn aperf_is_full_width() {
+        // APERF/MPERF are 64-bit MSRs; they must not be truncated.
+        let mut pmu = Pmu::new(2, 0);
+        assert!(pmu.wrmsr(msr::IA32_APERF, 1 << 60));
+        pmu.sync_cycles(5);
+        assert_eq!(pmu.rdmsr(msr::IA32_APERF), Some((1 << 60) + 5));
     }
 
     #[test]

@@ -90,6 +90,17 @@ pub mod events {
     pub const BR_INST_RETIRED: EventCode = EventCode::new(0xC4, 0x01);
     /// L2 demand request (`L2_RQSTS.REFERENCES`).
     pub const L2_RQSTS_REFERENCES: EventCode = EventCode::new(0x24, 0xFF);
+    /// Retired load whose L3 lookup snoop-hit a clean copy in another
+    /// core's private caches (`MEM_LOAD_L3_HIT_RETIRED.XSNP_HIT`).
+    pub const MEM_LOAD_XSNP_HIT: EventCode = EventCode::new(0xD2, 0x02);
+    /// Retired load whose L3 lookup snoop-hit a *modified* copy in another
+    /// core's private caches (`MEM_LOAD_L3_HIT_RETIRED.XSNP_HITM`) — the
+    /// cross-core forwarding case, the expensive half of false sharing.
+    pub const MEM_LOAD_XSNP_HITM: EventCode = EventCode::new(0xD2, 0x04);
+    /// Demand read-for-ownership sent to the uncore — a store that had to
+    /// invalidate remote copies or upgrade a shared line
+    /// (`OFFCORE_REQUESTS.DEMAND_RFO`).
+    pub const OFFCORE_DEMAND_RFO: EventCode = EventCode::new(0xB0, 0x04);
 }
 
 #[cfg(test)]

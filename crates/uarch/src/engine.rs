@@ -20,7 +20,7 @@ use crate::exec::{self, Next};
 use crate::plan::{DecodedProgram, PlanBody, PlanEntry, StepKind};
 use crate::port::{MicroArch, PortConfig, PortSet};
 use crate::state::CpuState;
-use nanobench_cache::hierarchy::HitLevel;
+use nanobench_cache::hierarchy::{HitLevel, MemAccessResult, SnoopResult};
 use nanobench_pmu::event::events;
 use nanobench_pmu::Pmu;
 use nanobench_x86::inst::{Instruction, Mnemonic};
@@ -64,6 +64,7 @@ pub struct RunStats {
 }
 
 /// Per-run dataflow timing state.
+#[derive(Debug)]
 struct Timing {
     reg: [u64; 16],
     vreg: [u64; 32],
@@ -160,6 +161,44 @@ impl Timing {
             self.alloc_cycle = cycle;
             self.alloc_slots = 0;
         }
+    }
+}
+
+/// The in-flight execution state of one program on one core.
+///
+/// A context is created by [`Engine::begin_plan`], advanced one
+/// instruction at a time by [`Engine::step_plan`], and turned into
+/// [`RunStats`] by [`Engine::finish_plan`]. Keeping it outside the engine
+/// lets a multi-core machine interleave several cores deterministically:
+/// the scheduler steps whichever core's context has the smallest local
+/// cycle. [`Engine::run_plan`] is exactly a loop over these three calls,
+/// so stepped execution is bit-identical to a monolithic run.
+#[derive(Debug)]
+pub struct RunContext {
+    t: Timing,
+    pc: usize,
+    instructions: u64,
+    uops: u64,
+    start_cycle: u64,
+}
+
+impl RunContext {
+    /// The context's current local cycle (the scheduling key for
+    /// round-robin interleaving).
+    pub fn now(&self) -> u64 {
+        self.t.now()
+    }
+
+    /// Instructions retired so far in this run.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Rewinds the program counter so the plan restarts from its first
+    /// instruction; timing and counters carry over. This is how co-runner
+    /// programs loop for as long as the measured core runs.
+    pub fn restart(&mut self) {
+        self.pc = 0;
     }
 }
 
@@ -310,6 +349,98 @@ impl Engine {
         )
     }
 
+    /// Creates a fresh execution context for a run beginning at
+    /// `start_cycle` (pass the previous run's [`RunStats::end_cycle`]).
+    pub fn begin_plan(&self, start_cycle: u64) -> RunContext {
+        RunContext {
+            t: Timing::new(start_cycle, self.uarch.issue_width()),
+            pc: 0,
+            instructions: 0,
+            uops: 0,
+            start_cycle,
+        }
+    }
+
+    /// Advances a context by one instruction. Returns `Ok(true)` if an
+    /// instruction was executed and `Ok(false)` if the program had already
+    /// completed (the context is unchanged in that case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault`] exactly as [`Engine::run_plan`] would at the
+    /// same point in the program.
+    pub fn step_plan(
+        &mut self,
+        ctx: &mut RunContext,
+        plan: &DecodedProgram,
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+    ) -> Result<bool, CpuFault> {
+        debug_assert_eq!(
+            plan.uarch(),
+            self.uarch,
+            "plan decoded for a different microarchitecture"
+        );
+        self.step_decoded(ctx, plan.body(), plan.instructions(), state, pmu, bus)
+    }
+
+    /// Converts a completed (or abandoned) context into [`RunStats`],
+    /// syncing the PMU's cycle counters to the context's end cycle.
+    pub fn finish_plan(&self, ctx: &RunContext, pmu: &mut Pmu) -> RunStats {
+        let end = ctx.t.now();
+        pmu.sync_cycles(end);
+        RunStats {
+            instructions: ctx.instructions,
+            uops: ctx.uops,
+            cycles: end - ctx.start_cycle,
+            end_cycle: end,
+        }
+    }
+
+    fn step_decoded(
+        &mut self,
+        ctx: &mut RunContext,
+        body: &PlanBody,
+        insts: &[Instruction],
+        state: &mut CpuState,
+        pmu: &mut Pmu,
+        bus: &mut dyn Bus,
+    ) -> Result<bool, CpuFault> {
+        if ctx.pc >= insts.len() {
+            return Ok(false);
+        }
+        if ctx.instructions >= self.config.max_instructions {
+            return Err(CpuFault::RunawayExecution);
+        }
+        if let Some(intr) = bus.poll_interrupt(ctx.t.now()) {
+            // The handler runs in the middle of the benchmark: it
+            // consumes cycles, retires instructions, and perturbs the
+            // counters (§IV-A2; the kernel version avoids this).
+            let resume = ctx.t.now() + intr.cycles;
+            ctx.t.alloc_cycle = resume;
+            ctx.t.barrier = resume;
+            ctx.t.complete(resume);
+            pmu.retire_instructions(intr.instructions);
+            pmu.count(events::UOPS_ISSUED_ANY, intr.uops);
+        }
+        let inst = &insts[ctx.pc];
+        let entry = &body.entries[ctx.pc];
+        let next = self.step(body, entry, inst, ctx.pc, &mut ctx.t, state, pmu, bus)?;
+        ctx.instructions += 1;
+        // The magic pause/resume markers are byte sequences consumed by
+        // the tool, not instructions the benchmark retires (§III-I).
+        if entry.retires {
+            pmu.retire_instructions(1);
+        }
+        ctx.uops += 1; // approximate per-instruction accounting for stats
+        ctx.pc = match next {
+            Next::Seq => ctx.pc + 1,
+            Next::Jump(target) => target,
+        };
+        Ok(true)
+    }
+
     fn run_decoded(
         &mut self,
         body: &PlanBody,
@@ -319,49 +450,9 @@ impl Engine {
         bus: &mut dyn Bus,
         start_cycle: u64,
     ) -> Result<RunStats, CpuFault> {
-        let mut t = Timing::new(start_cycle, self.uarch.issue_width());
-        let mut pc = 0usize;
-        let mut instructions = 0u64;
-        let mut uops = 0u64;
-
-        while pc < insts.len() {
-            if instructions >= self.config.max_instructions {
-                return Err(CpuFault::RunawayExecution);
-            }
-            if let Some(intr) = bus.poll_interrupt(t.now()) {
-                // The handler runs in the middle of the benchmark: it
-                // consumes cycles, retires instructions, and perturbs the
-                // counters (§IV-A2; the kernel version avoids this).
-                let resume = t.now() + intr.cycles;
-                t.alloc_cycle = resume;
-                t.barrier = resume;
-                t.complete(resume);
-                pmu.retire_instructions(intr.instructions);
-                pmu.count(events::UOPS_ISSUED_ANY, intr.uops);
-            }
-            let inst = &insts[pc];
-            let entry = &body.entries[pc];
-            let next = self.step(body, entry, inst, pc, &mut t, state, pmu, bus)?;
-            instructions += 1;
-            // The magic pause/resume markers are byte sequences consumed by
-            // the tool, not instructions the benchmark retires (§III-I).
-            if entry.retires {
-                pmu.retire_instructions(1);
-            }
-            uops += 1; // approximate per-instruction accounting for stats
-            pc = match next {
-                Next::Seq => pc + 1,
-                Next::Jump(target) => target,
-            };
-        }
-        let end = t.now();
-        pmu.sync_cycles(end);
-        Ok(RunStats {
-            instructions,
-            uops,
-            cycles: end - start_cycle,
-            end_cycle: end,
-        })
+        let mut ctx = self.begin_plan(start_cycle);
+        while self.step_decoded(&mut ctx, body, insts, state, pmu, bus)? {}
+        Ok(self.finish_plan(&ctx, pmu))
     }
 
     /// AVX warm-up bookkeeping; returns the latency multiplier for this
@@ -420,12 +511,17 @@ impl Engine {
             input_ready = input_ready.max(t.flags);
         }
 
-        // Loads.
+        // Loads. A load that covers an RMW store is the instruction's only
+        // cache access (the store below skips the bus), so it must perform
+        // the write side of the coherence protocol — read-for-ownership —
+        // or read-modify-writes would never invalidate remote copies.
+        let writes = entry.writes.slice(&body.writes);
         let mut load_done = 0u64;
         for mem in entry.reads.slice(&body.reads) {
             let a_ready = addr_ready(t, mem);
             let vaddr = exec::mem_vaddr(state, mem);
-            let done = self.timed_load(t, vaddr, a_ready, pmu, bus)?;
+            let rmw = writes.iter().any(|w| w.covered_by_read && w.mem == *mem);
+            let done = self.timed_load(t, vaddr, a_ready, rmw, pmu, bus)?;
             load_done = load_done.max(done);
         }
         let compute_ready = input_ready.max(load_done);
@@ -451,14 +547,15 @@ impl Engine {
         }
 
         // Stores.
-        for store in entry.writes.slice(&body.writes) {
+        for store in writes {
             let a_ready = addr_ready(t, &store.mem);
             t.dispatch(self.ports.store_addr, a_ready, 1, pmu);
             t.dispatch(self.ports.store_data, result_ready, 1, pmu);
             // RMW accesses already touched the line via the load.
             if !store.covered_by_read {
                 let vaddr = exec::mem_vaddr(state, &store.mem);
-                bus.access(vaddr, true)?;
+                let res = bus.access(vaddr, true)?;
+                Engine::count_store_coherence(pmu, &res);
                 self.drain_uncore(pmu, bus);
             }
         }
@@ -708,13 +805,14 @@ impl Engine {
                 t.dispatch(self.ports.store_data, data_ready, 1, pmu);
                 t.complete(rsp_done);
                 let vaddr = state.gpr(Gpr::Rsp).wrapping_sub(8);
-                bus.access(vaddr, true)?;
+                let res = bus.access(vaddr, true)?;
+                Engine::count_store_coherence(pmu, &res);
                 exec::execute(inst, state, bus)
             }
             Pop => {
                 let rsp_ready = t.reg[Gpr::Rsp.number() as usize];
                 let vaddr = state.gpr(Gpr::Rsp);
-                let load_done = self.timed_load(t, vaddr, rsp_ready, pmu, bus)?;
+                let load_done = self.timed_load(t, vaddr, rsp_ready, false, pmu, bus)?;
                 let rsp_done = t.dispatch(self.ports.alu, rsp_ready, 1, pmu) + 1;
                 t.reg[Gpr::Rsp.number() as usize] = rsp_done;
                 if let Some(Operand::Gpr(g)) = inst.dst() {
@@ -727,15 +825,22 @@ impl Engine {
         }
     }
 
+    /// `is_write` marks the load half of an RMW access: the cache walk
+    /// runs write coherence (RFO) and the RFO is counted here, since the
+    /// covered store never touches the bus.
     fn timed_load(
         &mut self,
         t: &mut Timing,
         vaddr: u64,
         addr_ready: u64,
+        is_write: bool,
         pmu: &mut Pmu,
         bus: &mut dyn Bus,
     ) -> Result<u64, CpuFault> {
-        let res = bus.access(vaddr, false)?;
+        let res = bus.access(vaddr, is_write)?;
+        if is_write {
+            Engine::count_store_coherence(pmu, &res);
+        }
         self.drain_uncore(pmu, bus);
         match res.level {
             HitLevel::L1 => pmu.count(events::MEM_LOAD_L1_HIT, 1),
@@ -757,10 +862,25 @@ impl Engine {
                 pmu.count(events::L2_RQSTS_REFERENCES, 1);
             }
         }
+        match res.snoop {
+            SnoopResult::Miss => {}
+            SnoopResult::Hit => pmu.count(events::MEM_LOAD_XSNP_HIT, 1),
+            SnoopResult::HitM => pmu.count(events::MEM_LOAD_XSNP_HITM, 1),
+        }
         let dispatch = t.dispatch(self.ports.load, addr_ready, 1, pmu);
         let done = dispatch + res.latency;
         t.complete(done);
         Ok(done)
+    }
+
+    /// PMU accounting for a store's coherence side effects: a store whose
+    /// access had to snoop other cores (invalidate their copies or upgrade
+    /// a shared line) is a demand RFO through the uncore. On a 1-core
+    /// machine the snoop is always `Miss` and nothing is counted.
+    fn count_store_coherence(pmu: &mut Pmu, res: &MemAccessResult) {
+        if res.snoop != SnoopResult::Miss || res.invalidated > 0 {
+            pmu.count(events::OFFCORE_DEMAND_RFO, 1);
+        }
     }
 
     fn drain_uncore(&mut self, pmu: &mut Pmu, bus: &mut dyn Bus) {

@@ -664,6 +664,8 @@ mod tests {
                 level: HitLevel::L1,
                 latency: 4,
                 slice: None,
+                snoop: nanobench_cache::hierarchy::SnoopResult::Miss,
+                invalidated: 0,
             })
         }
         fn is_kernel(&self) -> bool {

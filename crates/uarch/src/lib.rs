@@ -28,7 +28,7 @@ pub mod state;
 pub use bpred::BranchPredictor;
 pub use bus::{Bus, CpuFault, InterruptEvent};
 pub use descriptor::{DescriptorTable, InstrDesc, PortClass, UopSpec};
-pub use engine::{Engine, EngineConfig, RunStats};
+pub use engine::{Engine, EngineConfig, RunContext, RunStats};
 pub use plan::DecodedProgram;
 pub use port::{MicroArch, PortConfig, PortSet};
 pub use state::CpuState;

@@ -44,7 +44,7 @@ impl TestBus {
             .find(|c| c.microarch == "Skylake")
             .expect("Skylake preset exists");
         let cfg = cpu.hierarchy_config();
-        let slices = cfg.l3.slices;
+        let slices = cfg.slice_count();
         TestBus {
             mem: HashMap::new(),
             hierarchy: CacheHierarchy::new(&cfg, seed),
@@ -281,6 +281,61 @@ fn corpus_kernel_mode() {
 #[test]
 fn corpus_user_mode_with_interrupts() {
     corpus_equivalence(false);
+}
+
+/// The public stepping API (`begin_plan` / `step_plan` / `finish_plan`)
+/// — what the multi-core scheduler interleaves — is bit-identical to a
+/// monolithic `run_plan`, including the mid-run interrupt injection that
+/// `poll_interrupt` drives off the context's local cycle.
+#[test]
+fn stepped_execution_equals_monolithic_run() {
+    for kernel in [true, false] {
+        let mut mono = Side::new(kernel);
+        let mut stepped = Side::new(kernel);
+        let program = parse_asm(
+            "mov r15, 300; l: add rax, 1; mov [r14+8], rax; \
+             mov rbx, [r14+8]; dec r15; jnz l",
+        )
+        .unwrap();
+        let plan_a = mono.engine.decode(&program);
+        let plan_b = stepped.engine.decode(&program);
+        for _ in 0..2 {
+            let a = mono
+                .engine
+                .run_plan(
+                    &plan_a,
+                    &mut mono.state,
+                    &mut mono.pmu,
+                    &mut mono.bus,
+                    mono.cycle,
+                )
+                .unwrap();
+            let mut ctx = stepped.engine.begin_plan(stepped.cycle);
+            let mut steps = 0u64;
+            while stepped
+                .engine
+                .step_plan(
+                    &mut ctx,
+                    &plan_b,
+                    &mut stepped.state,
+                    &mut stepped.pmu,
+                    &mut stepped.bus,
+                )
+                .unwrap()
+            {
+                steps += 1;
+            }
+            let b = stepped.engine.finish_plan(&ctx, &mut stepped.pmu);
+            assert_eq!(a, b, "kernel={kernel}: RunStats diverged");
+            assert_eq!(steps, a.instructions);
+            assert_eq!(ctx.instructions(), a.instructions);
+            assert_eq!(ctx.now(), a.end_cycle);
+            mono.cycle = a.end_cycle;
+            stepped.cycle = b.end_cycle;
+            assert_eq!(mono.pmu_readings(), stepped.pmu_readings());
+            assert_eq!(mono.arch_state(), stepped.arch_state());
+        }
+    }
 }
 
 /// A single decoded plan replayed across engine resets stays valid: plans
