@@ -47,21 +47,30 @@ fn machine() -> Machine {
     m
 }
 
-/// Measures one path's sustained instructions/second over `reps` full
-/// workload runs.
+/// Measures one path's sustained instructions/second: `reps` full workload
+/// runs per timing window, median over `WINDOWS` windows (one scheduler
+/// hiccup inside a single window would otherwise skew the artifact the CI
+/// perf guard compares against).
+const WINDOWS: usize = 5;
+
 fn rate(m: &mut Machine, program: &[Instruction], reps: usize, plan_path: bool) -> f64 {
     let plan = m.decode(program);
-    let mut instructions = 0u64;
-    let start = Instant::now();
-    for _ in 0..reps {
-        let stats = if plan_path {
-            m.run_plan(&plan).expect("runs")
-        } else {
-            m.run(program).expect("runs")
-        };
-        instructions += stats.instructions;
+    let mut rates = Vec::with_capacity(WINDOWS);
+    for _ in 0..WINDOWS {
+        let mut instructions = 0u64;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let stats = if plan_path {
+                m.run_plan(&plan).expect("runs")
+            } else {
+                m.run(program).expect("runs")
+            };
+            instructions += stats.instructions;
+        }
+        rates.push(instructions as f64 / start.elapsed().as_secs_f64());
     }
-    instructions as f64 / start.elapsed().as_secs_f64()
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[WINDOWS / 2]
 }
 
 fn bench_engine(c: &mut Criterion) {

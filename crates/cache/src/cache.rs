@@ -93,9 +93,19 @@ struct CacheSet {
     policy: Box<dyn SetPolicy>,
 }
 
+/// Upper bound on associativity, so occupancy snapshots fit in a stack
+/// buffer — the access path must not heap-allocate (it runs once per
+/// simulated load/store).
+pub const MAX_ASSOC: usize = 64;
+
 impl CacheSet {
-    fn occupied(&self) -> Vec<bool> {
-        self.tags.iter().map(Option::is_some).collect()
+    /// Writes the per-way occupancy into `buf` and returns the filled
+    /// prefix (`..assoc`).
+    fn occupied<'a>(&self, buf: &'a mut [bool; MAX_ASSOC]) -> &'a [bool] {
+        for (b, t) in buf.iter_mut().zip(&self.tags) {
+            *b = t.is_some();
+        }
+        &buf[..self.tags.len()]
     }
 }
 
@@ -173,6 +183,10 @@ impl SetPolicy for LeaderPolicy {
         self.inner.on_hit(way, occupied);
     }
 
+    fn wants_occupied_on_hit(&self) -> bool {
+        self.inner.wants_occupied_on_hit()
+    }
+
     fn on_miss(&mut self, occupied: &[bool]) -> usize {
         if self.is_a {
             self.psel.miss_in_a();
@@ -241,6 +255,11 @@ impl SetPolicy for FollowerPolicy {
         self.active().on_hit(way, occupied);
     }
 
+    fn wants_occupied_on_hit(&self) -> bool {
+        // Either inner policy may be active when the hit lands.
+        self.a.wants_occupied_on_hit() || self.b.wants_occupied_on_hit()
+    }
+
     fn on_miss(&mut self, occupied: &[bool]) -> usize {
         self.active().on_miss(occupied)
     }
@@ -301,6 +320,7 @@ impl Cache {
             "set count must be a power of two"
         );
         assert!(assoc > 0);
+        assert!(assoc <= MAX_ASSOC, "associativity above {MAX_ASSOC}");
         let sets = (0..num_sets)
             .map(|s| CacheSet {
                 tags: vec![None; assoc],
@@ -345,9 +365,14 @@ impl Cache {
         let block = paddr / LINE_SIZE;
         let idx = self.set_index(paddr);
         let set = &mut self.sets[idx];
-        let occupied = set.occupied();
         if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
-            set.policy.on_hit(way, &occupied);
+            if set.policy.wants_occupied_on_hit() {
+                let mut occ = [false; MAX_ASSOC];
+                let occupied = set.occupied(&mut occ);
+                set.policy.on_hit(way, occupied);
+            } else {
+                set.policy.on_hit(way, &[]);
+            }
             self.stats.hits += 1;
             true
         } else {
@@ -375,8 +400,9 @@ impl Cache {
             set.states[way] = state; // already present (e.g. racing prefetch)
             return None;
         }
-        let occupied = set.occupied();
-        let way = set.policy.on_miss(&occupied);
+        let mut occ = [false; MAX_ASSOC];
+        let occupied = set.occupied(&mut occ);
+        let way = set.policy.on_miss(occupied);
         let evicted = set.tags[way].take();
         set.tags[way] = Some(block);
         set.states[way] = state;
@@ -484,6 +510,28 @@ mod tests {
             },
             0,
         )
+    }
+
+    #[test]
+    fn dueling_wrappers_forward_wants_occupied_on_hit() {
+        // Regression: the set-dueling wrappers must forward the hit-path
+        // occupancy requirement, or a wrapped non-UMO QLRU silently sees
+        // an empty occupancy slice on hits (observable as wrong Table I
+        // inference on the adaptive-L3 parts).
+        let qlru = crate::policy::QlruVariant::parse("QLRU_H11_M1_R1_U2").unwrap();
+        let kind = PolicyKind::Qlru(qlru);
+        let psel = PselCounter::new();
+        let leader = LeaderPolicy::new(kind.instantiate(4, 0), psel.clone(), true);
+        assert!(leader.wants_occupied_on_hit());
+        let follower = FollowerPolicy::new(
+            kind.instantiate(4, 0),
+            PolicyKind::Lru.instantiate(4, 0),
+            psel,
+        );
+        assert!(follower.wants_occupied_on_hit());
+        let lru_leader =
+            LeaderPolicy::new(PolicyKind::Lru.instantiate(4, 0), PselCounter::new(), true);
+        assert!(!lru_leader.wants_occupied_on_hit());
     }
 
     #[test]

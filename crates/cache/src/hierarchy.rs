@@ -208,7 +208,11 @@ impl PrivateCaches {
     /// The strongest MESI state this core holds the line in (its L1 and
     /// L2 copies normally agree; prefetch fills may leave only one level).
     fn state_of(&self, paddr: u64) -> LineState {
-        self.l1.state_of(paddr).max(self.l2.state_of(paddr))
+        let l1 = self.l1.state_of(paddr);
+        if l1 == LineState::Modified {
+            return l1; // already the strongest state; skip the L2 scan
+        }
+        l1.max(self.l2.state_of(paddr))
     }
 
     fn set_state(&mut self, paddr: u64, state: LineState) {
@@ -233,6 +237,9 @@ pub struct CacheHierarchy {
     hash: SliceHash,
     psel: Arc<PselCounter>,
     uncore_lookups: Vec<u64>,
+    /// Sum of `uncore_lookups`, maintained incrementally so per-access
+    /// drain polling can early-out without touching the per-slice counts.
+    uncore_total: u64,
     /// Per-slice snoops that found a copy in another core (HIT or HITM).
     snoop_hits: Vec<u64>,
     /// Total cross-core invalidations (remote copies killed by stores).
@@ -322,6 +329,7 @@ impl CacheHierarchy {
             hash: SliceHash::new(slices).expect("L3 slice count validated by the preset"),
             psel,
             uncore_lookups: vec![0; slices],
+            uncore_total: 0,
             snoop_hits: vec![0; slices],
             invalidations: 0,
             config: config.clone(),
@@ -362,6 +370,31 @@ impl CacheHierarchy {
     pub fn access_from(&mut self, core: usize, paddr: u64, is_write: bool) -> MemAccessResult {
         let lat = self.config.latencies;
         let l1_hit = self.cores[core].l1.access(paddr);
+        if l1_hit && !is_write {
+            // Read hit: the DCU prefetcher ignores hits, reads trigger no
+            // coherence transition, and no prefetch was generated — the
+            // general path below is a provable no-op beyond this result.
+            return MemAccessResult {
+                level: HitLevel::L1,
+                latency: lat.l1,
+                slice: None,
+                snoop: SnoopResult::Miss,
+                invalidated: 0,
+            };
+        }
+        if l1_hit && self.cores[core].l1.state_of(paddr) == LineState::Modified {
+            // Write hit on an already-Modified line (reads returned above):
+            // no upgrade, no snoop, no prefetch (the DCU prefetcher ignores
+            // hits) — the general path below is a provable no-op beyond
+            // this result.
+            return MemAccessResult {
+                level: HitLevel::L1,
+                latency: lat.l1,
+                slice: None,
+                snoop: SnoopResult::Miss,
+                invalidated: 0,
+            };
+        }
         let l1_pref = self.cores[core]
             .prefetchers
             .observe_l1_access(paddr, l1_hit);
@@ -395,6 +428,7 @@ impl CacheHierarchy {
         }
         let slice = self.hash.slice_of(paddr);
         self.uncore_lookups[slice] += 1;
+        self.uncore_total += 1;
         let l3_hit = self.l3[slice].access(paddr);
         if l3_hit {
             // The L3 is inclusive, so remote copies can exist only here.
@@ -460,6 +494,7 @@ impl CacheHierarchy {
                 // no other core still holds a copy.
                 let slice = self.hash.slice_of(paddr);
                 self.uncore_lookups[slice] += 1;
+                self.uncore_total += 1;
                 let (snoop, invalidated) = self.snoop_remote(core, paddr, true, slice);
                 self.cores[core].set_state(paddr, LineState::Modified);
                 (self.config.latencies.l3, snoop, invalidated)
@@ -546,6 +581,7 @@ impl CacheHierarchy {
                 let slice = self.hash.slice_of(paddr);
                 if !self.l3[slice].probe(paddr) {
                     self.uncore_lookups[slice] += 1;
+                    self.uncore_total += 1;
                     self.fill_l3(paddr);
                 }
                 self.cores[core].l2.fill(paddr);
@@ -560,6 +596,7 @@ impl CacheHierarchy {
                     let slice = self.hash.slice_of(paddr);
                     if !self.l3[slice].probe(paddr) {
                         self.uncore_lookups[slice] += 1;
+                        self.uncore_total += 1;
                         self.fill_l3(paddr);
                     }
                     self.cores[core].l2.fill(paddr);
@@ -638,6 +675,13 @@ impl CacheHierarchy {
         &self.uncore_lookups
     }
 
+    /// Total C-Box lookups across all slices. Monotonic between stat
+    /// resets; cheap to poll, so per-access drains can skip reading the
+    /// per-slice counts when nothing new happened.
+    pub fn uncore_total(&self) -> u64 {
+        self.uncore_total
+    }
+
     /// Per-slice snoops that found the line in another core's private
     /// caches (clean or modified).
     pub fn snoop_hits(&self) -> &[u64] {
@@ -701,6 +745,7 @@ impl CacheHierarchy {
         }
         self.psel.reset();
         self.uncore_lookups.fill(0);
+        self.uncore_total = 0;
         self.snoop_hits.fill(0);
         self.invalidations = 0;
     }
@@ -715,6 +760,7 @@ impl CacheHierarchy {
             slice.reset_stats();
         }
         self.uncore_lookups.fill(0);
+        self.uncore_total = 0;
         self.snoop_hits.fill(0);
         self.invalidations = 0;
     }

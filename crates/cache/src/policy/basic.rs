@@ -133,9 +133,11 @@ impl SetPolicy for Fifo {
 #[derive(Debug, Clone)]
 pub struct Plru {
     assoc: usize,
-    /// Heap-layout tree bits; `tree[1]` is the root, node `i` has children
-    /// `2i` and `2i+1`. Bit value 0 points left, 1 points right.
-    tree: Vec<bool>,
+    /// Heap-layout tree bits packed into a word: bit 1 is the root, node
+    /// `i` has children `2i` and `2i+1`. Bit value 0 points left, 1 points
+    /// right. Associativity is capped at 64 ways, so the tree's `assoc`
+    /// nodes always fit.
+    tree: u64,
 }
 
 impl Plru {
@@ -145,10 +147,8 @@ impl Plru {
             assoc.is_power_of_two(),
             "PLRU requires a power-of-two associativity, got {assoc}"
         );
-        Plru {
-            assoc,
-            tree: vec![false; assoc],
-        }
+        assert!(assoc <= 64, "PLRU supports at most 64 ways, got {assoc}");
+        Plru { assoc, tree: 0 }
     }
 
     fn promote(&mut self, way: usize) {
@@ -159,11 +159,11 @@ impl Plru {
             let mid = (lo + hi) / 2;
             if way < mid {
                 // Accessed the left half: point the bit right (away).
-                self.tree[node] = true;
+                self.tree |= 1 << node;
                 node *= 2;
                 hi = mid;
             } else {
-                self.tree[node] = false;
+                self.tree &= !(1 << node);
                 node = 2 * node + 1;
                 lo = mid;
             }
@@ -176,7 +176,7 @@ impl Plru {
         let mut hi = self.assoc;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            if self.tree[node] {
+            if self.tree & (1 << node) != 0 {
                 node = 2 * node + 1;
                 lo = mid;
             } else {
@@ -205,11 +205,11 @@ impl SetPolicy for Plru {
     fn on_invalidate(&mut self, _way: usize) {}
 
     fn on_flush(&mut self) {
-        self.tree.fill(false);
+        self.tree = 0;
     }
 
     fn reset(&mut self, _seed: u64) {
-        self.tree.fill(false);
+        self.tree = 0;
     }
 
     fn box_clone(&self) -> Box<dyn SetPolicy> {

@@ -35,7 +35,18 @@ pub trait SetPolicy: fmt::Debug + Send {
     /// Called when an access hits the block at `way`.
     ///
     /// `occupied[w]` indicates which ways currently hold valid lines.
+    /// The slice is only guaranteed to be populated when
+    /// [`SetPolicy::wants_occupied_on_hit`] returns `true`; policies that
+    /// ignore it on hits let the cache skip the occupancy scan entirely.
     fn on_hit(&mut self, way: usize, occupied: &[bool]);
+
+    /// Whether [`SetPolicy::on_hit`] reads `occupied`. Defaults to `false`
+    /// so the cache's hit fast path avoids building the occupancy vector;
+    /// policies whose hit transition depends on it (e.g. QLRU update
+    /// heuristics) must override this.
+    fn wants_occupied_on_hit(&self) -> bool {
+        false
+    }
 
     /// Called on a miss; returns the way where the new block is placed
     /// (evicting any valid line there) and updates internal state as if the
@@ -145,18 +156,60 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates per-set state for a set with `assoc` ways.
+    /// Checks that this policy can manage a set with `assoc` ways.
+    ///
+    /// This is the fallible counterpart of the constraints
+    /// [`PolicyKind::instantiate`] enforces by panicking; configuration
+    /// code that handles user-supplied policies should call this (or
+    /// [`PolicyKind::try_instantiate`]) so a bad policy/associativity
+    /// combination surfaces as an error instead of aborting a worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint: zero
+    /// associativity, PLRU with a non-power-of-two or >64-way set, or an
+    /// inconsistent permutation specification.
+    pub fn validate(&self, assoc: usize) -> Result<(), String> {
+        if assoc == 0 {
+            return Err("associativity must be positive".to_string());
+        }
+        match self {
+            PolicyKind::Plru => {
+                if !assoc.is_power_of_two() {
+                    return Err(format!(
+                        "PLRU requires a power-of-two associativity, got {assoc}"
+                    ));
+                }
+                if assoc > 64 {
+                    return Err(format!("PLRU supports at most 64 ways, got {assoc}"));
+                }
+            }
+            PolicyKind::Permutation(spec) => {
+                spec.validate()?;
+                if spec.assoc() != assoc {
+                    return Err(format!(
+                        "permutation spec is for {} ways, set has {assoc}",
+                        spec.assoc()
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Instantiates per-set state for a set with `assoc` ways, validating
+    /// the policy/associativity combination first.
     ///
     /// `seed` provides determinism for probabilistic policies; derive it
     /// from (cache seed, set index) so different sets draw independently.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `assoc` is 0, or if the policy is PLRU and `assoc` is not
-    /// a power of two.
-    pub fn instantiate(&self, assoc: usize, seed: u64) -> Box<dyn SetPolicy> {
-        assert!(assoc > 0, "associativity must be positive");
-        match self {
+    /// Returns the error of [`PolicyKind::validate`].
+    pub fn try_instantiate(&self, assoc: usize, seed: u64) -> Result<Box<dyn SetPolicy>, String> {
+        self.validate(assoc)?;
+        Ok(match self {
             PolicyKind::Lru => Box::new(Lru::new(assoc)),
             PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
             PolicyKind::Plru => Box::new(Plru::new(assoc)),
@@ -166,8 +219,27 @@ impl PolicyKind {
             PolicyKind::Qlru(v) => {
                 Box::new(QlruPolicy::new(assoc, *v, SmallRng::seed_from_u64(seed)))
             }
-            PolicyKind::Permutation(spec) => Box::new(PermutationPolicy::new(spec.clone())),
+            PolicyKind::Permutation(spec) => Box::new(PermutationPolicy::try_new(spec.clone())?),
             PolicyKind::Random => Box::new(RandomPolicy::new(assoc, SmallRng::seed_from_u64(seed))),
+        })
+    }
+
+    /// Instantiates per-set state for a set with `assoc` ways.
+    ///
+    /// `seed` provides determinism for probabilistic policies; derive it
+    /// from (cache seed, set index) so different sets draw independently.
+    /// Use [`PolicyKind::try_instantiate`] where the policy comes from
+    /// user input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PolicyKind::validate`] rejects the combination (e.g.
+    /// `assoc` is 0, or the policy is PLRU and `assoc` is not a power of
+    /// two).
+    pub fn instantiate(&self, assoc: usize, seed: u64) -> Box<dyn SetPolicy> {
+        match self.try_instantiate(assoc, seed) {
+            Ok(policy) => policy,
+            Err(e) => panic!("cannot instantiate policy {}: {e}", self.name()),
         }
     }
 }
@@ -212,6 +284,18 @@ impl SetSim {
             tags: vec![None; assoc],
             policy: kind.instantiate(assoc, seed),
         }
+    }
+
+    /// Fallible counterpart of [`SetSim::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of [`PolicyKind::validate`].
+    pub fn try_new(kind: &PolicyKind, assoc: usize, seed: u64) -> Result<SetSim, String> {
+        Ok(SetSim {
+            tags: vec![None; assoc],
+            policy: kind.try_instantiate(assoc, seed)?,
+        })
     }
 
     /// Accesses `block`; returns `true` on a hit.
@@ -271,6 +355,27 @@ mod tests {
             let kind = PolicyKind::Qlru(v);
             assert_eq!(PolicyKind::parse(&kind.name()).unwrap(), kind, "{}", kind);
         }
+    }
+
+    #[test]
+    fn validate_rejects_bad_combinations() {
+        assert!(PolicyKind::Lru.validate(0).is_err());
+        assert!(PolicyKind::Plru.validate(12).is_err());
+        assert!(PolicyKind::Plru.validate(128).is_err());
+        assert!(PolicyKind::Plru.validate(16).is_ok());
+        let mut spec = lru_spec(4);
+        assert!(PolicyKind::Permutation(spec.clone()).validate(8).is_err());
+        assert!(PolicyKind::Permutation(spec.clone()).validate(4).is_ok());
+        spec.miss = vec![0, 0, 1, 2];
+        assert!(PolicyKind::Permutation(spec).validate(4).is_err());
+    }
+
+    #[test]
+    fn try_instantiate_errors_instead_of_panicking() {
+        assert!(PolicyKind::Plru.try_instantiate(12, 0).is_err());
+        assert!(SetSim::try_new(&PolicyKind::Plru, 12, 0).is_err());
+        let sim = SetSim::try_new(&PolicyKind::Plru, 8, 0);
+        assert!(sim.is_ok());
     }
 
     #[test]

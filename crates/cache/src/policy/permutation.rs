@@ -223,11 +223,24 @@ impl PermutationPolicy {
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails [`PermutationSpec::validate`].
+    /// Panics if the spec fails [`PermutationSpec::validate`]; use
+    /// [`PermutationPolicy::try_new`] for specs from user input.
     pub fn new(spec: PermutationSpec) -> PermutationPolicy {
-        spec.validate().expect("invalid permutation spec");
+        match PermutationPolicy::try_new(spec) {
+            Ok(policy) => policy,
+            Err(e) => panic!("invalid permutation spec: {e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`PermutationPolicy::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of [`PermutationSpec::validate`].
+    pub fn try_new(spec: PermutationSpec) -> Result<PermutationPolicy, String> {
+        spec.validate()?;
         let order = spec.initial_order.clone();
-        PermutationPolicy { spec, order }
+        Ok(PermutationPolicy { spec, order })
     }
 
     fn apply(&mut self, perm_idx: PermChoice) {

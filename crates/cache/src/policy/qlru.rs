@@ -330,6 +330,11 @@ impl SetPolicy for QlruPolicy {
         }
     }
 
+    fn wants_occupied_on_hit(&self) -> bool {
+        // UMO variants only run the update heuristic on misses.
+        !self.variant.umo
+    }
+
     fn on_miss(&mut self, occupied: &[bool]) -> usize {
         // UMO: the no-age-3 check happens on the miss, before victim
         // selection. The "accessed" block for U1/U3 does not exist yet; the

@@ -9,12 +9,65 @@
 
 use crate::cache::CacheConfig;
 use crate::hierarchy::{HierarchyConfig, L3Config, L3PolicyConfig, Latencies, SliceLeaders};
-use crate::policy::{PolicyKind, QlruVariant};
+use crate::policy::{HitFunc, InsertAge, PolicyKind, QlruVariant, RVariant, UVariant};
 
 /// KB shorthand.
 const KB: u64 = 1024;
 /// MB shorthand.
 const MB: u64 = 1024 * 1024;
+
+/// Builds a deterministic-insertion QLRU variant (`QLRU_Hxy_Mz_Rr_Uu`).
+///
+/// The presets construct their ground-truth policies as constants instead
+/// of parsing name strings, so a typo in a preset cannot panic when the
+/// hierarchy is built; `preset_qlru_constants_match_their_paper_names`
+/// pins each constant to the paper's name.
+const fn qlru_fixed(
+    from3: u8,
+    from2: u8,
+    insert: u8,
+    replace: RVariant,
+    update: UVariant,
+) -> QlruVariant {
+    QlruVariant {
+        hit: HitFunc { from3, from2 },
+        insert: InsertAge::Fixed(insert),
+        replace,
+        update,
+        umo: false,
+    }
+}
+
+/// Builds a probabilistic-insertion QLRU variant (`QLRU_Hxy_MRpz_Rr_Uu`).
+const fn qlru_prob(
+    from3: u8,
+    from2: u8,
+    p: u32,
+    age: u8,
+    replace: RVariant,
+    update: UVariant,
+) -> QlruVariant {
+    QlruVariant {
+        hit: HitFunc { from3, from2 },
+        insert: InsertAge::Probabilistic { p, age },
+        replace,
+        update,
+        umo: false,
+    }
+}
+
+/// `QLRU_H11_M1_R1_U2` (Ivy Bridge L3 leader A).
+const QLRU_H11_M1_R1_U2: QlruVariant = qlru_fixed(1, 1, 1, RVariant::R1, UVariant::U2);
+/// `QLRU_H11_MR161_R1_U2` (Ivy Bridge L3 leader B).
+const QLRU_H11_MR161_R1_U2: QlruVariant = qlru_prob(1, 1, 16, 1, RVariant::R1, UVariant::U2);
+/// `QLRU_H11_M1_R0_U0` (Haswell+ L3 leader A / Skylake+ uniform L3).
+const QLRU_H11_M1_R0_U0: QlruVariant = qlru_fixed(1, 1, 1, RVariant::R0, UVariant::U0);
+/// `QLRU_H11_MR161_R0_U0` (Haswell/Broadwell L3 leader B).
+const QLRU_H11_MR161_R0_U0: QlruVariant = qlru_prob(1, 1, 16, 1, RVariant::R0, UVariant::U0);
+/// `QLRU_H00_M1_R2_U1` (Skylake/Kaby/Coffee Lake L2).
+const QLRU_H00_M1_R2_U1: QlruVariant = qlru_fixed(0, 0, 1, RVariant::R2, UVariant::U1);
+/// `QLRU_H00_M1_R0_U1` (Cannon Lake L2).
+const QLRU_H00_M1_R0_U1: QlruVariant = qlru_fixed(0, 0, 1, RVariant::R0, UVariant::U1);
 
 /// A CPU model from Table I.
 #[derive(Debug, Clone)]
@@ -45,10 +98,6 @@ pub struct CpuSpec {
     pub l3_slices: usize,
     /// L3 policy configuration (ground truth).
     pub l3_policy: L3PolicyConfig,
-}
-
-fn qlru(name: &str) -> PolicyKind {
-    PolicyKind::Qlru(QlruVariant::parse(name).expect("preset QLRU name is valid"))
 }
 
 /// The leader-set ranges reported in §VI-D: sets 512–575 and 768–831.
@@ -180,8 +229,8 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l3_slices: 4,
             // §VI-D: leader sets 512-575 / 768-831 in ALL slices.
             l3_policy: L3PolicyConfig::Adaptive {
-                policy_a: qlru("QLRU_H11_M1_R1_U2"),
-                policy_b: qlru("QLRU_H11_MR161_R1_U2"),
+                policy_a: PolicyKind::Qlru(QLRU_H11_M1_R1_U2),
+                policy_b: PolicyKind::Qlru(QLRU_H11_MR161_R1_U2),
                 leaders: vec![leader_ranges(); 4],
             },
         },
@@ -200,8 +249,8 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l3_slices: 4,
             // §VI-D: leader sets only in slice 0.
             l3_policy: L3PolicyConfig::Adaptive {
-                policy_a: qlru("QLRU_H11_M1_R0_U0"),
-                policy_b: qlru("QLRU_H11_MR161_R0_U0"),
+                policy_a: PolicyKind::Qlru(QLRU_H11_M1_R0_U0),
+                policy_b: PolicyKind::Qlru(QLRU_H11_MR161_R0_U0),
                 leaders: vec![
                     leader_ranges(),
                     SliceLeaders::default(),
@@ -226,8 +275,8 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             // §VI-D: policy A in sets 512-575 of slice 0 and 768-831 of
             // slice 1; policy B in the other two ranges.
             l3_policy: L3PolicyConfig::Adaptive {
-                policy_a: qlru("QLRU_H11_M1_R0_U0"),
-                policy_b: qlru("QLRU_H11_MR161_R0_U0"),
+                policy_a: PolicyKind::Qlru(QLRU_H11_M1_R0_U0),
+                policy_b: PolicyKind::Qlru(QLRU_H11_MR161_R0_U0),
                 leaders: vec![leader_ranges(), leader_ranges_swapped()],
             },
         },
@@ -240,11 +289,11 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l1_policy: plru.clone(),
             l2_size: 256 * KB,
             l2_assoc: 4,
-            l2_policy: qlru("QLRU_H00_M1_R2_U1"),
+            l2_policy: PolicyKind::Qlru(QLRU_H00_M1_R2_U1),
             l3_size: 4 * MB,
             l3_assoc: 16,
             l3_slices: 2,
-            l3_policy: L3PolicyConfig::Uniform(qlru("QLRU_H11_M1_R0_U0")),
+            l3_policy: L3PolicyConfig::Uniform(PolicyKind::Qlru(QLRU_H11_M1_R0_U0)),
         },
         CpuSpec {
             model: "Core i7-7700",
@@ -255,11 +304,11 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l1_policy: plru.clone(),
             l2_size: 256 * KB,
             l2_assoc: 4,
-            l2_policy: qlru("QLRU_H00_M1_R2_U1"),
+            l2_policy: PolicyKind::Qlru(QLRU_H00_M1_R2_U1),
             l3_size: 8 * MB,
             l3_assoc: 16,
             l3_slices: 4,
-            l3_policy: L3PolicyConfig::Uniform(qlru("QLRU_H11_M1_R0_U0")),
+            l3_policy: L3PolicyConfig::Uniform(PolicyKind::Qlru(QLRU_H11_M1_R0_U0)),
         },
         CpuSpec {
             model: "Core i7-8700K",
@@ -270,7 +319,7 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l1_policy: plru.clone(),
             l2_size: 256 * KB,
             l2_assoc: 4,
-            l2_policy: qlru("QLRU_H00_M1_R2_U1"),
+            l2_policy: PolicyKind::Qlru(QLRU_H00_M1_R2_U1),
             l3_size: 8 * MB,
             l3_assoc: 16,
             // The i7-8700K has six C-Boxes. The slice hash can model six
@@ -279,7 +328,7 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             // 8 MB / 6 slices is not — so we keep four slices here (see
             // DESIGN.md §5).
             l3_slices: 4,
-            l3_policy: L3PolicyConfig::Uniform(qlru("QLRU_H11_M1_R0_U0")),
+            l3_policy: L3PolicyConfig::Uniform(PolicyKind::Qlru(QLRU_H11_M1_R0_U0)),
         },
         CpuSpec {
             model: "Core i3-8121U",
@@ -290,11 +339,11 @@ pub fn table1_cpus() -> Vec<CpuSpec> {
             l1_policy: plru,
             l2_size: 256 * KB,
             l2_assoc: 4,
-            l2_policy: qlru("QLRU_H00_M1_R0_U1"),
+            l2_policy: PolicyKind::Qlru(QLRU_H00_M1_R0_U1),
             l3_size: 4 * MB,
             l3_assoc: 16,
             l3_slices: 2,
-            l3_policy: L3PolicyConfig::Uniform(qlru("QLRU_H11_M1_R0_U0")),
+            l3_policy: L3PolicyConfig::Uniform(PolicyKind::Qlru(QLRU_H11_M1_R0_U0)),
         },
     ]
 }
@@ -309,6 +358,21 @@ pub fn cpu_by_microarch(name: &str) -> Option<CpuSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn preset_qlru_constants_match_their_paper_names() {
+        for (variant, name) in [
+            (QLRU_H11_M1_R1_U2, "QLRU_H11_M1_R1_U2"),
+            (QLRU_H11_MR161_R1_U2, "QLRU_H11_MR161_R1_U2"),
+            (QLRU_H11_M1_R0_U0, "QLRU_H11_M1_R0_U0"),
+            (QLRU_H11_MR161_R0_U0, "QLRU_H11_MR161_R0_U0"),
+            (QLRU_H00_M1_R2_U1, "QLRU_H00_M1_R2_U1"),
+            (QLRU_H00_M1_R0_U1, "QLRU_H00_M1_R0_U1"),
+        ] {
+            assert_eq!(variant.name(), name);
+            assert_eq!(QlruVariant::parse(name).unwrap(), variant);
+        }
+    }
 
     #[test]
     fn ten_rows_like_table1() {

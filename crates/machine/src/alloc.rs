@@ -142,23 +142,22 @@ impl KernelAllocator {
             return self.kmalloc(size);
         }
         let chunk = KMALLOC_MAX;
-        let mut run_start = None::<u64>;
+        // (run_start, run_len) describe the current adjacent run; an empty
+        // run is `run_len == 0`, so no `Option` (and no unwrap) is needed.
+        let mut run_start = 0u64;
         let mut run_len = 0u64;
         let mut best = 0u64;
         for _ in 0..max_attempts {
             let addr = self.kmalloc(chunk)?;
-            match run_start {
-                Some(start) if addr == start + run_len => {
-                    run_len += chunk;
-                }
-                _ => {
-                    run_start = Some(addr);
-                    run_len = chunk;
-                }
+            if run_len > 0 && addr == run_start + run_len {
+                run_len += chunk;
+            } else {
+                run_start = addr;
+                run_len = chunk;
             }
             best = best.max(run_len);
             if run_len >= size {
-                return Ok(run_start.expect("run just extended"));
+                return Ok(run_start);
             }
         }
         Err(AllocError::Fragmented {

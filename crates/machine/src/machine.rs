@@ -9,7 +9,7 @@
 //! shared L3 through the MESI coherence layer of `nanobench-cache`.
 
 use crate::alloc::{AllocError, KernelAllocator};
-use crate::phys::{PhysMem, PAGE_SIZE};
+use crate::phys::{IntMap, PhysMem, PAGE_SIZE};
 use nanobench_cache::hierarchy::{CacheHierarchy, HierarchyConfig, MemAccessResult};
 use nanobench_cache::presets::{table1_cpus, CpuSpec};
 use nanobench_pmu::Pmu;
@@ -21,7 +21,6 @@ use nanobench_uarch::state::CpuState;
 use nanobench_x86::inst::Instruction;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Execution mode of the machine (§III-D: nanoBench has a user-space and a
 /// kernel-space version).
@@ -48,7 +47,7 @@ pub struct Env {
     phys: PhysMem,
     hierarchy: CacheHierarchy,
     alloc: KernelAllocator,
-    user_map: HashMap<u64, u64>,
+    user_map: IntMap<u64>,
     /// Interrupt-arrival randomness. Kept separate from `alloc_rng` so a
     /// reset can rewind the interrupt stream while page mappings persist.
     rng: SmallRng,
@@ -62,6 +61,10 @@ pub struct Env {
     /// Per-core snapshot of the C-Box lookup counters at that core's last
     /// drain (each core's PMU sees the deltas since *its* last read).
     uncore_seen: Vec<Vec<u64>>,
+    /// Per-core snapshot of the lookup total at the last drain; lets the
+    /// per-access drain poll return without touching the per-slice counts
+    /// when no uncore traffic happened (the common L1-hit case).
+    uncore_seen_total: Vec<u64>,
 }
 
 impl Env {
@@ -173,6 +176,11 @@ impl Bus for Env {
     }
 
     fn drain_uncore_lookups(&mut self, out: &mut Vec<u64>) {
+        let total = self.hierarchy.uncore_total();
+        if self.uncore_seen_total[self.current_core] == total {
+            return; // nothing new: every delta is zero
+        }
+        self.uncore_seen_total[self.current_core] = total;
         let current = self.hierarchy.uncore_lookups();
         let seen = &mut self.uncore_seen[self.current_core];
         out.extend(current.iter().zip(seen.iter()).map(|(c, s)| c - s));
@@ -283,7 +291,7 @@ impl Machine {
                 phys: PhysMem::new(),
                 hierarchy: CacheHierarchy::new_multi(cfg, seed, n_cores),
                 alloc: KernelAllocator::new(seed ^ 0xA),
-                user_map: HashMap::new(),
+                user_map: IntMap::default(),
                 rng: SmallRng::seed_from_u64(seed ^ 0x1),
                 alloc_rng: SmallRng::seed_from_u64(seed ^ 0x3),
                 interrupts_enabled: mode == Mode::User,
@@ -291,6 +299,7 @@ impl Machine {
                 next_interrupt: INTERRUPT_MEAN,
                 current_core: 0,
                 uncore_seen: vec![vec![0; slices]; n_cores],
+                uncore_seen_total: vec![0; n_cores],
             },
             uarch,
             cpu,
@@ -346,6 +355,7 @@ impl Machine {
         for seen in &mut env.uncore_seen {
             seen.fill(0);
         }
+        env.uncore_seen_total.fill(0);
         for &(base_page, pages) in &self.user_region_log {
             for i in 0..pages {
                 let frame = env.alloc_rng.gen_range(0x1000u64..0x80000);
@@ -454,7 +464,14 @@ impl Machine {
         let mut ctxs: Vec<RunContext> = self
             .cores
             .iter()
-            .map(|c| c.engine.begin_plan(c.cycle.max(start)))
+            .map(|c| {
+                let mut ctx = c.engine.begin_plan(c.cycle.max(start));
+                // The round-robin scheduler contends cores instruction by
+                // instruction; a fused burst would bypass that interleaving
+                // and weaken coherence interference.
+                ctx.disable_fusion();
+                ctx
+            })
             .collect();
 
         let result = loop {
@@ -492,7 +509,7 @@ impl Machine {
         result?;
 
         let mut stats0 = None;
-        for (i, (core, ctx)) in self.cores.iter_mut().zip(&ctxs).enumerate() {
+        for (i, (core, ctx)) in self.cores.iter_mut().zip(ctxs.iter_mut()).enumerate() {
             let stats = core.engine.finish_plan(ctx, &mut core.pmu);
             core.cycle = stats.end_cycle;
             if i == 0 {

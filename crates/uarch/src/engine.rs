@@ -9,15 +9,23 @@
 //!
 //! The interpreter runs over a [`DecodedProgram`] (see [`crate::plan`]):
 //! all per-instruction analysis — descriptor lookups, port-class
-//! resolution, memory-operand classification, dependency extraction — is
-//! hoisted into a one-shot decode pass, so the steady-state loop performs
-//! zero heap allocations. [`Engine::run`] keeps the legacy
-//! instruction-slice signature by building a transient plan.
+//! resolution, memory-operand classification, dependency extraction,
+//! *and* step-kind dispatch — is hoisted into a one-shot decode pass. The
+//! steady-state loop is an indirect call through a per-bus-type dispatch
+//! table ([`Handlers`]) indexed by the plan's precomputed handler byte:
+//! no branching on instruction kind, no heap allocation, and (for a
+//! concrete [`Bus`] implementation) no virtual calls — the whole
+//! interpreter monomorphizes over the bus type. PMU increments accumulate
+//! in a per-context [`PmuBatch`] and flush only at architectural
+//! observation points, and runs of register-only ALU instructions step as
+//! fused superblocks (see [`crate::plan`] for the fusion rules).
+//! [`Engine::run`] keeps the legacy instruction-slice signature by
+//! building a transient plan.
 
 use crate::bpred::BranchPredictor;
 use crate::bus::{Bus, CpuFault};
 use crate::exec::{self, Next};
-use crate::plan::{DecodedProgram, PlanBody, PlanEntry, StepKind};
+use crate::plan::{handler, meta, DecodedProgram, FastOp, PlanBody};
 use crate::port::{MicroArch, PortConfig, PortSet};
 use crate::state::CpuState;
 use nanobench_cache::hierarchy::{HitLevel, MemAccessResult, SnoopResult};
@@ -28,6 +36,7 @@ use nanobench_x86::operand::{MemRef, Operand};
 use nanobench_x86::reg::Gpr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
 
 use crate::descriptor::DescriptorTable;
 
@@ -108,28 +117,38 @@ impl Timing {
     }
 
     /// Issues and dispatches one µop; returns its dispatch cycle.
-    fn dispatch(&mut self, ports: PortSet, ready: u64, recip: u64, pmu: &mut Pmu) -> u64 {
+    fn dispatch(&mut self, ports: PortSet, ready: u64, recip: u64, batch: &mut PmuBatch) -> u64 {
         let alloc = self.alloc_uop();
         let ready = ready.max(self.barrier).max(alloc);
-        pmu.count(events::UOPS_ISSUED_ANY, 1);
+        batch.uops_issued += 1;
         if ports.is_empty() {
             self.max_complete = self.max_complete.max(ready);
             return ready;
+        }
+        let n = ports.len();
+        if n == 1 {
+            // Single-candidate port (e.g. the store-data port): the
+            // round-robin scan below degenerates to this.
+            let p = ports.0.trailing_zeros() as usize;
+            let t = self.port_free[p].max(ready);
+            self.rr = self.rr.wrapping_add(1);
+            self.port_free[p] = t + recip.max(1);
+            batch.port[p] += 1;
+            return t;
         }
         // Scan the candidate ports in round-robin order starting at
         // position `rr % n` without materializing a list: the ports at
         // positions `start..n` are considered before those at `0..start`,
         // and the first port with the minimal free time wins — port
         // selection is identical to rotating an explicit candidate list.
-        let n = ports.len();
         let start = self.rr % n;
         let mut tail = (0u8, u64::MAX);
         let mut head = (0u8, u64::MAX);
         let mut pos = 0usize;
-        for p in 0..8u8 {
-            if !ports.contains(p) {
-                continue;
-            }
+        let mut bits = ports.0;
+        while bits != 0 {
+            let p = bits.trailing_zeros() as u8;
+            bits &= bits - 1;
             let t = self.port_free[p as usize].max(ready);
             if pos >= start {
                 if t < tail.1 {
@@ -143,7 +162,7 @@ impl Timing {
         let (best_port, best_time) = if head.1 < tail.1 { head } else { tail };
         self.rr = self.rr.wrapping_add(1);
         self.port_free[best_port as usize] = best_time + recip.max(1);
-        pmu.count(events::uops_dispatched_port(best_port), 1);
+        batch.port[best_port as usize] += 1;
         best_time
     }
 
@@ -164,15 +183,139 @@ impl Timing {
     }
 }
 
+/// Deferred PMU increments.
+///
+/// The hot loop accumulates event counts here and flushes them in bulk at
+/// architectural observation points: counter reads/writes (`RDPMC`,
+/// `RDMSR`, `WRMSR`), counting toggles (the magic pause/resume markers),
+/// the public [`Engine::step_plan`] boundary, and run completion. Counter
+/// addition commutes and [`Pmu`] masks to the 48-bit width only at
+/// reads/writes, so batched delivery is bit-identical to per-µop delivery
+/// — including wraparound past 2^48 mid-batch — *provided* the PMU's
+/// counting gate does not change while a batch is open. Every
+/// `set_counting` toggle is therefore preceded by a flush.
+#[derive(Debug, Default)]
+struct PmuBatch {
+    retired: u64,
+    uops_issued: u64,
+    port: [u64; 8],
+    l1_hit: u64,
+    l1_miss: u64,
+    l2_hit: u64,
+    l2_miss: u64,
+    l3_hit: u64,
+    l3_miss: u64,
+    l2_refs: u64,
+    xsnp_hit: u64,
+    xsnp_hitm: u64,
+    br_retired: u64,
+    br_misp: u64,
+    rfo: u64,
+}
+
+impl PmuBatch {
+    /// Delivers all accumulated counts to the PMU and empties the batch.
+    fn flush(&mut self, pmu: &mut Pmu) {
+        if self.retired > 0 {
+            pmu.retire_instructions(self.retired);
+        }
+        if self.uops_issued > 0 {
+            pmu.count(events::UOPS_ISSUED_ANY, self.uops_issued);
+        }
+        for p in 0..8u8 {
+            let n = self.port[p as usize];
+            if n > 0 {
+                pmu.count(events::uops_dispatched_port(p), n);
+            }
+        }
+        if self.l1_hit > 0 {
+            pmu.count(events::MEM_LOAD_L1_HIT, self.l1_hit);
+        }
+        if self.l1_miss > 0 {
+            pmu.count(events::MEM_LOAD_L1_MISS, self.l1_miss);
+        }
+        if self.l2_hit > 0 {
+            pmu.count(events::MEM_LOAD_L2_HIT, self.l2_hit);
+        }
+        if self.l2_miss > 0 {
+            pmu.count(events::MEM_LOAD_L2_MISS, self.l2_miss);
+        }
+        if self.l3_hit > 0 {
+            pmu.count(events::MEM_LOAD_L3_HIT, self.l3_hit);
+        }
+        if self.l3_miss > 0 {
+            pmu.count(events::MEM_LOAD_L3_MISS, self.l3_miss);
+        }
+        if self.l2_refs > 0 {
+            pmu.count(events::L2_RQSTS_REFERENCES, self.l2_refs);
+        }
+        if self.xsnp_hit > 0 {
+            pmu.count(events::MEM_LOAD_XSNP_HIT, self.xsnp_hit);
+        }
+        if self.xsnp_hitm > 0 {
+            pmu.count(events::MEM_LOAD_XSNP_HITM, self.xsnp_hitm);
+        }
+        if self.br_retired > 0 {
+            pmu.count(events::BR_INST_RETIRED, self.br_retired);
+        }
+        if self.br_misp > 0 {
+            pmu.count(events::BR_MISP_RETIRED, self.br_misp);
+        }
+        if self.rfo > 0 {
+            pmu.count(events::OFFCORE_DEMAND_RFO, self.rfo);
+        }
+        *self = PmuBatch::default();
+    }
+
+    /// Accounting for a store's coherence side effects: a store whose
+    /// access had to snoop other cores (invalidate their copies or upgrade
+    /// a shared line) is a demand RFO through the uncore. On a 1-core
+    /// machine the snoop is always `Miss` and nothing is counted.
+    fn count_store_coherence(&mut self, res: &MemAccessResult) {
+        if res.snoop != SnoopResult::Miss || res.invalidated > 0 {
+            self.rfo += 1;
+        }
+    }
+
+    /// Cache-level and snoop accounting for one load.
+    fn record_load(&mut self, res: &MemAccessResult) {
+        match res.level {
+            HitLevel::L1 => self.l1_hit += 1,
+            HitLevel::L2 => {
+                self.l1_miss += 1;
+                self.l2_hit += 1;
+                self.l2_refs += 1;
+            }
+            HitLevel::L3 => {
+                self.l1_miss += 1;
+                self.l2_miss += 1;
+                self.l3_hit += 1;
+                self.l2_refs += 1;
+            }
+            HitLevel::Memory => {
+                self.l1_miss += 1;
+                self.l2_miss += 1;
+                self.l3_miss += 1;
+                self.l2_refs += 1;
+            }
+        }
+        match res.snoop {
+            SnoopResult::Miss => {}
+            SnoopResult::Hit => self.xsnp_hit += 1,
+            SnoopResult::HitM => self.xsnp_hitm += 1,
+        }
+    }
+}
+
 /// The in-flight execution state of one program on one core.
 ///
 /// A context is created by [`Engine::begin_plan`], advanced one
-/// instruction at a time by [`Engine::step_plan`], and turned into
-/// [`RunStats`] by [`Engine::finish_plan`]. Keeping it outside the engine
-/// lets a multi-core machine interleave several cores deterministically:
-/// the scheduler steps whichever core's context has the smallest local
-/// cycle. [`Engine::run_plan`] is exactly a loop over these three calls,
-/// so stepped execution is bit-identical to a monolithic run.
+/// instruction (or fused superblock) at a time by [`Engine::step_plan`],
+/// and turned into [`RunStats`] by [`Engine::finish_plan`]. Keeping it
+/// outside the engine lets a multi-core machine interleave several cores
+/// deterministically: the scheduler steps whichever core's context has the
+/// smallest local cycle. [`Engine::run_plan`] is exactly a loop over these
+/// three calls, so stepped execution is bit-identical to a monolithic run.
 #[derive(Debug)]
 pub struct RunContext {
     t: Timing,
@@ -180,6 +323,8 @@ pub struct RunContext {
     instructions: u64,
     uops: u64,
     start_cycle: u64,
+    batch: PmuBatch,
+    fuse: bool,
 }
 
 impl RunContext {
@@ -200,6 +345,100 @@ impl RunContext {
     pub fn restart(&mut self) {
         self.pc = 0;
     }
+
+    /// Turns off superblock fusion for this context: every dispatched step
+    /// executes exactly one instruction. Multi-core interleaving relies on
+    /// this — the scheduler alternates cores between steps, so a fused
+    /// burst of loads/stores would let one core's memory traffic skip past
+    /// the other cores' coherence responses instead of contending with
+    /// them instruction by instruction.
+    pub fn disable_fusion(&mut self) {
+        self.fuse = false;
+    }
+}
+
+/// Everything a step handler touches besides the engine itself: the plan,
+/// its instructions, the current program counter, and mutable views of the
+/// timing state, architectural state, PMU (plus its batch), and bus.
+struct StepArgs<'a, B: Bus + ?Sized> {
+    body: &'a PlanBody,
+    insts: &'a [Instruction],
+    pc: usize,
+    /// Whether superblock fusion is active for this context (see
+    /// [`RunContext::disable_fusion`]).
+    fuse: bool,
+    t: &'a mut Timing,
+    state: &'a mut CpuState,
+    pmu: &'a mut Pmu,
+    batch: &'a mut PmuBatch,
+    bus: &'a mut B,
+}
+
+/// What one dispatched step did: where control flows next, how many
+/// consecutive plan entries it consumed (> 1 only for fused ALU
+/// superblocks), how many of those retire architecturally, and — for a
+/// fault in the middle of a superblock — the fault to raise *after* the
+/// completed prefix is accounted.
+struct StepOutcome {
+    next: Next,
+    consumed: u32,
+    retired: u32,
+    fault: Option<CpuFault>,
+}
+
+impl StepOutcome {
+    /// A single-entry step.
+    fn one(next: Next, retires: bool) -> StepOutcome {
+        StepOutcome {
+            next,
+            consumed: 1,
+            retired: u32::from(retires),
+            fault: None,
+        }
+    }
+}
+
+type StepFn<B> = fn(&mut Engine, &mut StepArgs<'_, B>) -> Result<StepOutcome, CpuFault>;
+
+/// The dispatch table, monomorphized per bus type.
+///
+/// Generic statics are not a thing in Rust, but an associated `const` on a
+/// generic carrier struct is: `Handlers::<B>::TABLE` materializes one
+/// table of concrete function pointers per bus type the engine runs
+/// against, so the steady-state loop is `TABLE[entry.handler](...)` with
+/// every handler fully monomorphized over `B`.
+struct Handlers<B: Bus + ?Sized>(PhantomData<fn(&mut B)>);
+
+impl<B: Bus + ?Sized> Handlers<B> {
+    /// Order must match the index constants in [`handler`].
+    const TABLE: [StepFn<B>; handler::COUNT] = [
+        step_generic::<B>,
+        step_block::<B>,         // ALU_BLOCK
+        step_block::<B>,         // LOAD
+        step_block::<B>,         // STORE
+        step_block::<B>,         // RMW
+        step_branch::<B, true>,  // COND_BRANCH
+        step_branch::<B, false>, // JUMP
+        step_nop::<B>,
+        step_lfence::<B>,
+        step_fence::<B>,
+        step_cpuid::<B>,
+        step_rdtsc::<B>,
+        step_rdpmc::<B>,
+        step_rdmsr::<B>,
+        step_wrmsr::<B>,
+        step_wbinvd::<B>,
+        step_clflush::<B>,
+        step_prefetch::<B>,
+        step_cli::<B>,
+        step_sti::<B>,
+        step_serialize::<B>,
+        step_rdrand::<B>,
+        step_nb_pause::<B>,
+        step_nb_resume::<B>,
+        step_push::<B>,
+        step_pop::<B>,
+    ];
 }
 
 /// The simulated core's execution engine.
@@ -301,12 +540,12 @@ impl Engine {
     ///
     /// Returns [`CpuFault`] on privilege violations, page faults, divide
     /// errors, or when the instruction limit is exceeded.
-    pub fn run(
+    pub fn run<B: Bus + ?Sized>(
         &mut self,
         program: &[Instruction],
         state: &mut CpuState,
         pmu: &mut Pmu,
-        bus: &mut dyn Bus,
+        bus: &mut B,
         start_cycle: u64,
     ) -> Result<RunStats, CpuFault> {
         let body = PlanBody::build(program, &self.table);
@@ -326,12 +565,12 @@ impl Engine {
     /// Panics if the plan was decoded for a different microarchitecture —
     /// its port sets and latencies would be silently wrong on this
     /// engine. (One enum compare per run, not per instruction.)
-    pub fn run_plan(
+    pub fn run_plan<B: Bus + ?Sized>(
         &mut self,
         plan: &DecodedProgram,
         state: &mut CpuState,
         pmu: &mut Pmu,
-        bus: &mut dyn Bus,
+        bus: &mut B,
         start_cycle: u64,
     ) -> Result<RunStats, CpuFault> {
         assert_eq!(
@@ -358,36 +597,47 @@ impl Engine {
             instructions: 0,
             uops: 0,
             start_cycle,
+            batch: PmuBatch::default(),
+            fuse: true,
         }
     }
 
-    /// Advances a context by one instruction. Returns `Ok(true)` if an
-    /// instruction was executed and `Ok(false)` if the program had already
+    /// Advances a context by one dispatched step — one instruction, or one
+    /// fused run of register-only ALU instructions. Returns `Ok(true)` if
+    /// anything was executed and `Ok(false)` if the program had already
     /// completed (the context is unchanged in that case).
+    ///
+    /// The context's pending PMU batch is flushed before returning, so the
+    /// PMU is architecturally up to date between steps (the multi-core
+    /// interleave loop reads it).
     ///
     /// # Errors
     ///
     /// Returns [`CpuFault`] exactly as [`Engine::run_plan`] would at the
     /// same point in the program.
-    pub fn step_plan(
+    pub fn step_plan<B: Bus + ?Sized>(
         &mut self,
         ctx: &mut RunContext,
         plan: &DecodedProgram,
         state: &mut CpuState,
         pmu: &mut Pmu,
-        bus: &mut dyn Bus,
+        bus: &mut B,
     ) -> Result<bool, CpuFault> {
         debug_assert_eq!(
             plan.uarch(),
             self.uarch,
             "plan decoded for a different microarchitecture"
         );
-        self.step_decoded(ctx, plan.body(), plan.instructions(), state, pmu, bus)
+        let r = self.step_decoded(ctx, plan.body(), plan.instructions(), state, pmu, bus);
+        ctx.batch.flush(pmu);
+        r
     }
 
     /// Converts a completed (or abandoned) context into [`RunStats`],
-    /// syncing the PMU's cycle counters to the context's end cycle.
-    pub fn finish_plan(&self, ctx: &RunContext, pmu: &mut Pmu) -> RunStats {
+    /// flushing its pending PMU batch and syncing the PMU's cycle counters
+    /// to the context's end cycle.
+    pub fn finish_plan(&self, ctx: &mut RunContext, pmu: &mut Pmu) -> RunStats {
+        ctx.batch.flush(pmu);
         let end = ctx.t.now();
         pmu.sync_cycles(end);
         RunStats {
@@ -398,14 +648,14 @@ impl Engine {
         }
     }
 
-    fn step_decoded(
+    fn step_decoded<B: Bus + ?Sized>(
         &mut self,
         ctx: &mut RunContext,
         body: &PlanBody,
         insts: &[Instruction],
         state: &mut CpuState,
         pmu: &mut Pmu,
-        bus: &mut dyn Bus,
+        bus: &mut B,
     ) -> Result<bool, CpuFault> {
         if ctx.pc >= insts.len() {
             return Ok(false);
@@ -421,38 +671,63 @@ impl Engine {
             ctx.t.alloc_cycle = resume;
             ctx.t.barrier = resume;
             ctx.t.complete(resume);
-            pmu.retire_instructions(intr.instructions);
-            pmu.count(events::UOPS_ISSUED_ANY, intr.uops);
+            ctx.batch.retired += intr.instructions;
+            ctx.batch.uops_issued += intr.uops;
         }
-        let inst = &insts[ctx.pc];
-        let entry = &body.entries[ctx.pc];
-        let next = self.step(body, entry, inst, ctx.pc, &mut ctx.t, state, pmu, bus)?;
-        ctx.instructions += 1;
-        // The magic pause/resume markers are byte sequences consumed by
-        // the tool, not instructions the benchmark retires (§III-I).
-        if entry.retires {
-            pmu.retire_instructions(1);
+        let hot = &body.hot[ctx.pc];
+        if hot.has(meta::PRIVILEGED) && !bus.is_kernel() {
+            return Err(CpuFault::PrivilegedInstruction(insts[ctx.pc].mnemonic));
         }
-        ctx.uops += 1; // approximate per-instruction accounting for stats
-        ctx.pc = match next {
-            Next::Seq => ctx.pc + 1,
+        let step = Handlers::<B>::TABLE[hot.handler as usize];
+        let mut args = StepArgs {
+            body,
+            insts,
+            pc: ctx.pc,
+            fuse: ctx.fuse,
+            t: &mut ctx.t,
+            state,
+            pmu,
+            batch: &mut ctx.batch,
+            bus,
+        };
+        let out = step(self, &mut args)?;
+        ctx.instructions += u64::from(out.consumed);
+        // Approximate per-instruction accounting for stats; the magic
+        // pause/resume markers are byte sequences consumed by the tool,
+        // not instructions the benchmark retires (§III-I), so `retired`
+        // may be smaller.
+        ctx.uops += u64::from(out.consumed);
+        ctx.batch.retired += u64::from(out.retired);
+        if let Some(f) = out.fault {
+            return Err(f);
+        }
+        ctx.pc = match out.next {
+            Next::Seq => ctx.pc + out.consumed as usize,
             Next::Jump(target) => target,
         };
         Ok(true)
     }
 
-    fn run_decoded(
+    fn run_decoded<B: Bus + ?Sized>(
         &mut self,
         body: &PlanBody,
         insts: &[Instruction],
         state: &mut CpuState,
         pmu: &mut Pmu,
-        bus: &mut dyn Bus,
+        bus: &mut B,
         start_cycle: u64,
     ) -> Result<RunStats, CpuFault> {
         let mut ctx = self.begin_plan(start_cycle);
-        while self.step_decoded(&mut ctx, body, insts, state, pmu, bus)? {}
-        Ok(self.finish_plan(&ctx, pmu))
+        loop {
+            match self.step_decoded(&mut ctx, body, insts, state, pmu, bus) {
+                Ok(true) => {}
+                Ok(false) => return Ok(self.finish_plan(&mut ctx, pmu)),
+                Err(f) => {
+                    ctx.batch.flush(pmu);
+                    return Err(f);
+                }
+            }
+        }
     }
 
     /// AVX warm-up bookkeeping; returns the latency multiplier for this
@@ -477,413 +752,57 @@ impl Engine {
         1
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn step(
-        &mut self,
-        body: &PlanBody,
-        entry: &PlanEntry,
-        inst: &Instruction,
-        pc: usize,
-        t: &mut Timing,
-        state: &mut CpuState,
-        pmu: &mut Pmu,
-        bus: &mut dyn Bus,
-    ) -> Result<Next, CpuFault> {
-        if entry.privileged && !bus.is_kernel() {
-            return Err(CpuFault::PrivilegedInstruction(inst.mnemonic));
-        }
-        if entry.kind == StepKind::Special {
-            return self.step_special(body, entry, inst, t, state, pmu, bus);
-        }
-
-        // ---- generic path -------------------------------------------------
-        let factor = self.avx_factor(entry.is_avx);
-
-        // Input readiness (registers, vector registers, flags).
-        let mut input_ready = start_of(t);
-        for &r in entry.in_regs.slice(&body.regs) {
-            input_ready = input_ready.max(t.reg[r as usize]);
-        }
-        for &v in entry.in_vregs.slice(&body.regs) {
-            input_ready = input_ready.max(t.vreg[v as usize]);
-        }
-        if entry.flags_read {
-            input_ready = input_ready.max(t.flags);
-        }
-
-        // Loads. A load that covers an RMW store is the instruction's only
-        // cache access (the store below skips the bus), so it must perform
-        // the write side of the coherence protocol — read-for-ownership —
-        // or read-modify-writes would never invalidate remote copies.
-        let writes = entry.writes.slice(&body.writes);
-        let mut load_done = 0u64;
-        for mem in entry.reads.slice(&body.reads) {
-            let a_ready = addr_ready(t, mem);
-            let vaddr = exec::mem_vaddr(state, mem);
-            let rmw = writes.iter().any(|w| w.covered_by_read && w.mem == *mem);
-            let done = self.timed_load(t, vaddr, a_ready, rmw, pmu, bus)?;
-            load_done = load_done.max(done);
-        }
-        let compute_ready = input_ready.max(load_done);
-
-        // Compute µops.
-        let uops = entry.uops.slice(&body.uops);
-        let mut result_ready = if uops.is_empty() {
-            if load_done > 0 {
-                load_done
-            } else {
-                compute_ready
-            }
-        } else {
-            compute_ready
-        };
-        for (i, u) in uops.iter().enumerate() {
-            let dispatch = t.dispatch(u.ports, compute_ready, u.recip, pmu);
-            let done = dispatch + u.latency * factor;
-            t.complete(done);
-            if i == 0 {
-                result_ready = done.max(load_done);
-            }
-        }
-
-        // Stores.
-        for store in writes {
-            let a_ready = addr_ready(t, &store.mem);
-            t.dispatch(self.ports.store_addr, a_ready, 1, pmu);
-            t.dispatch(self.ports.store_data, result_ready, 1, pmu);
-            // RMW accesses already touched the line via the load.
-            if !store.covered_by_read {
-                let vaddr = exec::mem_vaddr(state, &store.mem);
-                let res = bus.access(vaddr, true)?;
-                Engine::count_store_coherence(pmu, &res);
-                self.drain_uncore(pmu, bus);
-            }
-        }
-
-        // Branches: prediction bookkeeping before the semantic jump.
-        if entry.is_branch {
-            let taken = exec::branch_taken(inst, state);
-            let dispatch = t.dispatch(self.ports.branch, compute_ready, 1, pmu);
-            let done = dispatch + 1;
-            t.complete(done);
-            pmu.count(events::BR_INST_RETIRED, 1);
-            if entry.conditional && self.bpred.update(pc, taken) {
-                pmu.count(events::BR_MISP_RETIRED, 1);
-                t.alloc_cycle = t.alloc_cycle.max(done + self.config.mispredict_penalty);
-                t.alloc_slots = 0;
-            }
-        }
-
-        // Output readiness.
-        for &r in entry.out_regs.slice(&body.regs) {
-            t.reg[r as usize] = result_ready;
-        }
-        if let Some(v) = entry.out_vreg {
-            t.vreg[v as usize] = result_ready;
-        }
-        if entry.flags_written {
-            t.flags = result_ready;
-        }
-
-        exec::execute(inst, state, bus)
+    /// The non-AVX half of [`Engine::avx_factor`], for fast handlers whose
+    /// shapes are never AVX (the latency factor is statically 1).
+    #[inline]
+    fn note_non_avx(&mut self) {
+        self.note_non_avx_n(1);
     }
 
-    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-    fn step_special(
-        &mut self,
-        body: &PlanBody,
-        entry: &PlanEntry,
-        inst: &Instruction,
-        t: &mut Timing,
-        state: &mut CpuState,
-        pmu: &mut Pmu,
-        bus: &mut dyn Bus,
-    ) -> Result<Next, CpuFault> {
-        use Mnemonic::*;
-        let m = inst.mnemonic;
-        match m {
-            Nop => {
-                t.dispatch(PortSet::NONE, start_of(t), 1, pmu);
-                Ok(Next::Seq)
-            }
-            Lfence => {
-                // "LFENCE does not execute until all prior instructions
-                // have completed locally, and no later instruction begins
-                // execution until LFENCE completes" (§IV-A1).
-                let done = t.max_complete.max(t.alloc_uop());
-                pmu.count(events::UOPS_ISSUED_ANY, 1);
-                t.set_barrier(done);
-                Ok(Next::Seq)
-            }
-            Mfence | Sfence => {
-                let extra = if m == Mfence { 33 } else { 2 };
-                let done = t.max_complete.max(t.alloc_uop()) + extra;
-                pmu.count(events::UOPS_ISSUED_ANY, 1);
-                t.set_barrier(done);
-                Ok(Next::Seq)
-            }
-            Cpuid => {
-                // Fully serializing but with variable latency and µop
-                // count, both depending on RAX and run-to-run jitter
-                // (Paoloni's observation, §IV-A1).
-                let rax = state.gpr(Gpr::Rax);
-                let latency = 95 + (rax & 0xF) * 23 + self.rng.gen_range(0..=50);
-                let n_uops = 20 + (rax & 0x3) * 10;
-                for _ in 0..n_uops {
-                    t.dispatch(self.ports.alu, t.max_complete, 1, pmu);
-                }
-                let done = t.max_complete.max(t.alloc_cycle) + latency;
-                t.set_barrier(done);
-                // Leaf outputs (model identification values).
-                state.set_gpr(Gpr::Rax, 0x0005_06E3);
-                state.set_gpr(Gpr::Rbx, u64::from_le_bytes(*b"nanoBen\0"));
-                state.set_gpr(Gpr::Rcx, 0x7FFA_FBBF);
-                state.set_gpr(Gpr::Rdx, 0xBFEB_FBFF);
-                for r in [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx] {
-                    t.reg[r.number() as usize] = done;
-                }
-                Ok(Next::Seq)
-            }
-            Rdtsc | Rdtscp => {
-                let ready = start_of(t);
-                let dispatch = t.dispatch(self.ports.int_mul, ready, 25, pmu);
-                let done = dispatch + 25;
-                t.complete(done);
-                let tsc = dispatch;
-                state.set_gpr(Gpr::Rax, tsc & 0xFFFF_FFFF);
-                state.set_gpr(Gpr::Rdx, tsc >> 32);
-                t.reg[Gpr::Rax.number() as usize] = done;
-                t.reg[Gpr::Rdx.number() as usize] = done;
-                if m == Rdtscp {
-                    state.set_gpr(Gpr::Rcx, 0);
-                    t.reg[Gpr::Rcx.number() as usize] = done;
-                }
-                Ok(Next::Seq)
-            }
-            Rdpmc => {
-                if !bus.is_kernel() && !bus.rdpmc_allowed() {
-                    return Err(CpuFault::RdpmcNotAllowed);
-                }
-                let ready = t.reg[Gpr::Rcx.number() as usize];
-                // ~10 µops; the dependency-carrying one reads the counter.
-                for _ in 0..9 {
-                    t.dispatch(self.ports.alu, ready, 1, pmu);
-                }
-                let dispatch = t.dispatch(self.ports.int_mul, ready, 20, pmu);
-                let done = dispatch + 25;
-                t.complete(done);
-                self.drain_uncore(pmu, bus);
-                pmu.sync_cycles(dispatch);
-                let ecx = state.gpr(Gpr::Rcx) as u32;
-                let value = pmu.rdpmc(ecx).ok_or(CpuFault::BadMsr { addr: ecx })?;
-                state.set_gpr(Gpr::Rax, value & 0xFFFF_FFFF);
-                state.set_gpr(Gpr::Rdx, value >> 32);
-                t.reg[Gpr::Rax.number() as usize] = done;
-                t.reg[Gpr::Rdx.number() as usize] = done;
-                Ok(Next::Seq)
-            }
-            Rdmsr => {
-                let ready = t.reg[Gpr::Rcx.number() as usize];
-                let dispatch = t.dispatch(self.ports.int_mul, ready, 100, pmu);
-                let done = dispatch + 100;
-                t.complete(done);
-                self.drain_uncore(pmu, bus);
-                pmu.sync_cycles(dispatch);
-                let addr = state.gpr(Gpr::Rcx) as u32;
-                let value = match pmu.rdmsr(addr) {
-                    Some(v) => v,
-                    None => bus.rdmsr(addr)?,
-                };
-                state.set_gpr(Gpr::Rax, value & 0xFFFF_FFFF);
-                state.set_gpr(Gpr::Rdx, value >> 32);
-                t.reg[Gpr::Rax.number() as usize] = done;
-                t.reg[Gpr::Rdx.number() as usize] = done;
-                Ok(Next::Seq)
-            }
-            Wrmsr => {
-                let ready = t.reg[Gpr::Rcx.number() as usize]
-                    .max(t.reg[Gpr::Rax.number() as usize])
-                    .max(t.reg[Gpr::Rdx.number() as usize]);
-                // WRMSR is serializing.
-                let done = t.max_complete.max(ready).max(t.alloc_uop()) + 150;
-                pmu.count(events::UOPS_ISSUED_ANY, 1);
-                t.set_barrier(done);
-                let addr = state.gpr(Gpr::Rcx) as u32;
-                let value = (state.gpr(Gpr::Rdx) << 32) | (state.gpr(Gpr::Rax) & 0xFFFF_FFFF);
-                pmu.sync_cycles(done);
-                if !pmu.wrmsr(addr, value) {
-                    bus.wrmsr(addr, value)?;
-                }
-                Ok(Next::Seq)
-            }
-            Wbinvd | Invd => {
-                let done = t.max_complete.max(t.alloc_uop()) + 5000;
-                pmu.count(events::UOPS_ISSUED_ANY, 1);
-                t.set_barrier(done);
-                bus.wbinvd();
-                Ok(Next::Seq)
-            }
-            Clflush | Clflushopt => {
-                let mem = inst
-                    .dst()
-                    .and_then(|o| o.as_mem())
-                    .expect("clflush takes a memory operand");
-                let addr_ready = addr_ready(t, &mem);
-                let dispatch = t.dispatch(self.ports.store_addr, addr_ready, 6, pmu);
-                t.dispatch(self.ports.store_data, addr_ready, 1, pmu);
-                t.complete(dispatch + 2);
-                let vaddr = exec::mem_vaddr(state, &mem);
-                bus.clflush(vaddr);
-                Ok(Next::Seq)
-            }
-            Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta => {
-                let mem = inst
-                    .dst()
-                    .and_then(|o| o.as_mem())
-                    .expect("prefetch takes a memory operand");
-                let ready = addr_ready(t, &mem);
-                let dispatch = t.dispatch(self.ports.load, ready, 1, pmu);
-                t.complete(dispatch + 1);
-                let vaddr = exec::mem_vaddr(state, &mem);
-                bus.prefetch(vaddr);
-                Ok(Next::Seq)
-            }
-            Cli => {
-                bus.set_interrupt_flag(false);
-                t.dispatch(self.ports.alu, start_of(t), 1, pmu);
-                Ok(Next::Seq)
-            }
-            Sti => {
-                bus.set_interrupt_flag(true);
-                t.dispatch(self.ports.alu, start_of(t), 1, pmu);
-                Ok(Next::Seq)
-            }
-            Hlt | Swapgs | MovCr3 | Invlpg => {
-                // Modeled as serializing, fixed-cost kernel operations.
-                let done = t.max_complete.max(t.alloc_uop()) + 100;
-                pmu.count(events::UOPS_ISSUED_ANY, 1);
-                t.set_barrier(done);
-                if m == Invlpg {
-                    // TLBs are not modeled; the flush is a timing event only.
-                }
-                Ok(Next::Seq)
-            }
-            Rdrand | Rdseed => {
-                let u = entry.uops.slice(&body.uops)[0];
-                let dispatch = t.dispatch(u.ports, start_of(t), u.recip, pmu);
-                let done = dispatch + u.latency;
-                t.complete(done);
-                let value: u64 = self.rng.gen();
-                if let Some(Operand::Gpr(g)) = inst.dst() {
-                    state.set_gpr_part(*g, value);
-                    t.reg[g.reg.number() as usize] = done;
-                }
-                state.set_flag(nanobench_x86::reg::Flag::Cf, true);
-                Ok(Next::Seq)
-            }
-            NbPause => {
-                // Magic marker: pause counting (§III-I). Zero architectural
-                // cost beyond the sync point.
-                pmu.sync_cycles(t.now());
-                pmu.set_counting(false);
-                Ok(Next::Seq)
-            }
-            NbResume => {
-                pmu.sync_cycles(t.now());
-                pmu.set_counting(true);
-                Ok(Next::Seq)
-            }
-            Push => {
-                let data_ready = match inst.dst() {
-                    Some(Operand::Gpr(g)) => t.reg[g.reg.number() as usize],
-                    _ => start_of(t),
-                };
-                let rsp_ready = t.reg[Gpr::Rsp.number() as usize];
-                let rsp_done = t.dispatch(self.ports.alu, rsp_ready, 1, pmu) + 1;
-                t.reg[Gpr::Rsp.number() as usize] = rsp_done;
-                t.dispatch(self.ports.store_addr, rsp_done, 1, pmu);
-                t.dispatch(self.ports.store_data, data_ready, 1, pmu);
-                t.complete(rsp_done);
-                let vaddr = state.gpr(Gpr::Rsp).wrapping_sub(8);
-                let res = bus.access(vaddr, true)?;
-                Engine::count_store_coherence(pmu, &res);
-                exec::execute(inst, state, bus)
-            }
-            Pop => {
-                let rsp_ready = t.reg[Gpr::Rsp.number() as usize];
-                let vaddr = state.gpr(Gpr::Rsp);
-                let load_done = self.timed_load(t, vaddr, rsp_ready, false, pmu, bus)?;
-                let rsp_done = t.dispatch(self.ports.alu, rsp_ready, 1, pmu) + 1;
-                t.reg[Gpr::Rsp.number() as usize] = rsp_done;
-                if let Some(Operand::Gpr(g)) = inst.dst() {
-                    t.reg[g.reg.number() as usize] = load_done;
-                }
-                t.complete(load_done);
-                exec::execute(inst, state, bus)
-            }
-            other => unreachable!("mnemonic {other} is not an engine special"),
+    /// Batched [`Engine::note_non_avx`] for a fused superblock: `n`
+    /// consecutive non-AVX instructions. Equivalent to `n` single calls —
+    /// the streak only grows within a block and nothing reads `avx_cold`
+    /// until the next AVX instruction, which can never be inside a block.
+    #[inline]
+    fn note_non_avx_n(&mut self, n: u64) {
+        self.non_avx_streak += n;
+        if self.non_avx_streak > AVX_IDLE_LIMIT {
+            self.avx_cold = true;
         }
     }
 
     /// `is_write` marks the load half of an RMW access: the cache walk
     /// runs write coherence (RFO) and the RFO is counted here, since the
     /// covered store never touches the bus.
-    fn timed_load(
+    #[allow(clippy::too_many_arguments)] // timing + batch + bus is the full hot-path context
+    fn timed_load<B: Bus + ?Sized>(
         &mut self,
         t: &mut Timing,
         vaddr: u64,
         addr_ready: u64,
         is_write: bool,
+        batch: &mut PmuBatch,
         pmu: &mut Pmu,
-        bus: &mut dyn Bus,
+        bus: &mut B,
     ) -> Result<u64, CpuFault> {
         let res = bus.access(vaddr, is_write)?;
         if is_write {
-            Engine::count_store_coherence(pmu, &res);
+            batch.count_store_coherence(&res);
         }
-        self.drain_uncore(pmu, bus);
-        match res.level {
-            HitLevel::L1 => pmu.count(events::MEM_LOAD_L1_HIT, 1),
-            HitLevel::L2 => {
-                pmu.count(events::MEM_LOAD_L1_MISS, 1);
-                pmu.count(events::MEM_LOAD_L2_HIT, 1);
-                pmu.count(events::L2_RQSTS_REFERENCES, 1);
-            }
-            HitLevel::L3 => {
-                pmu.count(events::MEM_LOAD_L1_MISS, 1);
-                pmu.count(events::MEM_LOAD_L2_MISS, 1);
-                pmu.count(events::MEM_LOAD_L3_HIT, 1);
-                pmu.count(events::L2_RQSTS_REFERENCES, 1);
-            }
-            HitLevel::Memory => {
-                pmu.count(events::MEM_LOAD_L1_MISS, 1);
-                pmu.count(events::MEM_LOAD_L2_MISS, 1);
-                pmu.count(events::MEM_LOAD_L3_MISS, 1);
-                pmu.count(events::L2_RQSTS_REFERENCES, 1);
-            }
+        if res.slice.is_some() {
+            // Only accesses that reached the L3 generate uncore lookups;
+            // private-cache hits leave the C-Box counters untouched, and
+            // the architectural read points (RDPMC/RDMSR) drain anyway.
+            self.drain_uncore(pmu, bus);
         }
-        match res.snoop {
-            SnoopResult::Miss => {}
-            SnoopResult::Hit => pmu.count(events::MEM_LOAD_XSNP_HIT, 1),
-            SnoopResult::HitM => pmu.count(events::MEM_LOAD_XSNP_HITM, 1),
-        }
-        let dispatch = t.dispatch(self.ports.load, addr_ready, 1, pmu);
+        batch.record_load(&res);
+        let dispatch = t.dispatch(self.ports.load, addr_ready, 1, batch);
         let done = dispatch + res.latency;
         t.complete(done);
         Ok(done)
     }
 
-    /// PMU accounting for a store's coherence side effects: a store whose
-    /// access had to snoop other cores (invalidate their copies or upgrade
-    /// a shared line) is a demand RFO through the uncore. On a 1-core
-    /// machine the snoop is always `Miss` and nothing is counted.
-    fn count_store_coherence(pmu: &mut Pmu, res: &MemAccessResult) {
-        if res.snoop != SnoopResult::Miss || res.invalidated > 0 {
-            pmu.count(events::OFFCORE_DEMAND_RFO, 1);
-        }
-    }
-
-    fn drain_uncore(&mut self, pmu: &mut Pmu, bus: &mut dyn Bus) {
+    fn drain_uncore<B: Bus + ?Sized>(&mut self, pmu: &mut Pmu, bus: &mut B) {
         self.uncore_buf.clear();
         bus.drain_uncore_lookups(&mut self.uncore_buf);
         for (slice, n) in self.uncore_buf.iter().enumerate() {
@@ -907,4 +826,660 @@ fn addr_ready(t: &Timing, mem: &MemRef) -> u64 {
         ready = ready.max(t.reg[i.number() as usize]);
     }
     ready
+}
+
+// ---- step handlers --------------------------------------------------------
+//
+// One function per dispatch-table slot (see `plan::handler` for the index
+// assignment). Each advances the timing model and then executes the
+// instruction architecturally; the caller accounts `StepOutcome`.
+
+/// Full dataflow path: correct for every non-special instruction. The only
+/// handler that reads the cold entry arena (vector dependencies) or the
+/// AVX warm-up factor.
+fn step_generic<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let body = a.body;
+    let hot = &body.hot[a.pc];
+    let cold = &body.cold[a.pc];
+    let inst = &a.insts[a.pc];
+    let factor = eng.avx_factor(hot.has(meta::IS_AVX));
+
+    // Input readiness (registers, vector registers, flags).
+    let mut input_ready = start_of(a.t);
+    for &r in hot.in_regs.slice(&body.regs) {
+        input_ready = input_ready.max(a.t.reg[r as usize]);
+    }
+    for &v in cold.in_vregs.slice(&body.regs) {
+        input_ready = input_ready.max(a.t.vreg[v as usize]);
+    }
+    if hot.has(meta::FLAGS_READ) {
+        input_ready = input_ready.max(a.t.flags);
+    }
+
+    // Loads. A load that covers an RMW store is the instruction's only
+    // cache access (the store below skips the bus), so it must perform
+    // the write side of the coherence protocol — read-for-ownership —
+    // or read-modify-writes would never invalidate remote copies.
+    let writes = hot.writes.slice(&body.writes);
+    let mut load_done = 0u64;
+    for mem in hot.reads.slice(&body.reads) {
+        let a_ready = addr_ready(a.t, mem);
+        let vaddr = exec::mem_vaddr(a.state, mem);
+        let rmw = writes.iter().any(|w| w.covered_by_read && w.mem == *mem);
+        let done = eng.timed_load(a.t, vaddr, a_ready, rmw, a.batch, a.pmu, a.bus)?;
+        load_done = load_done.max(done);
+    }
+    let compute_ready = input_ready.max(load_done);
+
+    // Compute µops.
+    let uops = hot.uops.slice(&body.uops);
+    let mut result_ready = if uops.is_empty() {
+        if load_done > 0 {
+            load_done
+        } else {
+            compute_ready
+        }
+    } else {
+        compute_ready
+    };
+    for (i, u) in uops.iter().enumerate() {
+        let dispatch = a.t.dispatch(u.ports, compute_ready, u.recip, a.batch);
+        let done = dispatch + u.latency * factor;
+        a.t.complete(done);
+        if i == 0 {
+            result_ready = done.max(load_done);
+        }
+    }
+
+    // Stores.
+    for store in writes {
+        let a_ready = addr_ready(a.t, &store.mem);
+        a.t.dispatch(eng.ports.store_addr, a_ready, 1, a.batch);
+        a.t.dispatch(eng.ports.store_data, result_ready, 1, a.batch);
+        // RMW accesses already touched the line via the load.
+        if !store.covered_by_read {
+            let vaddr = exec::mem_vaddr(a.state, &store.mem);
+            let res = a.bus.access(vaddr, true)?;
+            a.batch.count_store_coherence(&res);
+            if res.slice.is_some() {
+                eng.drain_uncore(a.pmu, a.bus);
+            }
+        }
+    }
+
+    // Branches: prediction bookkeeping before the semantic jump.
+    if hot.has(meta::IS_BRANCH) {
+        let taken = exec::branch_taken(inst, a.state);
+        let dispatch = a.t.dispatch(eng.ports.branch, compute_ready, 1, a.batch);
+        let done = dispatch + 1;
+        a.t.complete(done);
+        a.batch.br_retired += 1;
+        if hot.has(meta::CONDITIONAL) && eng.bpred.update(a.pc, taken) {
+            a.batch.br_misp += 1;
+            a.t.alloc_cycle = a.t.alloc_cycle.max(done + eng.config.mispredict_penalty);
+            a.t.alloc_slots = 0;
+        }
+    }
+
+    // Output readiness.
+    for &r in hot.out_regs.slice(&body.regs) {
+        a.t.reg[r as usize] = result_ready;
+    }
+    if let Some(v) = cold.out_vreg {
+        a.t.vreg[v as usize] = result_ready;
+    }
+    if hot.has(meta::FLAGS_WRITTEN) {
+        a.t.flags = result_ready;
+    }
+
+    let next = exec::execute(inst, a.state, a.bus)?;
+    Ok(StepOutcome::one(next, hot.has(meta::RETIRES)))
+}
+
+/// Fused superblock of straight-line entries (ALU, load, store, RMW):
+/// `fuse_len` consecutive instructions with no branch, vector register, or
+/// privilege, stepped in one dispatch. Interrupt polling and the
+/// instruction-limit check run once per dispatched block. A fault from any
+/// entry ends the block after the completed prefix
+/// (`StepOutcome::consumed`), matching the per-instruction path's
+/// accounting exactly.
+fn step_block<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let n = if a.fuse {
+        a.body.hot[a.pc].fuse_len as usize
+    } else {
+        1
+    };
+    for i in 0..n {
+        let pc = a.pc + i;
+        let r = match a.body.hot[pc].handler {
+            handler::ALU_BLOCK => alu_entry(eng, a, pc),
+            handler::LOAD => mem_entry::<B, true, false>(eng, a, pc),
+            handler::STORE => mem_entry::<B, false, true>(eng, a, pc),
+            _ => mem_entry::<B, true, true>(eng, a, pc), // RMW
+        };
+        if let Err(f) = r {
+            // The faulting entry counts toward the non-AVX streak, just
+            // as on the per-instruction path.
+            eng.note_non_avx_n(i as u64 + 1);
+            return Ok(StepOutcome {
+                next: Next::Seq,
+                consumed: i as u32,
+                retired: i as u32,
+                fault: Some(f),
+            });
+        }
+    }
+    eng.note_non_avx_n(n as u64);
+    Ok(StepOutcome {
+        next: Next::Seq,
+        consumed: n as u32,
+        retired: n as u32,
+        fault: None,
+    })
+}
+
+/// One register-only ALU entry inside a superblock.
+fn alu_entry<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+    pc: usize,
+) -> Result<(), CpuFault> {
+    let body = a.body;
+    let hot = &body.hot[pc];
+    let mut input_ready = a.t.barrier;
+    for &r in hot.in_regs.slice(&body.regs) {
+        input_ready = input_ready.max(a.t.reg[r as usize]);
+    }
+    if hot.has(meta::FLAGS_READ) {
+        input_ready = input_ready.max(a.t.flags);
+    }
+    let uops = hot.uops.slice(&body.uops);
+    let mut result_ready = input_ready;
+    for (j, u) in uops.iter().enumerate() {
+        let dispatch = a.t.dispatch(u.ports, input_ready, u.recip, a.batch);
+        let done = dispatch + u.latency;
+        a.t.complete(done);
+        if j == 0 {
+            result_ready = done;
+        }
+    }
+    for &r in hot.out_regs.slice(&body.regs) {
+        a.t.reg[r as usize] = result_ready;
+    }
+    if hot.has(meta::FLAGS_WRITTEN) {
+        a.t.flags = result_ready;
+    }
+    let fast = &body.fast[pc];
+    if matches!(fast, FastOp::None) {
+        exec::execute(&a.insts[pc], a.state, a.bus)?;
+    } else {
+        // Pre-decoded register-only semantics: cannot fault.
+        exec::execute_fast(fast, a.state);
+    }
+    Ok(())
+}
+
+/// One LOAD / STORE / RMW entry inside a superblock: the generic path
+/// specialized to "no vector registers, no AVX, no branch", with the
+/// memory sides selected by const generics (`READS`/`WRITES`; both set is
+/// the covered read-modify-write shape). These shapes always fall through
+/// (`Next::Seq`) and always retire, so the block loop accounts for them
+/// uniformly.
+fn mem_entry<B: Bus + ?Sized, const READS: bool, const WRITES: bool>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+    pc: usize,
+) -> Result<(), CpuFault> {
+    let body = a.body;
+    let hot = &body.hot[pc];
+
+    let mut input_ready = a.t.barrier;
+    for &r in hot.in_regs.slice(&body.regs) {
+        input_ready = input_ready.max(a.t.reg[r as usize]);
+    }
+    if hot.has(meta::FLAGS_READ) {
+        input_ready = input_ready.max(a.t.flags);
+    }
+
+    let mut load_done = 0u64;
+    if READS {
+        for mem in hot.reads.slice(&body.reads) {
+            let a_ready = addr_ready(a.t, mem);
+            let vaddr = exec::mem_vaddr(a.state, mem);
+            // In the RMW shape the (single) write is covered by this read.
+            let done = eng.timed_load(a.t, vaddr, a_ready, WRITES, a.batch, a.pmu, a.bus)?;
+            load_done = load_done.max(done);
+        }
+    }
+    let compute_ready = input_ready.max(load_done);
+
+    let uops = hot.uops.slice(&body.uops);
+    let mut result_ready = if uops.is_empty() {
+        if load_done > 0 {
+            load_done
+        } else {
+            compute_ready
+        }
+    } else {
+        compute_ready
+    };
+    for (i, u) in uops.iter().enumerate() {
+        let dispatch = a.t.dispatch(u.ports, compute_ready, u.recip, a.batch);
+        let done = dispatch + u.latency;
+        a.t.complete(done);
+        if i == 0 {
+            result_ready = done.max(load_done);
+        }
+    }
+
+    if WRITES {
+        for store in hot.writes.slice(&body.writes) {
+            let a_ready = addr_ready(a.t, &store.mem);
+            a.t.dispatch(eng.ports.store_addr, a_ready, 1, a.batch);
+            a.t.dispatch(eng.ports.store_data, result_ready, 1, a.batch);
+            if !store.covered_by_read {
+                let vaddr = exec::mem_vaddr(a.state, &store.mem);
+                let res = a.bus.access(vaddr, true)?;
+                a.batch.count_store_coherence(&res);
+                if res.slice.is_some() {
+                    eng.drain_uncore(a.pmu, a.bus);
+                }
+            }
+        }
+    }
+
+    for &r in hot.out_regs.slice(&body.regs) {
+        a.t.reg[r as usize] = result_ready;
+    }
+    if hot.has(meta::FLAGS_WRITTEN) {
+        a.t.flags = result_ready;
+    }
+
+    let fast = &body.fast[pc];
+    if matches!(fast, FastOp::None) {
+        let next = exec::execute(&a.insts[pc], a.state, a.bus)?;
+        debug_assert!(matches!(next, Next::Seq), "mem shapes never branch");
+    } else {
+        exec::execute_fast_mem(fast, a.state, a.bus)?;
+    }
+    debug_assert!(hot.has(meta::RETIRES), "mem shapes always retire");
+    Ok(())
+}
+
+/// Register-only branches (`COND` selects the predictor-feeding
+/// conditional shape; unconditional jumps only count as retired).
+fn step_branch<B: Bus + ?Sized, const COND: bool>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let body = a.body;
+    let hot = &body.hot[a.pc];
+    let inst = &a.insts[a.pc];
+    eng.note_non_avx();
+
+    let mut input_ready = a.t.barrier;
+    for &r in hot.in_regs.slice(&body.regs) {
+        input_ready = input_ready.max(a.t.reg[r as usize]);
+    }
+    if hot.has(meta::FLAGS_READ) {
+        input_ready = input_ready.max(a.t.flags);
+    }
+
+    let uops = hot.uops.slice(&body.uops);
+    let mut result_ready = input_ready;
+    for (i, u) in uops.iter().enumerate() {
+        let dispatch = a.t.dispatch(u.ports, input_ready, u.recip, a.batch);
+        let done = dispatch + u.latency;
+        a.t.complete(done);
+        if i == 0 {
+            result_ready = done;
+        }
+    }
+
+    let taken = exec::branch_taken(inst, a.state);
+    let dispatch = a.t.dispatch(eng.ports.branch, input_ready, 1, a.batch);
+    let done = dispatch + 1;
+    a.t.complete(done);
+    a.batch.br_retired += 1;
+    if COND && eng.bpred.update(a.pc, taken) {
+        a.batch.br_misp += 1;
+        a.t.alloc_cycle = a.t.alloc_cycle.max(done + eng.config.mispredict_penalty);
+        a.t.alloc_slots = 0;
+    }
+
+    for &r in hot.out_regs.slice(&body.regs) {
+        a.t.reg[r as usize] = result_ready;
+    }
+    if hot.has(meta::FLAGS_WRITTEN) {
+        a.t.flags = result_ready;
+    }
+
+    let next = exec::execute(inst, a.state, a.bus)?;
+    Ok(StepOutcome::one(next, hot.has(meta::RETIRES)))
+}
+
+// ---- special-mnemonic handlers (the former `step_special` match arms) ----
+
+fn step_nop<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let ready = start_of(a.t);
+    a.t.dispatch(PortSet::NONE, ready, 1, a.batch);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_lfence<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    // "LFENCE does not execute until all prior instructions have completed
+    // locally, and no later instruction begins execution until LFENCE
+    // completes" (§IV-A1).
+    let done = a.t.max_complete.max(a.t.alloc_uop());
+    a.batch.uops_issued += 1;
+    a.t.set_barrier(done);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_fence<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let extra = if a.insts[a.pc].mnemonic == Mnemonic::Mfence {
+        33
+    } else {
+        2
+    };
+    let done = a.t.max_complete.max(a.t.alloc_uop()) + extra;
+    a.batch.uops_issued += 1;
+    a.t.set_barrier(done);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_cpuid<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    // Fully serializing but with variable latency and µop count, both
+    // depending on RAX and run-to-run jitter (Paoloni's observation,
+    // §IV-A1).
+    let rax = a.state.gpr(Gpr::Rax);
+    let latency = 95 + (rax & 0xF) * 23 + eng.rng.gen_range(0..=50);
+    let n_uops = 20 + (rax & 0x3) * 10;
+    for _ in 0..n_uops {
+        let ready = a.t.max_complete;
+        a.t.dispatch(eng.ports.alu, ready, 1, a.batch);
+    }
+    let done = a.t.max_complete.max(a.t.alloc_cycle) + latency;
+    a.t.set_barrier(done);
+    // Leaf outputs (model identification values).
+    a.state.set_gpr(Gpr::Rax, 0x0005_06E3);
+    a.state.set_gpr(Gpr::Rbx, u64::from_le_bytes(*b"nanoBen\0"));
+    a.state.set_gpr(Gpr::Rcx, 0x7FFA_FBBF);
+    a.state.set_gpr(Gpr::Rdx, 0xBFEB_FBFF);
+    for r in [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx] {
+        a.t.reg[r.number() as usize] = done;
+    }
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_rdtsc<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let ready = start_of(a.t);
+    let dispatch = a.t.dispatch(eng.ports.int_mul, ready, 25, a.batch);
+    let done = dispatch + 25;
+    a.t.complete(done);
+    let tsc = dispatch;
+    a.state.set_gpr(Gpr::Rax, tsc & 0xFFFF_FFFF);
+    a.state.set_gpr(Gpr::Rdx, tsc >> 32);
+    a.t.reg[Gpr::Rax.number() as usize] = done;
+    a.t.reg[Gpr::Rdx.number() as usize] = done;
+    if a.insts[a.pc].mnemonic == Mnemonic::Rdtscp {
+        a.state.set_gpr(Gpr::Rcx, 0);
+        a.t.reg[Gpr::Rcx.number() as usize] = done;
+    }
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_rdpmc<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    if !a.bus.is_kernel() && !a.bus.rdpmc_allowed() {
+        return Err(CpuFault::RdpmcNotAllowed);
+    }
+    let ready = a.t.reg[Gpr::Rcx.number() as usize];
+    // ~10 µops; the dependency-carrying one reads the counter.
+    for _ in 0..9 {
+        a.t.dispatch(eng.ports.alu, ready, 1, a.batch);
+    }
+    let dispatch = a.t.dispatch(eng.ports.int_mul, ready, 20, a.batch);
+    let done = dispatch + 25;
+    a.t.complete(done);
+    eng.drain_uncore(a.pmu, a.bus);
+    // Architectural counter read: pending batched counts must land first.
+    a.batch.flush(a.pmu);
+    a.pmu.sync_cycles(dispatch);
+    let ecx = a.state.gpr(Gpr::Rcx) as u32;
+    let value = a.pmu.rdpmc(ecx).ok_or(CpuFault::BadMsr { addr: ecx })?;
+    a.state.set_gpr(Gpr::Rax, value & 0xFFFF_FFFF);
+    a.state.set_gpr(Gpr::Rdx, value >> 32);
+    a.t.reg[Gpr::Rax.number() as usize] = done;
+    a.t.reg[Gpr::Rdx.number() as usize] = done;
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_rdmsr<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let ready = a.t.reg[Gpr::Rcx.number() as usize];
+    let dispatch = a.t.dispatch(eng.ports.int_mul, ready, 100, a.batch);
+    let done = dispatch + 100;
+    a.t.complete(done);
+    eng.drain_uncore(a.pmu, a.bus);
+    a.batch.flush(a.pmu);
+    a.pmu.sync_cycles(dispatch);
+    let addr = a.state.gpr(Gpr::Rcx) as u32;
+    let value = match a.pmu.rdmsr(addr) {
+        Some(v) => v,
+        None => a.bus.rdmsr(addr)?,
+    };
+    a.state.set_gpr(Gpr::Rax, value & 0xFFFF_FFFF);
+    a.state.set_gpr(Gpr::Rdx, value >> 32);
+    a.t.reg[Gpr::Rax.number() as usize] = done;
+    a.t.reg[Gpr::Rdx.number() as usize] = done;
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_wrmsr<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let ready = a.t.reg[Gpr::Rcx.number() as usize]
+        .max(a.t.reg[Gpr::Rax.number() as usize])
+        .max(a.t.reg[Gpr::Rdx.number() as usize]);
+    // WRMSR is serializing.
+    let done = a.t.max_complete.max(ready).max(a.t.alloc_uop()) + 150;
+    a.batch.uops_issued += 1;
+    a.t.set_barrier(done);
+    let addr = a.state.gpr(Gpr::Rcx) as u32;
+    let value = (a.state.gpr(Gpr::Rdx) << 32) | (a.state.gpr(Gpr::Rax) & 0xFFFF_FFFF);
+    // Architectural counter write: pending counts must land before the
+    // write replaces the counter value.
+    a.batch.flush(a.pmu);
+    a.pmu.sync_cycles(done);
+    if !a.pmu.wrmsr(addr, value) {
+        a.bus.wrmsr(addr, value)?;
+    }
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_wbinvd<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let done = a.t.max_complete.max(a.t.alloc_uop()) + 5000;
+    a.batch.uops_issued += 1;
+    a.t.set_barrier(done);
+    a.bus.wbinvd();
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_clflush<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let mem = a.insts[a.pc]
+        .dst()
+        .and_then(|o| o.as_mem())
+        .expect("clflush takes a memory operand");
+    let ready = addr_ready(a.t, &mem);
+    let dispatch = a.t.dispatch(eng.ports.store_addr, ready, 6, a.batch);
+    a.t.dispatch(eng.ports.store_data, ready, 1, a.batch);
+    a.t.complete(dispatch + 2);
+    let vaddr = exec::mem_vaddr(a.state, &mem);
+    a.bus.clflush(vaddr);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_prefetch<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let mem = a.insts[a.pc]
+        .dst()
+        .and_then(|o| o.as_mem())
+        .expect("prefetch takes a memory operand");
+    let ready = addr_ready(a.t, &mem);
+    let dispatch = a.t.dispatch(eng.ports.load, ready, 1, a.batch);
+    a.t.complete(dispatch + 1);
+    let vaddr = exec::mem_vaddr(a.state, &mem);
+    a.bus.prefetch(vaddr);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_cli<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    a.bus.set_interrupt_flag(false);
+    let ready = start_of(a.t);
+    a.t.dispatch(eng.ports.alu, ready, 1, a.batch);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_sti<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    a.bus.set_interrupt_flag(true);
+    let ready = start_of(a.t);
+    a.t.dispatch(eng.ports.alu, ready, 1, a.batch);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_serialize<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    // HLT / SWAPGS / MOV CR3 / INVLPG: modeled as serializing, fixed-cost
+    // kernel operations. (TLBs are not modeled; an INVLPG flush is a
+    // timing event only.)
+    let done = a.t.max_complete.max(a.t.alloc_uop()) + 100;
+    a.batch.uops_issued += 1;
+    a.t.set_barrier(done);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_rdrand<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let u = a.body.hot[a.pc].uops.slice(&a.body.uops)[0];
+    let ready = start_of(a.t);
+    let dispatch = a.t.dispatch(u.ports, ready, u.recip, a.batch);
+    let done = dispatch + u.latency;
+    a.t.complete(done);
+    let value: u64 = eng.rng.gen();
+    if let Some(Operand::Gpr(g)) = a.insts[a.pc].dst() {
+        a.state.set_gpr_part(*g, value);
+        a.t.reg[g.reg.number() as usize] = done;
+    }
+    a.state.set_flag(nanobench_x86::reg::Flag::Cf, true);
+    Ok(StepOutcome::one(Next::Seq, true))
+}
+
+fn step_nb_pause<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    // Magic marker: pause counting (§III-I). Zero architectural cost
+    // beyond the sync point. The batch accumulated while counting was on
+    // must land before the gate closes.
+    a.batch.flush(a.pmu);
+    a.pmu.sync_cycles(a.t.now());
+    a.pmu.set_counting(false);
+    Ok(StepOutcome::one(Next::Seq, false))
+}
+
+fn step_nb_resume<B: Bus + ?Sized>(
+    _eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    // Counts accumulated while paused are dropped by the closed gate at
+    // flush time — exactly as per-µop delivery would have dropped them.
+    a.batch.flush(a.pmu);
+    a.pmu.sync_cycles(a.t.now());
+    a.pmu.set_counting(true);
+    Ok(StepOutcome::one(Next::Seq, false))
+}
+
+fn step_push<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let inst = &a.insts[a.pc];
+    let data_ready = match inst.dst() {
+        Some(Operand::Gpr(g)) => a.t.reg[g.reg.number() as usize],
+        _ => start_of(a.t),
+    };
+    let rsp_ready = a.t.reg[Gpr::Rsp.number() as usize];
+    let rsp_done = a.t.dispatch(eng.ports.alu, rsp_ready, 1, a.batch) + 1;
+    a.t.reg[Gpr::Rsp.number() as usize] = rsp_done;
+    a.t.dispatch(eng.ports.store_addr, rsp_done, 1, a.batch);
+    a.t.dispatch(eng.ports.store_data, data_ready, 1, a.batch);
+    a.t.complete(rsp_done);
+    let vaddr = a.state.gpr(Gpr::Rsp).wrapping_sub(8);
+    let res = a.bus.access(vaddr, true)?;
+    a.batch.count_store_coherence(&res);
+    let next = exec::execute(inst, a.state, a.bus)?;
+    Ok(StepOutcome::one(next, true))
+}
+
+fn step_pop<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+) -> Result<StepOutcome, CpuFault> {
+    let inst = &a.insts[a.pc];
+    let rsp_ready = a.t.reg[Gpr::Rsp.number() as usize];
+    let vaddr = a.state.gpr(Gpr::Rsp);
+    let load_done = eng.timed_load(a.t, vaddr, rsp_ready, false, a.batch, a.pmu, a.bus)?;
+    let rsp_done = a.t.dispatch(eng.ports.alu, rsp_ready, 1, a.batch) + 1;
+    a.t.reg[Gpr::Rsp.number() as usize] = rsp_done;
+    if let Some(Operand::Gpr(g)) = inst.dst() {
+        a.t.reg[g.reg.number() as usize] = load_done;
+    }
+    a.t.complete(load_done);
+    let next = exec::execute(inst, a.state, a.bus)?;
+    Ok(StepOutcome::one(next, true))
 }

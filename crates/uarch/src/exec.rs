@@ -8,6 +8,7 @@
 //! real values.
 
 use crate::bus::{Bus, CpuFault};
+use crate::plan::{FastAlu, FastOp, FastSrc};
 use crate::state::CpuState;
 use nanobench_x86::inst::{Instruction, Mnemonic};
 use nanobench_x86::operand::{MemRef, Operand};
@@ -34,7 +35,11 @@ pub fn mem_vaddr(state: &CpuState, m: &MemRef) -> u64 {
     addr
 }
 
-fn read_operand(state: &mut CpuState, bus: &mut dyn Bus, op: &Operand) -> Result<u64, CpuFault> {
+fn read_operand<B: Bus + ?Sized>(
+    state: &mut CpuState,
+    bus: &mut B,
+    op: &Operand,
+) -> Result<u64, CpuFault> {
     match op {
         Operand::Gpr(g) => Ok(state.gpr_part(*g)),
         Operand::Imm(v) => Ok(*v as u64),
@@ -44,9 +49,9 @@ fn read_operand(state: &mut CpuState, bus: &mut dyn Bus, op: &Operand) -> Result
     }
 }
 
-fn write_operand(
+fn write_operand<B: Bus + ?Sized>(
     state: &mut CpuState,
-    bus: &mut dyn Bus,
+    bus: &mut B,
     op: &Operand,
     value: u64,
 ) -> Result<(), CpuFault> {
@@ -122,6 +127,129 @@ fn set_sub_flags(state: &mut CpuState, a: u64, b: u64, borrow_in: u64, w: Width)
     result
 }
 
+/// Executes a pre-decoded [`FastOp`] semantically. Must be bit-identical
+/// to running the corresponding instruction through [`execute`]: same
+/// result value and the exact same flag updates (pinned by the
+/// `plan_equivalence` and differential suites). Fast ops never touch the
+/// bus, so they cannot fault and always fall through sequentially.
+pub(crate) fn execute_fast(op: &FastOp, state: &mut CpuState) {
+    let src_val = |state: &CpuState, src: FastSrc| match src {
+        FastSrc::Reg(r) => state.gpr(r),
+        FastSrc::Imm(v) => v,
+    };
+    match *op {
+        FastOp::Mov { dst, src } => {
+            let v = src_val(state, src);
+            state.set_gpr(dst, v);
+        }
+        FastOp::Add { dst, src } => {
+            let a = state.gpr(dst);
+            let b = src_val(state, src);
+            let r = set_add_flags(state, a, b, 0, Width::Q);
+            state.set_gpr(dst, r);
+        }
+        FastOp::Sub { dst, src } => {
+            let a = state.gpr(dst);
+            let b = src_val(state, src);
+            let r = set_sub_flags(state, a, b, 0, Width::Q);
+            state.set_gpr(dst, r);
+        }
+        FastOp::And { dst, src } | FastOp::Or { dst, src } | FastOp::Xor { dst, src } => {
+            let a = state.gpr(dst);
+            let b = src_val(state, src);
+            let r = match op {
+                FastOp::And { .. } => a & b,
+                FastOp::Or { .. } => a | b,
+                _ => a ^ b,
+            };
+            set_logic_flags(state, r, Width::Q);
+            state.set_gpr(dst, r);
+        }
+        FastOp::Imul { dst, src } => {
+            let a = state.gpr(dst) as i64;
+            let b = src_val(state, src) as i64;
+            let r = a.wrapping_mul(b) as u64;
+            let overflow = a.checked_mul(b).is_none();
+            state.set_flag(Flag::Cf, overflow);
+            state.set_flag(Flag::Of, overflow);
+            state.set_gpr(dst, r);
+        }
+        FastOp::Inc { dst } | FastOp::Dec { dst } => {
+            let a = state.gpr(dst);
+            let cf = state.flag(Flag::Cf); // INC/DEC preserve CF
+            let r = match op {
+                FastOp::Inc { .. } => set_add_flags(state, a, 1, 0, Width::Q),
+                _ => set_sub_flags(state, a, 1, 0, Width::Q),
+            };
+            state.set_flag(Flag::Cf, cf);
+            state.set_gpr(dst, r);
+        }
+        FastOp::Lea { dst, mem } => {
+            let addr = mem_vaddr(state, &mem);
+            state.set_gpr(dst, addr);
+        }
+        _ => unreachable!("register-only fast ops only (see execute_fast_mem)"),
+    }
+}
+
+/// Executes a pre-decoded memory-shape [`FastOp`] semantically. Must be
+/// bit-identical to running the corresponding instruction through
+/// [`execute`]: same data access, result value, and flag updates (pinned
+/// by the `plan_equivalence` and differential suites).
+///
+/// # Errors
+///
+/// Propagates memory faults from the data access, exactly where
+/// [`execute`] would raise them.
+pub(crate) fn execute_fast_mem<B: Bus + ?Sized>(
+    op: &FastOp,
+    state: &mut CpuState,
+    bus: &mut B,
+) -> Result<(), CpuFault> {
+    let src_val = |state: &CpuState, src: FastSrc| match src {
+        FastSrc::Reg(r) => state.gpr(r),
+        FastSrc::Imm(v) => v,
+    };
+    let alu = |state: &mut CpuState, op: FastAlu, a: u64, b: u64| match op {
+        FastAlu::Add => set_add_flags(state, a, b, 0, Width::Q),
+        FastAlu::Sub => set_sub_flags(state, a, b, 0, Width::Q),
+        FastAlu::And | FastAlu::Or | FastAlu::Xor => {
+            let r = match op {
+                FastAlu::And => a & b,
+                FastAlu::Or => a | b,
+                _ => a ^ b,
+            };
+            set_logic_flags(state, r, Width::Q);
+            r
+        }
+    };
+    match *op {
+        FastOp::LoadQ { dst, mem } => {
+            let v = bus.read(mem_vaddr(state, &mem), 8)?;
+            state.set_gpr(dst, v);
+        }
+        FastOp::LoadAlu { op, dst, mem } => {
+            let a = state.gpr(dst);
+            let b = bus.read(mem_vaddr(state, &mem), 8)?;
+            let r = alu(state, op, a, b);
+            state.set_gpr(dst, r);
+        }
+        FastOp::StoreQ { mem, src } => {
+            let v = src_val(state, src);
+            bus.write(mem_vaddr(state, &mem), 8, v)?;
+        }
+        FastOp::RmwAlu { op, mem, src } => {
+            let vaddr = mem_vaddr(state, &mem);
+            let a = bus.read(vaddr, 8)?;
+            let b = src_val(state, src);
+            let r = alu(state, op, a, b);
+            bus.write(vaddr, 8, r)?;
+        }
+        _ => unreachable!("memory-shape fast ops only (see execute_fast)"),
+    }
+    Ok(())
+}
+
 /// Executes one "ordinary" instruction semantically (the engine handles
 /// fences, counter reads, privileged and cache-control instructions before
 /// calling this).
@@ -129,10 +257,10 @@ fn set_sub_flags(state: &mut CpuState, a: u64, b: u64, borrow_in: u64, w: Width)
 /// # Errors
 ///
 /// Propagates memory faults and raises [`CpuFault::DivideError`].
-pub fn execute(
+pub fn execute<B: Bus + ?Sized>(
     inst: &Instruction,
     state: &mut CpuState,
-    bus: &mut dyn Bus,
+    bus: &mut B,
 ) -> Result<Next, CpuFault> {
     use Mnemonic::*;
     let w = op_width(inst);

@@ -8,10 +8,28 @@
 //! memory-operand scans built fresh vectors, and port dispatch collected a
 //! candidate list per µop. A [`DecodedProgram`] hoists all of that into a
 //! one-shot analysis pass: each static instruction maps to a flat
-//! [`PlanEntry`] whose variable-length data (resolved µops, register
+//! [`HotEntry`] whose variable-length data (resolved µops, register
 //! dependencies, memory operands) lives in contiguous arenas addressed by
 //! spans — so the engine's steady-state loop performs no heap allocation
 //! and no hashing.
+//!
+//! On top of the arena layout, decode resolves *how* each instruction is
+//! stepped:
+//!
+//! * Every entry carries a [`handler`] index into the engine's static
+//!   dispatch table, so the steady-state loop is an indirect call with no
+//!   branching on step kind — specials get one handler per mnemonic
+//!   family, and the dominant ALU / load / store / read-modify-write
+//!   shapes get specialized fast handlers.
+//! * Entries are split struct-of-arrays: the hot loop touches only
+//!   [`HotEntry`] (handler index, µop/register/memory spans, packed meta
+//!   bits); rarely-needed metadata (vector-register dependencies) lives in
+//!   a parallel [`ColdEntry`] arena only the generic handler reads.
+//! * Adjacent ALU-only entries are fused into superblock steps:
+//!   `fuse_len` is the run length of consecutive ALU entries starting at
+//!   each position (a suffix computation, so branches into the middle of
+//!   a block land on a correct shorter block), and the ALU handler steps
+//!   the whole run in one dispatch.
 //!
 //! Invariants:
 //!
@@ -32,6 +50,7 @@ use crate::exec;
 use crate::port::{MicroArch, PortSet};
 use nanobench_x86::inst::{Instruction, Mnemonic};
 use nanobench_x86::operand::{MemRef, Operand};
+use nanobench_x86::reg::{Gpr, Width};
 
 /// A µop with its port class resolved to the concrete ports of the
 /// microarchitecture the plan was decoded for.
@@ -45,15 +64,91 @@ pub struct ResolvedUop {
     pub recip: u64,
 }
 
-/// How the interpreter steps one instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum StepKind {
-    /// The generic dataflow path, fully described by the plan entry.
-    Generic,
-    /// One of the engine's special-cased mnemonics (fences, counter
-    /// reads, privileged operations, push/pop, magic markers).
-    Special,
+/// Indices into the engine's step-handler dispatch table. Resolved once at
+/// plan-build time; the interpreter's steady state is
+/// `TABLE[entry.handler](engine, ...)` with no per-step branching on kind.
+pub(crate) mod handler {
+    /// Full dataflow path: AVX, vector registers, privilege, any operand
+    /// shape. Correct for every non-special instruction.
+    pub const GENERIC: u8 = 0;
+    /// Fused superblock of register-only ALU entries (`fuse_len` ≥ 1).
+    pub const ALU_BLOCK: u8 = 1;
+    /// Memory reads, no writes, GPR outputs only.
+    pub const LOAD: u8 = 2;
+    /// Memory write, no reads (pure store).
+    pub const STORE: u8 = 3;
+    /// Read-modify-write: a load that covers the store's line.
+    pub const RMW: u8 = 4;
+    /// Conditional branch (feeds the predictor).
+    pub const COND_BRANCH: u8 = 5;
+    /// Unconditional branch.
+    pub const JUMP: u8 = 6;
+    // One handler per special-cased mnemonic family (the former
+    // `step_special` match arms).
+    pub const NOP: u8 = 7;
+    pub const LFENCE: u8 = 8;
+    /// MFENCE / SFENCE.
+    pub const FENCE: u8 = 9;
+    pub const CPUID: u8 = 10;
+    /// RDTSC / RDTSCP.
+    pub const RDTSC: u8 = 11;
+    pub const RDPMC: u8 = 12;
+    pub const RDMSR: u8 = 13;
+    pub const WRMSR: u8 = 14;
+    /// WBINVD / INVD.
+    pub const WBINVD: u8 = 15;
+    /// CLFLUSH / CLFLUSHOPT.
+    pub const CLFLUSH: u8 = 16;
+    /// The PREFETCHhx family.
+    pub const PREFETCH: u8 = 17;
+    pub const CLI: u8 = 18;
+    pub const STI: u8 = 19;
+    /// HLT / SWAPGS / MOV CR3 / INVLPG: serializing fixed-cost kernel ops.
+    pub const SERIALIZE: u8 = 20;
+    /// RDRAND / RDSEED.
+    pub const RDRAND: u8 = 21;
+    pub const NB_PAUSE: u8 = 22;
+    pub const NB_RESUME: u8 = 23;
+    pub const PUSH: u8 = 24;
+    pub const POP: u8 = 25;
+    /// Number of handlers (dispatch-table length).
+    pub const COUNT: usize = 26;
+
+    /// Whether the index is one of the special-mnemonic handlers.
+    #[cfg(test)]
+    pub(crate) fn is_special(h: u8) -> bool {
+        h >= NOP
+    }
+
+    /// Whether entries with this handler can be fused into a superblock:
+    /// the straight-line ALU / load / store / RMW shapes, whose control
+    /// flow is always sequential and whose in-block stepping the block
+    /// handler implements inline.
+    pub(crate) fn is_fusable(h: u8) -> bool {
+        matches!(h, ALU_BLOCK | LOAD | STORE | RMW)
+    }
 }
+
+/// Packed per-entry boolean metadata ([`HotEntry::meta`]).
+pub(crate) mod meta {
+    pub const FLAGS_READ: u8 = 1 << 0;
+    pub const FLAGS_WRITTEN: u8 = 1 << 1;
+    /// Conditional branches feed the predictor; unconditional ones only
+    /// count as retired branches.
+    pub const CONDITIONAL: u8 = 1 << 2;
+    /// Magic pause/resume markers do not retire (§III-I).
+    pub const RETIRES: u8 = 1 << 3;
+    pub const IS_BRANCH: u8 = 1 << 4;
+    /// Drives the AVX warm-up bookkeeping (§III-H).
+    pub const IS_AVX: u8 = 1 << 5;
+    /// `check_kernel` outcome precomputed (the bus side stays dynamic).
+    pub const PRIVILEGED: u8 = 1 << 6;
+}
+
+/// Maximum number of ALU entries fused into one superblock. Bounds how far
+/// a fused step can run ahead of interrupt polling and the instruction
+/// limit check (both happen once per dispatched block).
+const FUSE_CAP: u8 = 16;
 
 /// A store operand plus whether this instruction's load µop already
 /// touched the line (RMW forms skip the second cache access).
@@ -83,49 +178,222 @@ impl Span {
     pub(crate) fn slice<T>(self, arena: &[T]) -> &[T] {
         &arena[self.start as usize..(self.start + self.len) as usize]
     }
+
+    pub(crate) fn is_empty(self) -> bool {
+        self.len == 0
+    }
 }
 
-/// Everything the interpreter needs to step one static instruction,
-/// precomputed. Fixed-size; variable-length data lives in the
-/// [`PlanBody`] arenas.
+/// The hot half of one static instruction's decode: everything the
+/// steady-state interpreter loop touches, and nothing it does not.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct PlanEntry {
-    pub kind: StepKind,
-    /// `check_kernel` outcome precomputed (the bus side stays dynamic).
-    pub privileged: bool,
-    /// Drives the AVX warm-up bookkeeping (§III-H).
-    pub is_avx: bool,
-    pub flags_read: bool,
-    pub flags_written: bool,
-    pub is_branch: bool,
-    /// Conditional branches feed the predictor; unconditional ones only
-    /// count as retired branches.
-    pub conditional: bool,
-    /// Magic pause/resume markers do not retire (§III-I).
-    pub retires: bool,
+pub(crate) struct HotEntry {
+    /// Index into the engine's dispatch table ([`handler`]).
+    pub handler: u8,
+    /// Number of consecutive entries (≥ 1) this dispatch consumes; > 1
+    /// only for [`handler::ALU_BLOCK`] superblocks.
+    pub fuse_len: u8,
+    /// Packed [`meta`] bits.
+    pub meta: u8,
     /// Resolved compute µops (also carries the RDRAND/RDSEED descriptor
-    /// for that special, so its arm needs no table lookup either).
+    /// for that special, so its handler needs no table lookup either).
     pub uops: Span,
     /// Input GPR numbers (operand and implicit, address registers
     /// included).
     pub in_regs: Span,
-    /// Input vector-register indices.
-    pub in_vregs: Span,
     /// Output GPR numbers.
     pub out_regs: Span,
-    /// Output vector register, if any.
-    pub out_vreg: Option<u8>,
     /// Memory operands read.
     pub reads: Span,
     /// Memory operands written.
     pub writes: Span,
 }
 
-/// The flat, index-addressed decode of a program: one [`PlanEntry`] per
-/// static instruction plus the shared arenas their spans point into.
+impl HotEntry {
+    pub(crate) fn has(&self, bit: u8) -> bool {
+        self.meta & bit != 0
+    }
+}
+
+/// The cold half: metadata only the generic handler consults (vector
+/// dependencies). Lives in a side arena so the fast handlers' cache
+/// footprint stays minimal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColdEntry {
+    /// Input vector-register indices.
+    pub in_vregs: Span,
+    /// Output vector register, if any.
+    pub out_vreg: Option<u8>,
+}
+
+/// A pre-resolved ALU source operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastSrc {
+    /// A full-width GPR.
+    Reg(Gpr),
+    /// An immediate, already sign-extended to 64 bits.
+    Imm(u64),
+}
+
+/// The ALU operation of a pre-decoded memory-operand instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastAlu {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+}
+
+/// Pre-decoded semantics for the dominant 64-bit ALU and memory shapes.
+/// Decode resolves the operand pattern once so the fused block handler
+/// executes these without re-matching mnemonic and operands on
+/// every dynamic instruction ([`exec::execute_fast`] for register-only
+/// ops, [`exec::execute_fast_mem`] for the memory shapes); anything not
+/// covered falls back to the generic interpreter via [`FastOp::None`].
+/// Register-only fast ops never touch the bus, so they cannot fault; the
+/// memory shapes fault exactly where [`exec::execute`] would (the data
+/// access).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastOp {
+    /// Not pre-decoded: execute through [`exec::execute`].
+    None,
+    /// `mov r64, r64/imm` (no flags).
+    Mov { dst: Gpr, src: FastSrc },
+    /// `add r64, r64/imm`.
+    Add { dst: Gpr, src: FastSrc },
+    /// `sub r64, r64/imm`.
+    Sub { dst: Gpr, src: FastSrc },
+    /// `and r64, r64/imm`.
+    And { dst: Gpr, src: FastSrc },
+    /// `or r64, r64/imm`.
+    Or { dst: Gpr, src: FastSrc },
+    /// `xor r64, r64/imm`.
+    Xor { dst: Gpr, src: FastSrc },
+    /// Two-operand `imul r64, r64/imm`.
+    Imul { dst: Gpr, src: FastSrc },
+    /// `inc r64` (preserves CF).
+    Inc { dst: Gpr },
+    /// `dec r64` (preserves CF).
+    Dec { dst: Gpr },
+    /// `lea r64, [mem]` (address computation, no flags).
+    Lea { dst: Gpr, mem: MemRef },
+    /// `mov r64, [mem64]` (no flags).
+    LoadQ { dst: Gpr, mem: MemRef },
+    /// `op r64, [mem64]` — ALU with a memory source.
+    LoadAlu { op: FastAlu, dst: Gpr, mem: MemRef },
+    /// `mov [mem64], r64/imm` (no flags).
+    StoreQ { mem: MemRef, src: FastSrc },
+    /// `op [mem64], r64/imm` — read-modify-write ALU.
+    RmwAlu {
+        op: FastAlu,
+        mem: MemRef,
+        src: FastSrc,
+    },
+}
+
+/// Pre-decodes `inst` into a [`FastOp`] if its shape is covered. Only
+/// meaningful for entries classified [`handler::ALU_BLOCK`] (register-only,
+/// non-vector, unprivileged); the width gate keeps partial-register merge
+/// semantics on the generic path.
+fn fast_op(inst: &Instruction) -> FastOp {
+    use Mnemonic::*;
+    let dst = match inst.dst() {
+        Some(Operand::Gpr(g)) if g.width == Width::Q => g.reg,
+        _ => return FastOp::None,
+    };
+    if matches!(inst.mnemonic, Inc | Dec) && inst.operands.len() == 1 {
+        return match inst.mnemonic {
+            Inc => FastOp::Inc { dst },
+            _ => FastOp::Dec { dst },
+        };
+    }
+    if inst.operands.len() != 2 {
+        return FastOp::None;
+    }
+    if inst.mnemonic == Lea {
+        return match inst.src() {
+            Some(Operand::Mem(m)) => FastOp::Lea { dst, mem: *m },
+            _ => FastOp::None,
+        };
+    }
+    let src = match inst.src() {
+        Some(Operand::Gpr(g)) if g.width == Width::Q => FastSrc::Reg(g.reg),
+        Some(Operand::Imm(v)) => FastSrc::Imm(*v as u64),
+        _ => return FastOp::None,
+    };
+    match inst.mnemonic {
+        Mov => FastOp::Mov { dst, src },
+        Add => FastOp::Add { dst, src },
+        Sub => FastOp::Sub { dst, src },
+        And => FastOp::And { dst, src },
+        Or => FastOp::Or { dst, src },
+        Xor => FastOp::Xor { dst, src },
+        Imul => FastOp::Imul { dst, src },
+        _ => FastOp::None,
+    }
+}
+
+/// Pre-decodes the dominant 64-bit memory shapes (`mov`/ALU with one
+/// qword memory operand) for entries classified LOAD / STORE / RMW. The
+/// width gates keep partial-width loads, stores, and merges on the
+/// generic path.
+fn fast_mem_op(inst: &Instruction) -> FastOp {
+    use Mnemonic::*;
+    if inst.operands.len() != 2 {
+        return FastOp::None;
+    }
+    let alu = |m: Mnemonic| match m {
+        Add => Some(FastAlu::Add),
+        Sub => Some(FastAlu::Sub),
+        And => Some(FastAlu::And),
+        Or => Some(FastAlu::Or),
+        Xor => Some(FastAlu::Xor),
+        _ => None,
+    };
+    match (inst.dst(), inst.src()) {
+        // Loads: r64 <- [mem64].
+        (Some(Operand::Gpr(g)), Some(Operand::Mem(m)))
+            if g.width == Width::Q && m.width == Width::Q =>
+        {
+            let (dst, mem) = (g.reg, *m);
+            if inst.mnemonic == Mov {
+                FastOp::LoadQ { dst, mem }
+            } else if let Some(op) = alu(inst.mnemonic) {
+                FastOp::LoadAlu { op, dst, mem }
+            } else {
+                FastOp::None
+            }
+        }
+        // Stores and RMW: [mem64] <- r64/imm.
+        (Some(Operand::Mem(m)), Some(src_op)) if m.width == Width::Q => {
+            let src = match src_op {
+                Operand::Gpr(g) if g.width == Width::Q => FastSrc::Reg(g.reg),
+                Operand::Imm(v) => FastSrc::Imm(*v as u64),
+                _ => return FastOp::None,
+            };
+            let mem = *m;
+            if inst.mnemonic == Mov {
+                FastOp::StoreQ { mem, src }
+            } else if let Some(op) = alu(inst.mnemonic) {
+                FastOp::RmwAlu { op, mem, src }
+            } else {
+                FastOp::None
+            }
+        }
+        _ => FastOp::None,
+    }
+}
+
+/// The flat, index-addressed decode of a program: parallel hot/cold entry
+/// arrays plus the shared arenas their spans point into.
 #[derive(Debug, Clone)]
 pub(crate) struct PlanBody {
-    pub entries: Vec<PlanEntry>,
+    pub hot: Vec<HotEntry>,
+    pub cold: Vec<ColdEntry>,
+    /// Pre-decoded semantics, parallel to `hot`; consulted by the fused
+    /// block handler (ALU, load, store, RMW entries) only.
+    pub fast: Vec<FastOp>,
     pub uops: Vec<ResolvedUop>,
     /// Shared arena for `in_regs` / `in_vregs` / `out_regs`.
     pub regs: Vec<u8>,
@@ -133,8 +401,8 @@ pub(crate) struct PlanBody {
     pub writes: Vec<PlannedStore>,
 }
 
-/// Whether the engine handles the mnemonic in a special-cased arm rather
-/// than the generic dataflow path. Must mirror the interpreter's match.
+/// Whether the engine handles the mnemonic in a special-cased handler
+/// rather than the generic dataflow path.
 fn is_special(m: Mnemonic) -> bool {
     use Mnemonic::*;
     matches!(
@@ -169,6 +437,34 @@ fn is_special(m: Mnemonic) -> bool {
             | Push
             | Pop
     )
+}
+
+/// Dispatch-table index for a special mnemonic. Must cover exactly the
+/// mnemonics [`is_special`] accepts.
+fn special_handler(m: Mnemonic) -> u8 {
+    use Mnemonic::*;
+    match m {
+        Nop => handler::NOP,
+        Lfence => handler::LFENCE,
+        Mfence | Sfence => handler::FENCE,
+        Cpuid => handler::CPUID,
+        Rdtsc | Rdtscp => handler::RDTSC,
+        Rdpmc => handler::RDPMC,
+        Rdmsr => handler::RDMSR,
+        Wrmsr => handler::WRMSR,
+        Wbinvd | Invd => handler::WBINVD,
+        Clflush | Clflushopt => handler::CLFLUSH,
+        Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta => handler::PREFETCH,
+        Cli => handler::CLI,
+        Sti => handler::STI,
+        Hlt | Swapgs | MovCr3 | Invlpg => handler::SERIALIZE,
+        Rdrand | Rdseed => handler::RDRAND,
+        NbPause => handler::NB_PAUSE,
+        NbResume => handler::NB_RESUME,
+        Push => handler::PUSH,
+        Pop => handler::POP,
+        other => unreachable!("mnemonic {other} is not an engine special"),
+    }
 }
 
 fn flags_read(m: Mnemonic) -> bool {
@@ -265,7 +561,9 @@ impl PlanBody {
     pub(crate) fn build(program: &[Instruction], table: &DescriptorTable) -> PlanBody {
         let ports = table.ports();
         let mut body = PlanBody {
-            entries: Vec::with_capacity(program.len()),
+            hot: Vec::with_capacity(program.len()),
+            cold: Vec::with_capacity(program.len()),
+            fast: Vec::with_capacity(program.len()),
             uops: Vec::new(),
             regs: Vec::new(),
             reads: Vec::new(),
@@ -275,37 +573,54 @@ impl PlanBody {
         for inst in program {
             let m = inst.mnemonic;
             let special = is_special(m);
-            let mut entry = PlanEntry {
-                kind: if special {
-                    StepKind::Special
-                } else {
-                    StepKind::Generic
-                },
-                privileged: m.is_privileged(),
-                is_avx: m.is_avx(),
-                flags_read: flags_read(m),
-                flags_written: flags_written(m),
-                is_branch: m.is_branch(),
-                conditional: matches!(
-                    m,
-                    Mnemonic::Jz | Mnemonic::Jnz | Mnemonic::Jc | Mnemonic::Jnc
-                ),
-                retires: !matches!(m, Mnemonic::NbPause | Mnemonic::NbResume),
+            let mut mbits = 0u8;
+            if flags_read(m) {
+                mbits |= meta::FLAGS_READ;
+            }
+            if flags_written(m) {
+                mbits |= meta::FLAGS_WRITTEN;
+            }
+            if matches!(
+                m,
+                Mnemonic::Jz | Mnemonic::Jnz | Mnemonic::Jc | Mnemonic::Jnc
+            ) {
+                mbits |= meta::CONDITIONAL;
+            }
+            if !matches!(m, Mnemonic::NbPause | Mnemonic::NbResume) {
+                mbits |= meta::RETIRES;
+            }
+            if m.is_branch() {
+                mbits |= meta::IS_BRANCH;
+            }
+            if m.is_avx() {
+                mbits |= meta::IS_AVX;
+            }
+            if m.is_privileged() {
+                mbits |= meta::PRIVILEGED;
+            }
+
+            let mut hot = HotEntry {
+                handler: handler::GENERIC,
+                fuse_len: 1,
+                meta: mbits,
                 uops: Span::default(),
                 in_regs: Span::default(),
-                in_vregs: Span::default(),
                 out_regs: Span::default(),
-                out_vreg: None,
                 reads: Span::default(),
                 writes: Span::default(),
             };
+            let mut cold = ColdEntry {
+                in_vregs: Span::default(),
+                out_vreg: None,
+            };
 
             if special {
-                // RDRAND/RDSEED are the only specials whose arm consults
-                // the descriptor table; resolve theirs here too.
+                hot.handler = special_handler(m);
+                // RDRAND/RDSEED are the only specials whose handler
+                // consults the descriptor table; resolve theirs here too.
                 if matches!(m, Mnemonic::Rdrand | Mnemonic::Rdseed) {
                     let desc = table.lookup(inst).expect("rdrand has a descriptor");
-                    entry.uops = Span::push(
+                    hot.uops = Span::push(
                         &mut body.uops,
                         desc.uops.iter().map(|u| ResolvedUop {
                             ports: u.class.resolve(ports),
@@ -314,7 +629,9 @@ impl PlanBody {
                         }),
                     );
                 }
-                body.entries.push(entry);
+                body.hot.push(hot);
+                body.cold.push(cold);
+                body.fast.push(FastOp::None);
                 continue;
             }
 
@@ -329,7 +646,7 @@ impl PlanBody {
                         recip: 1,
                     }],
                 });
-            entry.uops = Span::push(
+            hot.uops = Span::push(
                 &mut body.uops,
                 desc.uops.iter().map(|u| ResolvedUop {
                     ports: u.class.resolve(ports),
@@ -340,11 +657,11 @@ impl PlanBody {
 
             // Register dependencies (input order is irrelevant: readiness
             // is a max over the set).
-            entry.in_regs = Span::push(
+            hot.in_regs = Span::push(
                 &mut body.regs,
                 exec::input_gprs(inst).iter().map(|g| g.reg.number()),
             );
-            entry.in_vregs = Span::push(
+            cold.in_vregs = Span::push(
                 &mut body.regs,
                 inst.operands.iter().enumerate().filter_map(|(i, op)| {
                     if let Operand::Vec(v) = op {
@@ -355,29 +672,87 @@ impl PlanBody {
                     None
                 }),
             );
-            entry.out_regs = Span::push(
+            hot.out_regs = Span::push(
                 &mut body.regs,
                 exec::output_gprs(inst).iter().map(|g| g.reg.number()),
             );
             if let Some(Operand::Vec(v)) = inst.dst() {
-                entry.out_vreg = Some(v.index);
+                cold.out_vreg = Some(v.index);
             }
 
             // Memory operands.
             mem_reads(inst, &mut reads_buf);
-            entry.reads = Span::push(&mut body.reads, reads_buf.iter().copied());
+            hot.reads = Span::push(&mut body.reads, reads_buf.iter().copied());
+            let mut covered = false;
             if let Some(mem) = mem_writes(inst) {
-                entry.writes = Span::push(
+                covered = reads_buf.contains(&mem);
+                hot.writes = Span::push(
                     &mut body.writes,
                     std::iter::once(PlannedStore {
                         mem,
-                        covered_by_read: reads_buf.contains(&mem),
+                        covered_by_read: covered,
                     }),
                 );
             }
 
-            body.entries.push(entry);
+            // Fast-handler selection. Anything touching vector registers,
+            // AVX warm-up, or privilege stays on the generic path, as does
+            // any operand shape the fast handlers do not model.
+            let needs_generic = mbits & (meta::IS_AVX | meta::PRIVILEGED) != 0
+                || !cold.in_vregs.is_empty()
+                || cold.out_vreg.is_some();
+            hot.handler = if needs_generic {
+                handler::GENERIC
+            } else if mbits & meta::IS_BRANCH != 0 {
+                if hot.reads.is_empty() && hot.writes.is_empty() {
+                    if mbits & meta::CONDITIONAL != 0 {
+                        handler::COND_BRANCH
+                    } else {
+                        handler::JUMP
+                    }
+                } else {
+                    handler::GENERIC
+                }
+            } else if !hot.writes.is_empty() {
+                if covered {
+                    handler::RMW
+                } else if hot.reads.is_empty() {
+                    handler::STORE
+                } else {
+                    handler::GENERIC
+                }
+            } else if !hot.reads.is_empty() {
+                handler::LOAD
+            } else {
+                handler::ALU_BLOCK
+            };
+
+            body.hot.push(hot);
+            body.cold.push(cold);
+            body.fast.push(match hot.handler {
+                handler::ALU_BLOCK => fast_op(inst),
+                handler::LOAD | handler::STORE | handler::RMW => fast_mem_op(inst),
+                _ => FastOp::None,
+            });
         }
+
+        // Superblock fusion: fuse_len[i] is the (capped) length of the run
+        // of consecutive fusable entries (ALU, load, store, RMW — the
+        // straight-line shapes whose control flow is always sequential)
+        // starting at i. Computed as a suffix pass so a branch into the
+        // middle of a block lands on a correct, shorter block.
+        for i in (0..body.hot.len()).rev() {
+            if !handler::is_fusable(body.hot[i].handler) {
+                continue;
+            }
+            let next = body
+                .hot
+                .get(i + 1)
+                .filter(|n| handler::is_fusable(n.handler))
+                .map_or(0, |n| n.fuse_len);
+            body.hot[i].fuse_len = next.saturating_add(1).min(FUSE_CAP);
+        }
+
         body
     }
 }
@@ -443,9 +818,9 @@ mod tests {
     #[test]
     fn generic_entry_precomputes_everything() {
         let p = plan("add [r14+8], rax");
-        let e = &p.body().entries[0];
-        assert_eq!(e.kind, StepKind::Generic);
-        assert!(e.flags_written && !e.flags_read);
+        let e = &p.body().hot[0];
+        assert_eq!(e.handler, handler::RMW);
+        assert!(e.has(meta::FLAGS_WRITTEN) && !e.has(meta::FLAGS_READ));
         // RMW: one read, one write covered by the read.
         assert_eq!(e.reads.slice(&p.body().reads).len(), 1);
         let stores = e.writes.slice(&p.body().writes);
@@ -463,7 +838,8 @@ mod tests {
     #[test]
     fn pure_store_is_not_covered_by_read() {
         let p = plan("mov [r14], rax");
-        let e = &p.body().entries[0];
+        let e = &p.body().hot[0];
+        assert_eq!(e.handler, handler::STORE);
         assert_eq!(e.reads.slice(&p.body().reads).len(), 0);
         let stores = e.writes.slice(&p.body().writes);
         assert_eq!(stores.len(), 1);
@@ -476,11 +852,15 @@ mod tests {
     fn specials_are_classified_and_rdrand_resolved() {
         let p = plan("lfence; rdpmc; push rax; rdrand rbx");
         let body = p.body();
-        for e in &body.entries {
-            assert_eq!(e.kind, StepKind::Special);
+        for e in &body.hot {
+            assert!(handler::is_special(e.handler), "handler {}", e.handler);
         }
+        assert_eq!(body.hot[0].handler, handler::LFENCE);
+        assert_eq!(body.hot[1].handler, handler::RDPMC);
+        assert_eq!(body.hot[2].handler, handler::PUSH);
         // RDRAND carries its resolved descriptor µop.
-        let rdrand = &body.entries[3];
+        let rdrand = &body.hot[3];
+        assert_eq!(rdrand.handler, handler::RDRAND);
         let uops = rdrand.uops.slice(&body.uops);
         assert_eq!(uops.len(), 1);
         assert_eq!(uops[0].recip, 300);
@@ -490,8 +870,58 @@ mod tests {
     fn branch_entries_distinguish_conditional() {
         let p = plan("jmp 0; jnz 0");
         let body = p.body();
-        assert!(body.entries[0].is_branch && !body.entries[0].conditional);
-        assert!(body.entries[1].is_branch && body.entries[1].conditional);
+        assert_eq!(body.hot[0].handler, handler::JUMP);
+        assert!(body.hot[0].has(meta::IS_BRANCH) && !body.hot[0].has(meta::CONDITIONAL));
+        assert_eq!(body.hot[1].handler, handler::COND_BRANCH);
+        assert!(body.hot[1].has(meta::IS_BRANCH) && body.hot[1].has(meta::CONDITIONAL));
+    }
+
+    #[test]
+    fn fast_handlers_cover_the_dominant_shapes() {
+        let p = plan("add rax, 1; mov [r14], rax; mov rbx, [r14]; add [r14+64], rbx");
+        let h: Vec<u8> = p.body().hot.iter().map(|e| e.handler).collect();
+        assert_eq!(
+            h,
+            vec![
+                handler::ALU_BLOCK,
+                handler::STORE,
+                handler::LOAD,
+                handler::RMW
+            ]
+        );
+    }
+
+    #[test]
+    fn avx_and_vector_shapes_stay_generic() {
+        let p = plan("addps xmm0, xmm1; vaddps ymm0, ymm1, ymm2");
+        for e in &p.body().hot {
+            assert_eq!(e.handler, handler::GENERIC);
+        }
+    }
+
+    #[test]
+    fn alu_runs_fuse_with_suffix_lengths() {
+        // Memory shapes fuse too: four ALU entries then a store form one
+        // straight-line run, so the suffix lengths count all five. The
+        // trailing branch stays unfused and breaks the run.
+        let p = plan(
+            "add rax, 1; xor rcx, rcx; lea rdx, [rcx+rax]; sub r9, rdx; mov [r14], rax; jnz l; l:",
+        );
+        let lens: Vec<u8> = p.body().hot.iter().map(|e| e.fuse_len).collect();
+        assert_eq!(lens[..5], [5, 4, 3, 2, 1]);
+        assert_eq!(p.body().hot[5].fuse_len, 1, "branches never fuse");
+    }
+
+    #[test]
+    fn fusion_respects_the_cap() {
+        let long = "add rax, 1; ".repeat(40);
+        let p = plan(&long);
+        assert_eq!(p.body().hot[0].fuse_len, FUSE_CAP);
+        assert_eq!(p.body().hot[39].fuse_len, 1);
+        // Every suffix length is consistent: len[i] <= len[i+1] + 1.
+        for i in 0..39 {
+            assert!(p.body().hot[i].fuse_len <= p.body().hot[i + 1].fuse_len + 1);
+        }
     }
 
     #[test]
@@ -499,8 +929,8 @@ mod tests {
         let skl = plan("addps xmm0, xmm1");
         let table = DescriptorTable::for_uarch(MicroArch::Nehalem);
         let nhm = DecodedProgram::new(&parse_asm("addps xmm0, xmm1").unwrap(), &table);
-        let u_skl = skl.body().entries[0].uops.slice(&skl.body().uops)[0];
-        let u_nhm = nhm.body().entries[0].uops.slice(&nhm.body().uops)[0];
+        let u_skl = skl.body().hot[0].uops.slice(&skl.body().uops)[0];
+        let u_nhm = nhm.body().hot[0].uops.slice(&nhm.body().uops)[0];
         assert_eq!(u_skl.latency, 4);
         assert_eq!(u_nhm.latency, 3);
         assert_eq!(skl.uarch(), MicroArch::Skylake);

@@ -325,9 +325,12 @@ fn stepped_execution_equals_monolithic_run() {
             {
                 steps += 1;
             }
-            let b = stepped.engine.finish_plan(&ctx, &mut stepped.pmu);
+            let b = stepped.engine.finish_plan(&mut ctx, &mut stepped.pmu);
             assert_eq!(a, b, "kernel={kernel}: RunStats diverged");
-            assert_eq!(steps, a.instructions);
+            // A step dispatches one instruction or one fused ALU
+            // superblock, so there are at most as many steps as
+            // instructions (and strictly fewer when runs fuse).
+            assert!(steps <= a.instructions, "kernel={kernel}");
             assert_eq!(ctx.instructions(), a.instructions);
             assert_eq!(ctx.now(), a.end_cycle);
             mono.cycle = a.end_cycle;
