@@ -9,19 +9,41 @@ use nanobench_bench::write_metrics_json;
 use nanobench_core::Campaign;
 use nanobench_inst_tools::{
     benchmark_suite, measure_instruction, measure_instruction_on, measure_instruction_via_bytes_on,
-    render_table, run_suite_with, to_json, InstSpec,
+    render_table, run_suite_stored, run_suite_with, to_json, InstSpec,
 };
+use nanobench_store::ResultStore;
 use nanobench_uarch::port::MicroArch;
 use std::time::Instant;
 
 fn main() {
     println!("== E5: §V instruction latency/throughput/port usage ==");
+    let args: Vec<String> = std::env::args().collect();
+    let store = match args.iter().position(|a| a == "--store") {
+        Some(i) => {
+            let path = args.get(i + 1).expect("--store takes a path");
+            Some(ResultStore::open(path).expect("result store opens"))
+        }
+        None => None,
+    };
     let campaign = Campaign::kernel(MicroArch::Skylake);
     let n_variants = benchmark_suite().len();
     let workers = campaign.effective_workers(n_variants);
     let start = Instant::now();
-    let rows = run_suite_with(&campaign).expect("suite runs");
+    let rows = match &store {
+        Some(store) => run_suite_stored(&campaign, store).expect("stored suite runs"),
+        None => run_suite_with(&campaign).expect("suite runs"),
+    };
     let campaign_ms = start.elapsed().as_secs_f64() * 1000.0;
+    if let Some(store) = &store {
+        let stats = store.stats();
+        println!(
+            "store: {} hits, {} misses, {} inserts ({})",
+            stats.hits,
+            stats.misses,
+            stats.inserts,
+            store.path().display()
+        );
+    }
     println!("{}", render_table(MicroArch::Skylake, &rows));
     println!(
         "{} variants measured in {campaign_ms:.0} ms across {workers} campaign workers",

@@ -12,40 +12,35 @@
 //! seeds, so the whole table is a campaign: they fan out across worker
 //! threads via `nanobench_core::parallel_map` and the results are
 //! identical for any worker count.
+//!
+//! With `--store <path>` the inferences run against a persistent result
+//! store: a second invocation with the same path answers every job from
+//! the store (the hit counters are printed and recorded in the artifact).
 
 use nanobench_bench::write_metrics_json;
 use nanobench_cache::policy::PolicyKind;
 use nanobench_cache::presets::table1_cpus;
-use nanobench_cache::{CpuSpec, L3PolicyConfig};
-use nanobench_cache_tools::{fit_policy, CacheSeq, Level};
-use nanobench_core::{parallel_map, NbError};
+use nanobench_cache::L3PolicyConfig;
+use nanobench_cache_tools::{run_infer, run_infer_stored, InferRequest, Level};
+use nanobench_core::{auto_workers, parallel_map, NbError};
+use nanobench_store::ResultStore;
 use std::time::Instant;
 
-/// One inference job: re-infer the policy of `level` on `cpu` and report
-/// it relative to the expected Table I name as `(display, matched?)`. The
+/// One inference job: re-infer the policy of a level and report it
+/// relative to the expected Table I name as `(display, matched?)`. The
 /// exact-matching tool can only identify policies up to observational
 /// equivalence, so a match means the expected policy is in the unique
 /// surviving equivalence class.
-#[derive(Debug, Clone)]
 struct InferJob {
-    cpu: CpuSpec,
-    level: Level,
-    set: usize,
-    assoc: usize,
+    request: InferRequest,
     expected: String,
 }
 
-fn infer(job: &InferJob) -> Result<(String, bool), NbError> {
-    let n_blocks = job.assoc + 4;
-    let mut cs = CacheSeq::new(
-        &job.cpu,
-        job.level,
-        job.set,
-        Some(0).filter(|_| job.level == Level::L3),
-        n_blocks,
-        7,
-    )?;
-    let fit = fit_policy(&mut cs, job.assoc, 80, 21)?;
+fn infer(job: &InferJob, store: Option<&ResultStore>) -> Result<(String, bool), NbError> {
+    let fit = match store {
+        Some(store) => run_infer_stored(&job.request, store)?,
+        None => run_infer(&job.request)?,
+    };
     let expected_kind = PolicyKind::parse(&job.expected).expect("expected name parses");
     let matched = fit.is_unique() && fit.contains(&expected_kind);
     let display = if matched {
@@ -63,6 +58,14 @@ fn infer(job: &InferJob) -> Result<(String, bool), NbError> {
 
 fn main() {
     println!("== E6: Table I — inferred replacement policies ==");
+    let args: Vec<String> = std::env::args().collect();
+    let store = match args.iter().position(|a| a == "--store") {
+        Some(i) => {
+            let path = args.get(i + 1).expect("--store takes a path");
+            Some(ResultStore::open(path).expect("result store opens"))
+        }
+        None => None,
+    };
     let cpus = table1_cpus();
     let mut jobs = Vec::new();
     for cpu in &cpus {
@@ -80,17 +83,16 @@ fn main() {
             (Level::L3, l3_set, cpu.l3_assoc, expected_l3),
         ] {
             jobs.push(InferJob {
-                cpu: cpu.clone(),
-                level,
-                set,
-                assoc,
+                request: InferRequest::table1(cpu, level, set, assoc),
                 expected,
             });
         }
     }
 
+    let workers = auto_workers();
     let start = Instant::now();
-    let results = parallel_map(0, &jobs, |job, _| infer(job)).expect("inference campaign runs");
+    let results = parallel_map(0, &jobs, |job, _| infer(job, store.as_ref()))
+        .expect("inference campaign runs");
     let campaign_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     println!(
@@ -116,7 +118,24 @@ fn main() {
     println!();
     println!("(L3 of Ivy Bridge/Haswell/Broadwell shown for leader sets 512-575;");
     println!(" the 768-831 ranges are non-deterministic — see E7/E8.)");
-    println!("{} inferences in {campaign_ms:.0} ms", jobs.len());
+    println!(
+        "{} inferences in {campaign_ms:.0} ms ({workers} workers)",
+        jobs.len()
+    );
+    let (hits, misses, inserts) = match &store {
+        Some(store) => {
+            let stats = store.stats();
+            println!(
+                "store: {} hits, {} misses, {} inserts ({})",
+                stats.hits,
+                stats.misses,
+                stats.inserts,
+                store.path().display()
+            );
+            (stats.hits as f64, stats.misses as f64, stats.inserts as f64)
+        }
+        None => (0.0, 0.0, 0.0),
+    };
     write_metrics_json(
         "BENCH_table1.json",
         "e6_table1_campaign",
@@ -124,6 +143,10 @@ fn main() {
         &[
             ("inference_wall_ms", campaign_ms),
             ("inferences", jobs.len() as f64),
+            ("workers", workers as f64),
+            ("store_hits", hits),
+            ("store_misses", misses),
+            ("store_inserts", inserts),
         ],
     );
     assert!(all_ok, "every inferred policy must match Table I");

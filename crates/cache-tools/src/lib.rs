@@ -14,7 +14,10 @@
 //! * [`age_graph`] — "age" graphs for analyzing non-deterministic policies
 //!   (§VI-C2, Figure 1);
 //! * [`dueling`] — detection of the dedicated leader sets of adaptive
-//!   caches, including per-C-Box differences (§VI-C3).
+//!   caches, including per-C-Box differences (§VI-C3);
+//! * [`infer`] — store-aware inference entry points: the same
+//!   policy-fitting runs, answered from a persistent result store when an
+//!   identical request has run before.
 
 #![warn(missing_docs)]
 
@@ -22,6 +25,7 @@ pub mod addresses;
 pub mod age_graph;
 pub mod cacheseq;
 pub mod dueling;
+pub mod infer;
 pub mod perm_infer;
 pub mod policy_fit;
 
@@ -29,5 +33,6 @@ pub use addresses::{build_pool, AddrPool, Level};
 pub use age_graph::{age_graph, AgeGraph};
 pub use cacheseq::{AccessSeq, CacheSeq, SeqItem};
 pub use dueling::{find_dedicated_sets, find_dedicated_sets_on, DuelingReport, SliceReport};
+pub use infer::{run_infer, run_infer_stored, InferRequest, INFER_FORMAT_VERSION};
 pub use perm_infer::{infer_permutation_policy, PermInferResult};
 pub use policy_fit::{candidate_library, equivalence_classes, fit_policy, FitResult};

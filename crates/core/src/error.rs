@@ -22,6 +22,8 @@ pub enum NbError {
     Encode(EncodeError),
     /// An option value was invalid.
     InvalidOption(String),
+    /// The persistent result store failed (I/O error, foreign file).
+    Store(String),
 }
 
 impl fmt::Display for NbError {
@@ -33,6 +35,7 @@ impl fmt::Display for NbError {
             NbError::Decode(e) => write!(f, "{e}"),
             NbError::Encode(e) => write!(f, "{e}"),
             NbError::InvalidOption(s) => write!(f, "invalid option: {s}"),
+            NbError::Store(s) => write!(f, "result store: {s}"),
         }
     }
 }
@@ -46,7 +49,17 @@ impl Error for NbError {
             NbError::Decode(e) => Some(e),
             NbError::Encode(e) => Some(e),
             NbError::InvalidOption(_) => None,
+            NbError::Store(_) => None,
         }
+    }
+}
+
+impl From<nanobench_store::StoreError> for NbError {
+    // `StoreError` wraps `std::io::Error`, which is neither `Clone` nor
+    // `PartialEq`; `NbError` is both, so the store error flattens to its
+    // message here.
+    fn from(e: nanobench_store::StoreError) -> NbError {
+        NbError::Store(e.to_string())
     }
 }
 

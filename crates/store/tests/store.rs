@@ -1,0 +1,190 @@
+//! Integration tests for the persistent result store: durability across
+//! re-opens, corruption tolerance, and version invalidation.
+
+use nanobench_store::{ResultStore, StoreKey};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nbstore-it-{}-{tag}", std::process::id()))
+}
+
+/// Runs `f` against a fresh store path, removing the file afterwards even
+/// if the test body panics mid-way through a later case.
+fn with_store_path<R>(tag: &str, f: impl FnOnce(&PathBuf) -> R) -> R {
+    let path = temp_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let result = f(&path);
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+/// Expands one random word into a record: a key drawn from a small space
+/// (so re-inserts and overwrites actually happen) plus a value of 0-31
+/// derived bytes.
+fn record_from_word(x: u64) -> (StoreKey, Vec<u8>) {
+    let key = StoreKey {
+        spec: x & 7,
+        uarch: (x >> 3) & 3,
+        seed: (x >> 5) & 3,
+        version: ((x >> 7) & 1) as u32,
+    };
+    let len = ((x >> 8) & 31) as usize;
+    let value = (0..len)
+        .map(|i| (x.rotate_left(i as u32 * 7) ^ i as u64) as u8)
+        .collect();
+    (key, value)
+}
+
+proptest! {
+    /// The store agrees with an in-memory map under arbitrary interleaved
+    /// inserts and lookups, and a re-open from disk reproduces the map
+    /// exactly (last insert per key wins).
+    #[test]
+    fn round_trips_arbitrary_records_through_disk(
+        ops in proptest::collection::vec(0u64..u64::MAX, 1..60),
+        case in 0u64..u64::MAX,
+    ) {
+        let path = temp_path(&format!("prop-{case}"));
+        let _ = std::fs::remove_file(&path);
+        let mut model: HashMap<StoreKey, Vec<u8>> = HashMap::new();
+        {
+            let store = ResultStore::open(&path).unwrap();
+            for (key, value) in ops.iter().map(|x| record_from_word(*x)) {
+                prop_assert_eq!(store.get(&key), model.get(&key).cloned());
+                store.insert(key, &value).unwrap();
+                model.insert(key, value);
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+        let reopened = ResultStore::open(&path).unwrap();
+        prop_assert_eq!(reopened.len(), model.len());
+        for (key, value) in &model {
+            prop_assert_eq!(reopened.get(key).as_deref(), Some(value.as_slice()));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn truncated_tail_loses_only_the_torn_record() {
+    with_store_path("truncate", |path| {
+        let keys: Vec<StoreKey> = (0..5)
+            .map(|i| StoreKey {
+                spec: i,
+                uarch: 10,
+                seed: i * 3,
+                version: 1,
+            })
+            .collect();
+        {
+            let store = ResultStore::open(path).unwrap();
+            for (i, key) in keys.iter().enumerate() {
+                store.insert(*key, format!("value-{i}").as_bytes()).unwrap();
+            }
+        }
+        // Tear the last record mid-payload, as an interrupted append would.
+        let full = std::fs::read(path).unwrap();
+        std::fs::write(path, &full[..full.len() - 5]).unwrap();
+
+        let store = ResultStore::open(path).unwrap();
+        assert_eq!(store.len(), 4, "only the torn record is lost");
+        for (i, key) in keys.iter().take(4).enumerate() {
+            assert_eq!(
+                store.get(key).as_deref(),
+                Some(format!("value-{i}").as_bytes()),
+            );
+        }
+        // The lost job recomputes and re-publishes cleanly...
+        assert_eq!(store.get(&keys[4]), None);
+        store.insert(keys[4], b"recomputed").unwrap();
+        drop(store);
+        // ...and the truncated tail did not poison later appends.
+        let store = ResultStore::open(path).unwrap();
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.get(&keys[4]).as_deref(), Some(&b"recomputed"[..]));
+    });
+}
+
+#[test]
+fn garbled_tail_is_skipped_not_an_error() {
+    with_store_path("garble", |path| {
+        let key_a = StoreKey {
+            spec: 1,
+            uarch: 2,
+            seed: 3,
+            version: 1,
+        };
+        let key_b = StoreKey { spec: 9, ..key_a };
+        {
+            let store = ResultStore::open(path).unwrap();
+            store.insert(key_a, b"intact").unwrap();
+            store.insert(key_b, b"garbled soon").unwrap();
+        }
+        // Flip bytes inside the second record's payload: its checksum
+        // fails, so loading must stop there — recompute, never a panic.
+        let mut data = std::fs::read(path).unwrap();
+        let n = data.len();
+        for b in &mut data[n - 8..] {
+            *b ^= 0xA5;
+        }
+        std::fs::write(path, &data).unwrap();
+
+        let store = ResultStore::open(path).unwrap();
+        assert_eq!(store.get(&key_a).as_deref(), Some(&b"intact"[..]));
+        assert_eq!(store.get(&key_b), None, "garbled record is recomputed");
+        assert_eq!(store.len(), 1);
+    });
+}
+
+#[test]
+fn stale_version_keys_never_answer_new_versions() {
+    with_store_path("version", |path| {
+        let v1 = StoreKey {
+            spec: 7,
+            uarch: 7,
+            seed: 7,
+            version: 1,
+        };
+        let v2 = StoreKey { version: 2, ..v1 };
+        {
+            let store = ResultStore::open(path).unwrap();
+            store.insert(v1, b"old encoding").unwrap();
+        }
+        let store = ResultStore::open(path).unwrap();
+        // A format bump looks up under the new version: the old record
+        // must not be returned, and both versions coexist afterwards.
+        assert_eq!(store.get(&v2), None);
+        store.insert(v2, b"new encoding").unwrap();
+        assert_eq!(store.get(&v1).as_deref(), Some(&b"old encoding"[..]));
+        assert_eq!(store.get(&v2).as_deref(), Some(&b"new encoding"[..]));
+        drop(store);
+        let store = ResultStore::open(path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&v2).as_deref(), Some(&b"new encoding"[..]));
+    });
+}
+
+#[test]
+fn stats_count_hits_misses_and_inserts_per_handle() {
+    with_store_path("stats", |path| {
+        let key = StoreKey {
+            spec: 1,
+            uarch: 1,
+            seed: 1,
+            version: 1,
+        };
+        let store = ResultStore::open(path).unwrap();
+        assert_eq!(store.get(&key), None);
+        store.insert(key, b"v").unwrap();
+        store.insert(key, b"v").unwrap(); // idempotent: not a new insert
+        assert!(store.get(&key).is_some());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        drop(store);
+        // Counters are per handle, not persisted.
+        let store = ResultStore::open(path).unwrap();
+        assert_eq!(store.stats(), Default::default());
+    });
+}
