@@ -1,0 +1,160 @@
+//! The diagnostic model shared by both analysis layers (spec lints and
+//! the plan verifier) and by the shell's spanned option errors.
+
+/// How bad a diagnostic is.
+///
+/// `Error` means the benchmark will fault or measure garbage (uninitialized
+/// address register, privileged instruction in user mode, provably
+/// out-of-range memory operand, out-of-range branch target, violated plan
+/// invariant). `Warning` means the measurement may depend on unspecified
+/// machine state on real hardware (uninitialized data/flag/vector reads,
+/// dead warm-up stores, encodings the §III-E byte path cannot represent)
+/// — the simulator itself still runs these deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but runnable; result may be unspecified on real hardware.
+    Warning,
+    /// The spec is broken: it faults or cannot mean what it says.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A `[start, start+len)` range locating a diagnostic in its source.
+///
+/// The unit depends on the producer: instruction index within the part the
+/// message names (spec lints, with `len == 1`; the plan verifier uses the
+/// static instruction index), or byte offset into an option line (shell
+/// diagnostics, rendered as a caret line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// First unit covered.
+    pub start: u32,
+    /// Number of units covered.
+    pub len: u32,
+}
+
+impl Span {
+    /// A span covering `[start, start+len)`.
+    pub fn new(start: u32, len: u32) -> Span {
+        Span { start, len }
+    }
+
+    /// A one-unit span at `start` (one instruction, one byte).
+    pub fn at(start: u32) -> Span {
+        Span { start, len: 1 }
+    }
+
+    /// One past the last unit covered.
+    pub fn end(self) -> u32 {
+        self.start + self.len
+    }
+}
+
+/// Stable lint/invariant codes (DESIGN.md §3g is the registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// A register is read as data before anything defines it.
+    UninitRead,
+    /// A register forms a memory address before anything defines it.
+    UninitAddress,
+    /// A flag is consumed before any instruction writes it.
+    UninitFlags,
+    /// A vector register is read before anything defines it.
+    UninitVec,
+    /// A warm-up (init) store is overwritten before any read sees it.
+    DeadStore,
+    /// A privileged instruction in a user-mode spec (§III-D).
+    Privileged,
+    /// A memory operand provably outside the spec's mapped regions.
+    MemRange,
+    /// A branch to a target outside the instruction sequence.
+    BranchRange,
+    /// No machine-code encoding: the §III-E byte path cannot carry it.
+    Unencodable,
+    /// A violated execution-plan invariant (see `verify_plan`).
+    PlanInvariant,
+}
+
+impl Code {
+    /// The stable diagnostic code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UninitRead => "uninit-read",
+            Code::UninitAddress => "uninit-address",
+            Code::UninitFlags => "uninit-flags",
+            Code::UninitVec => "uninit-vec",
+            Code::DeadStore => "dead-store",
+            Code::Privileged => "privileged-user",
+            Code::MemRange => "mem-range",
+            Code::BranchRange => "branch-range",
+            Code::Unencodable => "unsupported-encoding",
+            Code::PlanInvariant => "plan-invariant",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding: severity, stable code, source span, and a
+/// human-readable message naming the instruction and registers involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// The stable lint/invariant code.
+    pub code: Code,
+    /// Where it is (see [`Span`] for the unit).
+    pub span: Span,
+    /// What happened, in terms of the offending instruction.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.span.start, self.message
+        )
+    }
+}
+
+/// Whether any diagnostic in the list is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}

@@ -1,0 +1,33 @@
+//! Static analysis for benchmark specs and execution plans.
+//!
+//! Two layers share one diagnostic model:
+//!
+//! * **Spec lints** ([`analyze_spec`]): a def-use dataflow pass over the
+//!   decoded instruction sequences of a benchmark spec, flagging
+//!   uninitialized-register reads (with byte-exact sub-register aliasing),
+//!   uninitialized flag and vector reads, dead warm-up stores, privileged
+//!   instructions under user mode (§III-D), memory operands provably
+//!   outside the spec's mapped regions (§III-G), out-of-range branch
+//!   targets, and encodings the §III-E binary code-input path cannot
+//!   carry.
+//! * **Plan verification** ([`plan_diagnostics`]): every invariant the
+//!   decode-once plan interpreter assumes — handler-table indices, arena
+//!   span bounds and disjointness, nonempty port sets, superblock fusion
+//!   legality, PMU-batch flush points — checked statically over a built
+//!   [`nanobench_uarch::DecodedProgram`].
+//!
+//! Both layers report [`Diagnostic`]s: a [`Severity`], a stable [`Code`],
+//! a [`Span`], and a message. Severity calibration is deliberate: anything
+//! that faults or cannot mean what it says is an error; anything that
+//! merely measures unspecified machine state on real hardware is a
+//! warning, so the stock corpus and experiment specs lint clean of errors.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod plan;
+pub mod spec;
+
+pub use diag::{has_errors, Code, Diagnostic, Severity, Span};
+pub use plan::plan_diagnostics;
+pub use spec::{analyze_spec, AnalysisEnv};

@@ -1,0 +1,43 @@
+//! Layer 2: the execution-plan invariant verifier, surfaced through the
+//! shared [`Diagnostic`] model.
+//!
+//! The actual checks live in `nanobench_uarch::verify_plan` (they need the
+//! plan's private arena layout); this module adapts each
+//! [`nanobench_uarch::PlanViolation`] into an error-severity diagnostic so
+//! `nblint` and `Session::analyze` callers see one report format for both
+//! layers.
+
+use crate::diag::{Code, Diagnostic, Span};
+use nanobench_uarch::{verify_plan, DecodedProgram};
+
+/// Statically verifies every invariant the plan interpreter assumes about
+/// `program` (handler-table indices, arena span bounds and disjointness,
+/// per-µop port sets, superblock fusion legality, PMU-batch flush points)
+/// and returns each violation as an error diagnostic whose span is the
+/// static instruction index.
+pub fn plan_diagnostics(program: &DecodedProgram) -> Vec<Diagnostic> {
+    verify_plan(program)
+        .into_iter()
+        .map(|v| Diagnostic::error(Code::PlanInvariant, Span::at(v.index as u32), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanobench_uarch::{Engine, MicroArch};
+    use nanobench_x86::asm::parse_asm;
+
+    #[test]
+    fn well_formed_programs_verify_clean() {
+        let engine = Engine::new(MicroArch::Skylake, 1);
+        for src in [
+            "add rax, rbx; mov rcx, [r14]; mov [rsi + 8], rcx",
+            "nop; lfence; cpuid",
+            "add rax, 1; jnz l; l:",
+        ] {
+            let program = engine.decode(&parse_asm(src).unwrap());
+            assert!(plan_diagnostics(&program).is_empty(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! nblint — runs the static benchmark-spec analyzer over every kernel this
+//! repository ships: the full x86 round-trip corpus, the case-study-I
+//! instruction suite, the inline kernels of the e* experiment binaries,
+//! and the examples. Also runs the execution-plan invariant verifier over
+//! each program's decoded plan.
+//!
+//! Exit status is nonzero if any spec produces an error-severity
+//! diagnostic it should not (warnings are reported and accepted), or if a
+//! deliberately broken spec fails to be rejected.
+//!
+//! Run with `cargo run --release -p nanobench-bench --bin nblint`.
+
+use nanobench_analysis::{has_errors, plan_diagnostics, Code, Severity};
+use nanobench_core::{BenchSpec, Session};
+use nanobench_inst_tools::benchmark_suite;
+use nanobench_uarch::port::MicroArch;
+use nanobench_x86::corpus::ROUNDTRIP_CORPUS;
+use std::process::ExitCode;
+
+/// One lint sweep: a session to analyze against plus running totals.
+struct Sweep {
+    session: Session,
+    mode: &'static str,
+    specs: usize,
+    warnings: usize,
+    failures: usize,
+}
+
+impl Sweep {
+    fn new(session: Session, mode: &'static str) -> Sweep {
+        Sweep {
+            session,
+            mode,
+            specs: 0,
+            warnings: 0,
+            failures: 0,
+        }
+    }
+
+    /// Lints one `(init, code)` pair, expecting zero errors, and verifies
+    /// the decoded plan's invariants.
+    fn expect_clean(&mut self, name: &str, init: &str, code: &str) {
+        self.specs += 1;
+        let mut spec = BenchSpec::new();
+        let built = spec.asm_init(init).and_then(|s| s.asm(code).map(|_| ()));
+        if let Err(e) = built {
+            println!("FAIL  [{}] {name}: does not parse: {e}", self.mode);
+            self.failures += 1;
+            return;
+        }
+        let diags = self.session.analyze(&spec);
+        for d in &diags {
+            match d.severity {
+                Severity::Error => {
+                    println!("FAIL  [{}] {name}: {d}", self.mode);
+                    self.failures += 1;
+                }
+                Severity::Warning => {
+                    println!("warn  [{}] {name}: {d}", self.mode);
+                    self.warnings += 1;
+                }
+            }
+        }
+        // Layer 2: the decoded plan of the measured body must satisfy
+        // every interpreter invariant.
+        let plan = self.session.machine().decode(&spec.code);
+        for d in plan_diagnostics(&plan) {
+            println!("FAIL  [{}] {name}: {d}", self.mode);
+            self.failures += 1;
+        }
+    }
+
+    /// Lints a spec that must be rejected with the given code.
+    fn expect_rejected(&mut self, name: &str, code_text: &str, expected: Code) {
+        self.specs += 1;
+        let mut spec = BenchSpec::new();
+        spec.asm(code_text).expect("negative spec parses");
+        let diags = self.session.analyze(&spec);
+        if !has_errors(&diags) || !diags.iter().any(|d| d.code == expected) {
+            println!(
+                "FAIL  [{}] {name}: expected a {expected} error, got {diags:?}",
+                self.mode
+            );
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut kernel = Sweep::new(Session::kernel(MicroArch::Skylake), "kernel");
+    let mut user = Sweep::new(Session::user(MicroArch::Skylake), "user");
+
+    // 1. The full x86 round-trip corpus, one line at a time, kernel mode
+    // (the path-equivalence suites run it there).
+    for line in ROUNDTRIP_CORPUS {
+        kernel.expect_clean(&format!("corpus `{line}`"), "", line);
+    }
+
+    // 2. Case study I: every latency and throughput form of the
+    // instruction-table suite (what e5/e6 measure via Campaign::kernel).
+    for spec in benchmark_suite() {
+        if let Some(lat) = &spec.latency_asm {
+            kernel.expect_clean(
+                &format!("suite {} (latency)", spec.name),
+                &spec.latency_init,
+                lat,
+            );
+        }
+        kernel.expect_clean(
+            &format!("suite {} (throughput)", spec.name),
+            &spec.throughput_init,
+            &spec.throughput_asm,
+        );
+    }
+
+    // 3. The inline kernels of the experiment binaries and examples.
+    let inline: &[(&str, &str, &str)] = &[
+        ("e1/quickstart chase", "mov [R14], R14", "mov R14, [R14]"),
+        ("e2 nop", "", "nop"),
+        (
+            "e3 cpuid variable rax",
+            "rdtsc; imul rax, 2654435761; shr rax, 16",
+            "cpuid",
+        ),
+        ("e3 cpuid fixed rax", "", "mov rax, 0; cpuid"),
+        ("e3 lfence", "", "lfence"),
+        ("e9 add", "", "add rax, rax"),
+        ("e10 chase", "mov [r14], r14", "mov r14, [r14]"),
+        ("kernel_vs_user wbinvd", "", "wbinvd"),
+        ("port_usage rdmsr", "mov rcx, 0xE8; mov rdx, 0", "rdmsr"),
+    ];
+    for (name, init, code) in inline {
+        kernel.expect_clean(name, init, code);
+    }
+    // e9 also measures `add rax, rax` in user mode.
+    user.expect_clean("e9 add (user)", "", "add rax, rax");
+
+    // 4. Seeded negatives: the analyzer must reject these.
+    kernel.expect_rejected(
+        "negative uninit address",
+        "mov rax, [rbx]",
+        Code::UninitAddress,
+    );
+    user.expect_rejected("negative privileged user", "wbinvd", Code::Privileged);
+    user.expect_rejected(
+        "negative unmapped absolute",
+        "mov rax, [0x100]",
+        Code::MemRange,
+    );
+
+    let specs = kernel.specs + user.specs;
+    let warnings = kernel.warnings + user.warnings;
+    let failures = kernel.failures + user.failures;
+    println!("nblint: {specs} spec(s), {warnings} warning(s), {failures} failure(s)");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

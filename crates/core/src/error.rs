@@ -1,5 +1,6 @@
 //! Error type of the nanoBench library.
 
+use nanobench_analysis::{Diagnostic, Span};
 use nanobench_pmu::ParseConfigError;
 use nanobench_uarch::bus::CpuFault;
 use nanobench_x86::asm::ParseAsmError;
@@ -22,6 +23,18 @@ pub enum NbError {
     Encode(EncodeError),
     /// An option value was invalid.
     InvalidOption(String),
+    /// An option error located in its command line: the [`Span`] is a byte
+    /// range into the line handed to the shell-style parser (see
+    /// [`crate::shell::caret_line`] for rendering).
+    OptionAt {
+        /// What is wrong with the option.
+        message: String,
+        /// Byte range of the offending token in the option line.
+        span: Span,
+    },
+    /// The spec-level lint gate rejected the benchmark ([`crate::Session`]
+    /// with a `Deny` gate): the error-severity diagnostics, in order.
+    Lint(Vec<Diagnostic>),
     /// The persistent result store failed (I/O error, foreign file).
     Store(String),
 }
@@ -35,6 +48,16 @@ impl fmt::Display for NbError {
             NbError::Decode(e) => write!(f, "{e}"),
             NbError::Encode(e) => write!(f, "{e}"),
             NbError::InvalidOption(s) => write!(f, "invalid option: {s}"),
+            NbError::OptionAt { message, span } => {
+                write!(f, "invalid option at byte {}: {message}", span.start)
+            }
+            NbError::Lint(diags) => {
+                write!(f, "lint rejected the benchmark ({} error(s))", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             NbError::Store(s) => write!(f, "result store: {s}"),
         }
     }
@@ -49,6 +72,8 @@ impl Error for NbError {
             NbError::Decode(e) => Some(e),
             NbError::Encode(e) => Some(e),
             NbError::InvalidOption(_) => None,
+            NbError::OptionAt { .. } => None,
+            NbError::Lint(_) => None,
             NbError::Store(_) => None,
         }
     }

@@ -56,4 +56,4 @@ pub use error::NbError;
 pub use nanobench::NanoBench;
 pub use result::{BenchmarkResult, RESULT_FORMAT_VERSION};
 pub use runner::Aggregate;
-pub use session::{auto_workers, parallel_map, BenchSpec, Campaign, Session, NB_SEED};
+pub use session::{auto_workers, parallel_map, BenchSpec, Campaign, LintGate, Session, NB_SEED};

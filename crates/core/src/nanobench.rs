@@ -17,7 +17,8 @@
 use crate::error::NbError;
 use crate::result::BenchmarkResult;
 use crate::runner::Aggregate;
-use crate::session::{BenchSpec, Session};
+use crate::session::{BenchSpec, LintGate, Session};
+use nanobench_analysis::Diagnostic;
 use nanobench_machine::Machine;
 use nanobench_pmu::PerfEvent;
 use nanobench_uarch::port::MicroArch;
@@ -215,12 +216,27 @@ impl NanoBench {
         self.session.plan_cache_stats()
     }
 
+    /// Runs the static analyzer over the configured benchmark under this
+    /// runner's session environment; see [`Session::analyze`].
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        self.session.analyze(&self.spec)
+    }
+
+    /// Sets what [`NanoBench::run`] does with the analyzer's verdict
+    /// (default [`LintGate::Off`]; the shell's `-lint` option sets
+    /// [`LintGate::Deny`]).
+    pub fn lint(&mut self, gate: LintGate) -> &mut NanoBench {
+        self.session.lint(gate);
+        self
+    }
+
     /// Runs the configured benchmark; see [`Session::run`].
     ///
     /// # Errors
     ///
     /// Propagates CPU faults (e.g. privileged instructions in user mode)
-    /// and configuration errors.
+    /// and configuration errors; with a [`LintGate::Deny`] gate, specs
+    /// the analyzer rejects fail with [`NbError::Lint`] before running.
     pub fn run(&mut self) -> Result<BenchmarkResult, NbError> {
         self.session.run(&self.spec)
     }

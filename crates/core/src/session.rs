@@ -24,6 +24,7 @@ use crate::codegen::{self, Arenas, CodegenRequest, ARENA_REGS, ARENA_SIZE, NO_ME
 use crate::error::NbError;
 use crate::result::{BenchmarkResult, FIXED_COUNTER_NAMES, RESULT_FORMAT_VERSION};
 use crate::runner::{measure, user_syscall_stub, Aggregate};
+use nanobench_analysis::{analyze_spec, has_errors, AnalysisEnv, Diagnostic, Severity};
 use nanobench_machine::{Machine, Mode};
 use nanobench_pmu::{parse_config, PerfEvent};
 use nanobench_store::{Fnv1a, ResultStore, StoreKey, StoreStats};
@@ -92,6 +93,22 @@ fn program_key(program: &[Instruction]) -> u64 {
     let mut h = DefaultHasher::new();
     program.hash(&mut h);
     h.finish()
+}
+
+/// What a [`Session`] does with the static analyzer's verdict before
+/// running a spec (the `-lint` shell option maps to `Deny`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LintGate {
+    /// Run without analyzing (the default — linting costs a dataflow pass
+    /// per run, which campaigns re-running one spec thousands of times
+    /// should opt into deliberately).
+    #[default]
+    Off,
+    /// Print every diagnostic to stderr, then run anyway.
+    Warn,
+    /// Print warnings to stderr; refuse to run a spec with error-severity
+    /// diagnostics ([`NbError::Lint`]).
+    Deny,
 }
 
 /// Number of programmable counters readable per round in noMem mode
@@ -355,6 +372,8 @@ pub struct Session {
     plan_cache: PlanCache,
     /// Decoded user-mode syscall stub (§III-K), built lazily.
     user_stub_plan: Option<DecodedProgram>,
+    /// What [`Session::run`] does with the analyzer's verdict.
+    lint_gate: LintGate,
 }
 
 impl Session {
@@ -380,6 +399,7 @@ impl Session {
             scratch: Vec::new(),
             plan_cache: PlanCache::default(),
             user_stub_plan: None,
+            lint_gate: LintGate::default(),
         }
     }
 
@@ -456,6 +476,30 @@ impl Session {
             .map(|i| self.arenas.arena_bases[i])
     }
 
+    /// Runs the static analyzer over `spec` under this session's
+    /// environment: mode (kernel/user, §III-D), noMem (§III-I), looping
+    /// (§III-F), the §III-G arena registers, and the machine's mapped
+    /// memory regions. Returns the diagnostics sorted errors-first; an
+    /// empty vector means the spec lints clean.
+    pub fn analyze(&self, spec: &BenchSpec) -> Vec<Diagnostic> {
+        let env = AnalysisEnv {
+            user_mode: self.machine.mode() == Mode::User,
+            no_mem: spec.no_mem,
+            looped: spec.loop_count > 0,
+            arena_size: ARENA_SIZE,
+            arena_regs: ARENA_REGS.to_vec(),
+            regions: self.machine.mapped_regions(),
+        };
+        analyze_spec(&spec.init, &spec.code, &env)
+    }
+
+    /// Sets what [`Session::run`] does with the analyzer's verdict
+    /// (default [`LintGate::Off`]).
+    pub fn lint(&mut self, gate: LintGate) -> &mut Session {
+        self.lint_gate = gate;
+        self
+    }
+
     /// Runs one benchmark: generates both unroll versions (§III-C), runs
     /// them per Algorithm 2, multiplexes counters across rounds if the
     /// configuration has more events than programmable counters (§III-J),
@@ -469,8 +513,27 @@ impl Session {
     /// # Errors
     ///
     /// Propagates CPU faults (e.g. privileged instructions in user mode)
-    /// and configuration errors.
+    /// and configuration errors; with a [`LintGate::Deny`] gate, specs the
+    /// analyzer rejects fail with [`NbError::Lint`] before running.
     pub fn run(&mut self, spec: &BenchSpec) -> Result<BenchmarkResult, NbError> {
+        if self.lint_gate != LintGate::Off {
+            let mut diags = self.analyze(spec);
+            for d in diags.iter().filter(|d| d.severity == Severity::Warning) {
+                eprintln!("nblint: {d}");
+            }
+            match self.lint_gate {
+                LintGate::Deny if has_errors(&diags) => {
+                    diags.retain(|d| d.severity == Severity::Error);
+                    return Err(NbError::Lint(diags));
+                }
+                LintGate::Warn => {
+                    for d in diags.iter().filter(|d| d.severity == Severity::Error) {
+                        eprintln!("nblint: {d}");
+                    }
+                }
+                _ => {}
+            }
+        }
         let denom = (spec.loop_count.max(1) as f64) * (spec.unroll_count.max(1) as f64);
         let n_prog = self.machine.pmu().n_programmable();
         let per_round = if spec.no_mem {
@@ -671,6 +734,7 @@ pub struct Campaign {
     base_seed: u64,
     cores: usize,
     store: Option<Arc<ResultStore>>,
+    lint: LintGate,
 }
 
 impl Campaign {
@@ -684,6 +748,7 @@ impl Campaign {
             base_seed: NB_SEED,
             cores: 1,
             store: None,
+            lint: LintGate::default(),
         }
     }
 
@@ -706,6 +771,14 @@ impl Campaign {
     /// Sets the base seed; job *j* runs with seed `base_seed ^ j`.
     pub fn base_seed(mut self, seed: u64) -> Campaign {
         self.base_seed = seed;
+        self
+    }
+
+    /// Sets the lint gate every worker session runs with (default
+    /// [`LintGate::Off`]): `Deny` makes the campaign fail on the
+    /// lowest-indexed spec the analyzer rejects, before simulating it.
+    pub fn lint(mut self, gate: LintGate) -> Campaign {
+        self.lint = gate;
         self
     }
 
@@ -840,7 +913,12 @@ impl Campaign {
         shard_map(
             self.effective_workers(jobs.len()),
             jobs.len(),
-            || Session::with_seed_cores(self.uarch, self.mode, self.base_seed, self.cores),
+            || {
+                let mut session =
+                    Session::with_seed_cores(self.uarch, self.mode, self.base_seed, self.cores);
+                session.lint(self.lint);
+                session
+            },
             |session, j| {
                 session.reset_with_seed(self.base_seed ^ j as u64);
                 f(session, &jobs[j], j)

@@ -7,40 +7,102 @@ use crate::error::NbError;
 use crate::nanobench::NanoBench;
 use crate::result::BenchmarkResult;
 use crate::runner::Aggregate;
+use crate::session::LintGate;
+use nanobench_analysis::Span;
 use nanobench_uarch::port::MicroArch;
+
+/// Splits a command line into tokens, honouring double and single quotes,
+/// and reports each token's byte range in the original line (quotes
+/// included) so option errors can point at their source.
+///
+/// # Errors
+///
+/// Returns [`NbError::OptionAt`] spanning from the opening quote to the
+/// end of the line if a quote is left unterminated — a silently swallowed
+/// quote would make the rest of the command line disappear into one token.
+pub fn tokenize_spanned(line: &str) -> Result<Vec<(String, Span)>, NbError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut tok_start = 0u32;
+    let mut in_token = false;
+    let mut quote: Option<(char, u32)> = None;
+    for (pos, c) in line.char_indices() {
+        let pos = pos as u32;
+        match (c, quote) {
+            (q, Some((open, _))) if q == open => quote = None,
+            ('"', None) | ('\'', None) => {
+                if !in_token {
+                    tok_start = pos;
+                    in_token = true;
+                }
+                quote = Some((c, pos));
+            }
+            (c, None) if c.is_whitespace() => {
+                if !current.is_empty() {
+                    let span = Span::new(tok_start, pos - tok_start);
+                    tokens.push((std::mem::take(&mut current), span));
+                }
+                in_token = false;
+            }
+            (c, _) => {
+                if !in_token {
+                    tok_start = pos;
+                    in_token = true;
+                }
+                current.push(c);
+            }
+        }
+    }
+    if let Some((open, pos)) = quote {
+        return Err(NbError::OptionAt {
+            message: format!("unterminated {open} quote"),
+            span: Span::new(pos, line.len() as u32 - pos),
+        });
+    }
+    if !current.is_empty() {
+        tokens.push((current, Span::new(tok_start, line.len() as u32 - tok_start)));
+    }
+    Ok(tokens)
+}
 
 /// Splits a command line into tokens, honouring double and single quotes.
 ///
 /// # Errors
 ///
-/// Returns [`NbError::InvalidOption`] if a quote is left unterminated —
-/// a silently swallowed quote would make the rest of the command line
-/// disappear into one token.
+/// Returns [`NbError::OptionAt`] if a quote is left unterminated (see
+/// [`tokenize_spanned`], which this drops the spans of).
 pub fn tokenize(line: &str) -> Result<Vec<String>, NbError> {
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    let mut quote: Option<char> = None;
-    for c in line.chars() {
-        match (c, quote) {
-            (q, Some(open)) if q == open => quote = None,
-            ('"', None) | ('\'', None) => quote = Some(c),
-            (c, None) if c.is_whitespace() => {
-                if !current.is_empty() {
-                    tokens.push(std::mem::take(&mut current));
-                }
-            }
-            (c, _) => current.push(c),
-        }
+    Ok(tokenize_spanned(line)?
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect())
+}
+
+/// Renders a caret line pointing at `span` within `line`, for printing
+/// under the offending option line:
+///
+/// ```text
+/// -asm "add rax, rbx" -unroll_cnt 100
+///                     ^^^^^^^^^^^
+/// ```
+///
+/// The span is in bytes ([`NbError::OptionAt`] carries one); the carets
+/// are placed by character so multi-byte text stays aligned.
+pub fn caret_line(line: &str, span: Span) -> String {
+    let start = (span.start as usize).min(line.len());
+    let end = (span.end() as usize).min(line.len());
+    let col = line.get(..start).map_or(start, |s| s.chars().count());
+    let width = line.get(start..end).map_or(1, |s| s.chars().count().max(1));
+    format!("{}{}", " ".repeat(col), "^".repeat(width))
+}
+
+/// Re-targets a value-parse error (`InvalidOption`) at the token it came
+/// from; errors that already know their place pass through.
+fn at(span: Span) -> impl Fn(NbError) -> NbError {
+    move |e| match e {
+        NbError::InvalidOption(message) => NbError::OptionAt { message, span },
+        other => other,
     }
-    if let Some(open) = quote {
-        return Err(NbError::InvalidOption(format!(
-            "unterminated {open} quote in `{line}`"
-        )));
-    }
-    if !current.is_empty() {
-        tokens.push(current);
-    }
-    Ok(tokens)
 }
 
 /// Parses a `-code`-style hex byte string (`"4D8B36"`, whitespace allowed
@@ -78,56 +140,60 @@ fn resolve_config(value: &str) -> &str {
 /// `-asm`, `-asm_init`, `-code` (machine-code bytes as a hex string — the
 /// binary-input path, SSE/AVX included), `-config`, `-unroll_count`,
 /// `-loop_count`, `-n_measurements`, `-warm_up_count`, `-min`, `-median`,
-/// `-avg`, `-basic_mode`, `-no_mem`. Numeric values accept decimal and
+/// `-avg`, `-basic_mode`, `-no_mem`, `-lint` (deny-gate the benchmark on
+/// the static analyzer's errors). Numeric values accept decimal and
 /// `0x`-prefixed hex, like the real tool's.
 ///
 /// # Errors
 ///
-/// Returns [`NbError::InvalidOption`] for unknown options or malformed
-/// values, and parse errors for `-asm`/`-code`/`-config` payloads.
+/// Returns [`NbError::OptionAt`] — carrying the byte range of the
+/// offending token, renderable with [`caret_line`] — for unknown options
+/// and malformed or missing values, and parse errors for
+/// `-asm`/`-code`/`-config` payloads.
 pub fn apply_options(nb: &mut NanoBench, line: &str) -> Result<(), NbError> {
-    let tokens = tokenize(line)?;
+    let tokens = tokenize_spanned(line)?;
     let mut i = 0usize;
-    let value = |i: &mut usize, name: &str| -> Result<String, NbError> {
+    let value = |i: &mut usize, name: &str, span: Span| -> Result<(String, Span), NbError> {
         *i += 1;
-        tokens
-            .get(*i)
-            .cloned()
-            .ok_or_else(|| NbError::InvalidOption(format!("{name} needs a value")))
+        tokens.get(*i).cloned().ok_or_else(|| NbError::OptionAt {
+            message: format!("{name} needs a value"),
+            span,
+        })
     };
     while i < tokens.len() {
-        match tokens[i].as_str() {
+        let (token, span) = &tokens[i];
+        match token.as_str() {
             "-asm" => {
-                let v = value(&mut i, "-asm")?;
+                let (v, _) = value(&mut i, "-asm", *span)?;
                 nb.asm(&v)?;
             }
             "-asm_init" => {
-                let v = value(&mut i, "-asm_init")?;
+                let (v, _) = value(&mut i, "-asm_init", *span)?;
                 nb.asm_init(&v)?;
             }
             "-code" => {
-                let v = value(&mut i, "-code")?;
-                nb.code_bytes(&parse_hex_bytes(&v)?)?;
+                let (v, vspan) = value(&mut i, "-code", *span)?;
+                nb.code_bytes(&parse_hex_bytes(&v).map_err(at(vspan))?)?;
             }
             "-config" => {
-                let v = value(&mut i, "-config")?;
+                let (v, _) = value(&mut i, "-config", *span)?;
                 nb.config_str(resolve_config(&v))?;
             }
             "-unroll_count" => {
-                let v = value(&mut i, "-unroll_count")?;
-                nb.unroll_count(parse_num(&v)?);
+                let (v, vspan) = value(&mut i, "-unroll_count", *span)?;
+                nb.unroll_count(parse_num(&v).map_err(at(vspan))?);
             }
             "-loop_count" => {
-                let v = value(&mut i, "-loop_count")?;
-                nb.loop_count(parse_num(&v)? as u64);
+                let (v, vspan) = value(&mut i, "-loop_count", *span)?;
+                nb.loop_count(parse_num(&v).map_err(at(vspan))? as u64);
             }
             "-n_measurements" => {
-                let v = value(&mut i, "-n_measurements")?;
-                nb.n_measurements(parse_num(&v)?);
+                let (v, vspan) = value(&mut i, "-n_measurements", *span)?;
+                nb.n_measurements(parse_num(&v).map_err(at(vspan))?);
             }
             "-warm_up_count" => {
-                let v = value(&mut i, "-warm_up_count")?;
-                nb.warm_up_count(parse_num(&v)?);
+                let (v, vspan) = value(&mut i, "-warm_up_count", *span)?;
+                nb.warm_up_count(parse_num(&v).map_err(at(vspan))?);
             }
             "-min" => {
                 nb.aggregate(Aggregate::Min);
@@ -144,8 +210,14 @@ pub fn apply_options(nb: &mut NanoBench, line: &str) -> Result<(), NbError> {
             "-no_mem" => {
                 nb.no_mem(true);
             }
+            "-lint" => {
+                nb.lint(LintGate::Deny);
+            }
             other => {
-                return Err(NbError::InvalidOption(format!("unknown option `{other}`")));
+                return Err(NbError::OptionAt {
+                    message: format!("unknown option `{other}`"),
+                    span: *span,
+                });
             }
         }
         i += 1;
@@ -264,6 +336,65 @@ mod tests {
         let mut nb = NanoBench::kernel(MicroArch::Skylake);
         assert!(apply_options(&mut nb, "-code 4D8").is_err());
         assert!(apply_options(&mut nb, "-code XY").is_err());
+    }
+
+    #[test]
+    fn option_errors_carry_spans() {
+        let mut nb = NanoBench::kernel(MicroArch::Skylake);
+        // Unknown option: the span covers exactly the offending token.
+        let line = r#"-asm "add rax, rax" -frobnicate 3"#;
+        let err = apply_options(&mut nb, line).unwrap_err();
+        let NbError::OptionAt { span, .. } = err else {
+            panic!("expected OptionAt, got {err}");
+        };
+        assert_eq!(
+            &line[span.start as usize..span.end() as usize],
+            "-frobnicate"
+        );
+        assert_eq!(
+            caret_line(line, span),
+            format!("{}{}", " ".repeat(20), "^".repeat(11))
+        );
+        // A malformed value points at the value, not the option name.
+        let line = "-code 4D8";
+        let err = apply_options(&mut nb, line).unwrap_err();
+        let NbError::OptionAt { span, .. } = err else {
+            panic!("expected OptionAt, got {err}");
+        };
+        assert_eq!(&line[span.start as usize..span.end() as usize], "4D8");
+        // A missing value points back at the option that wanted one.
+        let line = "-unroll_count";
+        let err = apply_options(&mut nb, line).unwrap_err();
+        let NbError::OptionAt { span, .. } = err else {
+            panic!("expected OptionAt, got {err}");
+        };
+        assert_eq!(
+            &line[span.start as usize..span.end() as usize],
+            "-unroll_count"
+        );
+        // An unterminated quote spans from the quote to the end of line.
+        let line = r#"-asm "mov rax, rbx"#;
+        let err = tokenize(line).unwrap_err();
+        let NbError::OptionAt { span, .. } = err else {
+            panic!("expected OptionAt, got {err}");
+        };
+        assert_eq!(span.start, 5);
+        assert_eq!(span.end() as usize, line.len());
+    }
+
+    #[test]
+    fn lint_option_gates_the_run() {
+        // An uninitialized address register: denied before simulating.
+        let err =
+            kernel_nanobench(MicroArch::Skylake, r#"-lint -asm "mov rax, [rbx]""#).unwrap_err();
+        assert!(matches!(err, NbError::Lint(_)), "{err}");
+        // The §III-A example lints clean and still runs.
+        let out = kernel_nanobench(
+            MicroArch::Skylake,
+            r#"-lint -asm "mov R14, [R14]" -asm_init "mov [R14], R14" -unroll_count 100 -warm_up_count 1"#,
+        )
+        .unwrap();
+        assert_eq!(out.core_cycles(), Some(4.0));
     }
 
     #[test]

@@ -219,6 +219,10 @@ pub struct Machine {
     /// in order — replayed by [`Machine::reset_with_seed`] so the frame
     /// scattering matches a fresh machine making the same calls.
     user_region_log: Vec<(u64, u64)>,
+    /// `(base, size)` of every `alloc_region` call in either mode — the
+    /// virtual ranges the benchmark owns, for tools (e.g. the static
+    /// analyzer) that need to know what is mapped.
+    region_log: Vec<(u64, u64)>,
 }
 
 impl Machine {
@@ -307,6 +311,7 @@ impl Machine {
             user_next_vaddr: 0x7000_0000,
             kernel_next_region: 0x4000_0000,
             user_region_log: Vec::new(),
+            region_log: Vec::new(),
         }
     }
 
@@ -529,7 +534,7 @@ impl Machine {
     /// kernel version (§III-G / §IV-D).
     pub fn alloc_region(&mut self, size: u64) -> u64 {
         let pages = size.div_ceil(PAGE_SIZE);
-        match self.env.mode {
+        let base = match self.env.mode {
             Mode::Kernel => {
                 let base = self.kernel_next_region;
                 self.kernel_next_region += (pages + 16) * PAGE_SIZE;
@@ -545,7 +550,9 @@ impl Machine {
                 self.user_next_vaddr += (pages + 16) * PAGE_SIZE;
                 base
             }
-        }
+        };
+        self.region_log.push((base, pages * PAGE_SIZE));
+        base
     }
 
     /// Kernel-only: allocates a physically-contiguous region via the greedy
@@ -566,6 +573,15 @@ impl Machine {
     /// Translates a virtual address (None if unmapped in user mode).
     pub fn translate(&self, vaddr: u64) -> Option<u64> {
         self.env.translate(vaddr)
+    }
+
+    /// The `[start, end)` virtual ranges of every region handed out by
+    /// [`Machine::alloc_region`], in allocation order. In user mode these
+    /// are exactly the pages that will not fault; in kernel mode the
+    /// identity map covers everything, but these are still the only
+    /// ranges the benchmark owns.
+    pub fn mapped_regions(&self) -> Vec<(u64, u64)> {
+        self.region_log.iter().map(|&(b, s)| (b, b + s)).collect()
     }
 
     /// The execution mode.

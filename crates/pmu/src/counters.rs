@@ -36,6 +36,27 @@ struct ProgCounter {
     value: u64,
 }
 
+/// An uncore count was addressed to a C-Box slice the PMU does not have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UncoreSliceError {
+    /// The out-of-range slice index.
+    pub slice: usize,
+    /// How many uncore counters this PMU was built with.
+    pub slices: usize,
+}
+
+impl std::fmt::Display for UncoreSliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "C-Box index {} out of range: PMU has {} uncore counters",
+            self.slice, self.slices
+        )
+    }
+}
+
+impl std::error::Error for UncoreSliceError {}
+
 /// The per-core PMU plus the package's uncore (C-Box) counters.
 #[derive(Debug, Clone)]
 pub struct Pmu {
@@ -157,21 +178,25 @@ impl Pmu {
 
     /// Records `n` lookups on C-Box `slice`.
     ///
-    /// Out-of-range slices indicate a PMU built for a different slice
-    /// count than the hierarchy feeding it — a configuration bug, caught
-    /// by a debug assertion rather than silently dropping the counts.
-    pub fn count_uncore(&mut self, slice: usize, n: u64) {
-        debug_assert!(
-            slice < self.uncore.len(),
-            "C-Box index {slice} out of range: PMU has {} uncore counters \
-             (slice count must come from HierarchyConfig::slice_count)",
-            self.uncore.len()
-        );
+    /// # Errors
+    ///
+    /// Returns [`UncoreSliceError`] when `slice` is out of range — a PMU
+    /// built for a different slice count than the hierarchy feeding it
+    /// (the slice count must come from `HierarchyConfig::slice_count`).
+    /// Nothing is counted in that case, in any build profile: the caller
+    /// decides whether a misattributed slice is fatal, instead of release
+    /// builds silently dropping the counts behind a `debug_assert`.
+    pub fn count_uncore(&mut self, slice: usize, n: u64) -> Result<(), UncoreSliceError> {
+        let Some(c) = self.uncore.get_mut(slice) else {
+            return Err(UncoreSliceError {
+                slice,
+                slices: self.uncore.len(),
+            });
+        };
         if self.counting {
-            if let Some(c) = self.uncore.get_mut(slice) {
-                *c += n;
-            }
+            *c += n;
         }
+        Ok(())
     }
 
     /// `RDPMC` semantics: `ecx` selects a programmable counter (0..N) or,
@@ -310,7 +335,7 @@ mod tests {
         pmu.set_counting(false);
         pmu.count(events::UOPS_ISSUED_ANY, 7);
         pmu.retire_instructions(7);
-        pmu.count_uncore(0, 2);
+        pmu.count_uncore(0, 2).unwrap();
         pmu.sync_cycles(50); // 40 paused cycles contribute nothing
         pmu.set_counting(true);
         pmu.sync_cycles(60);
@@ -367,7 +392,7 @@ mod tests {
 
         // Uncore counter wraps too.
         assert!(pmu.wrmsr(msr::MSR_UNC_CBO_PERFCTR0, (1 << 48) - 2));
-        pmu.count_uncore(0, 6);
+        pmu.count_uncore(0, 6).unwrap();
         assert_eq!(pmu.rdmsr(msr::MSR_UNC_CBO_PERFCTR0), Some(4));
 
         // Writes themselves only keep the writable 48 bits.

@@ -28,5 +28,5 @@ pub mod event;
 pub mod msr;
 
 pub use config::{parse_config, ParseConfigError};
-pub use counters::{Pmu, COUNTER_WIDTH, REF_CYCLE_RATIO};
+pub use counters::{Pmu, UncoreSliceError, COUNTER_WIDTH, REF_CYCLE_RATIO};
 pub use event::{EventCode, PerfEvent};

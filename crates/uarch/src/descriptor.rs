@@ -126,13 +126,10 @@ fn normalized_form(inst: &Instruction) -> Vec<OpKind> {
 }
 
 /// Whether the mnemonic is a pure data move: with a memory operand it has
-/// no compute µop (the load/store µop is everything).
+/// no compute µop (the load/store µop is everything). Delegates to the
+/// shared def/use metadata in [`nanobench_x86::defuse`].
 pub fn is_move(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    matches!(
-        m,
-        Mov | Movzx | Movsx | Movaps | Movups | Movapd | Movdqa | Movdqu | Movd | Movq
-    )
+    nanobench_x86::defuse::is_move(m)
 }
 
 /// Per-microarchitecture descriptor table.

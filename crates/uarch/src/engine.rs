@@ -678,6 +678,19 @@ impl Engine {
         if hot.has(meta::PRIVILEGED) && !bus.is_kernel() {
             return Err(CpuFault::PrivilegedInstruction(insts[ctx.pc].mnemonic));
         }
+        // Checked-interpreter mode: debug builds re-assert the verifier's
+        // facts at the dispatch site (release trusts the verified plan).
+        debug_assert!(
+            (hot.handler as usize) < Handlers::<B>::TABLE.len(),
+            "plan handler index {} out of dispatch-table range",
+            hot.handler
+        );
+        debug_assert_eq!(
+            hot.has(meta::PRIVILEGED),
+            insts[ctx.pc].mnemonic.is_privileged(),
+            "plan privilege bit disagrees with the instruction at {}",
+            ctx.pc
+        );
         let step = Handlers::<B>::TABLE[hot.handler as usize];
         let mut args = StepArgs {
             body,
@@ -807,7 +820,12 @@ impl Engine {
         bus.drain_uncore_lookups(&mut self.uncore_buf);
         for (slice, n) in self.uncore_buf.iter().enumerate() {
             if *n > 0 {
-                pmu.count_uncore(slice, *n);
+                // The hierarchy and the PMU are built from the same
+                // slice count, so a mismatch is a machine-construction
+                // bug; fail loudly in every profile rather than
+                // misattribute or drop slice counts.
+                pmu.count_uncore(slice, *n)
+                    .expect("hierarchy slice count matches the PMU's uncore counters");
             }
         }
     }
@@ -955,6 +973,28 @@ fn step_block<B: Bus + ?Sized>(
     } else {
         1
     };
+    // Checked-interpreter mode: the superblock about to run inline must
+    // satisfy the fusion-legality invariants `plan::verify_plan` certifies
+    // (fusable members only, no branch/privileged/AVX entry, cap obeyed).
+    #[cfg(debug_assertions)]
+    {
+        debug_assert!(
+            (1..=crate::plan::FUSE_CAP as usize).contains(&n) && a.pc + n <= a.body.hot.len(),
+            "superblock [{}, {}) violates the fusion cap or program bounds",
+            a.pc,
+            a.pc + n
+        );
+        for h in &a.body.hot[a.pc..a.pc + n] {
+            debug_assert!(
+                handler::is_fusable(h.handler)
+                    && !h.has(meta::IS_BRANCH)
+                    && !h.has(meta::PRIVILEGED)
+                    && !h.has(meta::IS_AVX),
+                "illegal superblock member (handler {})",
+                h.handler
+            );
+        }
+    }
     for i in 0..n {
         let pc = a.pc + i;
         let r = match a.body.hot[pc].handler {

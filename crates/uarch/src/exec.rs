@@ -620,143 +620,16 @@ pub fn branch_taken(inst: &Instruction, state: &CpuState) -> bool {
 
 /// The GPRs an instruction reads (for dependency tracking), including
 /// address registers of memory operands.
+///
+/// Delegates to [`nanobench_x86::defuse`], the single source of truth for
+/// per-instruction read/write sets.
 pub fn input_gprs(inst: &Instruction) -> Vec<GprPart> {
-    let mut regs = Vec::new();
-    let m = inst.mnemonic;
-    for (i, op) in inst.operands.iter().enumerate() {
-        match op {
-            Operand::Gpr(g)
-                // The first operand is written; whether it is also read
-                // depends on the mnemonic.
-                if (i > 0 || reads_dst(m)) => {
-                    regs.push(*g);
-                }
-            Operand::Mem(mem) => {
-                if let Some(b) = mem.base {
-                    regs.push(GprPart::full(b));
-                }
-                if let Some((idx, _)) = mem.index {
-                    regs.push(GprPart::full(idx));
-                }
-            }
-            _ => {}
-        }
-    }
-    // Implicit operands.
-    match m {
-        Mnemonic::Mul | Mnemonic::Imul if inst.operands.len() == 1 => {
-            regs.push(GprPart::full(Gpr::Rax));
-        }
-        Mnemonic::Div | Mnemonic::Idiv => {
-            regs.push(GprPart::full(Gpr::Rax));
-            regs.push(GprPart::full(Gpr::Rdx));
-        }
-        Mnemonic::Push | Mnemonic::Pop | Mnemonic::Call | Mnemonic::Ret => {
-            regs.push(GprPart::full(Gpr::Rsp));
-        }
-        Mnemonic::Rdpmc | Mnemonic::Rdmsr | Mnemonic::Wrmsr => {
-            regs.push(GprPart::full(Gpr::Rcx));
-            if m == Mnemonic::Wrmsr {
-                regs.push(GprPart::full(Gpr::Rax));
-                regs.push(GprPart::full(Gpr::Rdx));
-            }
-        }
-        _ => {}
-    }
-    regs
+    nanobench_x86::defuse::input_gprs(inst)
 }
 
-/// Whether the first (destination) operand is also an input.
-fn reads_dst(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    !matches!(
-        m,
-        Mov | Movzx
-            | Movsx
-            | Lea
-            | Movaps
-            | Movups
-            | Movapd
-            | Movdqa
-            | Movdqu
-            | Movd
-            | Movq
-            | Setz
-            | Setnz
-            | Pop
-            | Lzcnt
-            | Tzcnt
-            | Popcnt
-            | Bsf
-            | Bsr
-            | Rdrand
-            | Rdseed
-    )
-}
-
-/// The GPRs an instruction writes.
+/// The GPRs an instruction writes (see [`nanobench_x86::defuse`]).
 pub fn output_gprs(inst: &Instruction) -> Vec<GprPart> {
-    let mut regs = Vec::new();
-    let m = inst.mnemonic;
-    if writes_dst(m) {
-        if let Some(Operand::Gpr(g)) = inst.dst() {
-            regs.push(*g);
-        }
-    }
-    if m == Mnemonic::Xchg || m == Mnemonic::Xadd {
-        if let Some(Operand::Gpr(g)) = inst.src() {
-            regs.push(*g);
-        }
-    }
-    match m {
-        Mnemonic::Mul | Mnemonic::Imul if inst.operands.len() == 1 => {
-            regs.push(GprPart::full(Gpr::Rax));
-            regs.push(GprPart::full(Gpr::Rdx));
-        }
-        Mnemonic::Div | Mnemonic::Idiv => {
-            regs.push(GprPart::full(Gpr::Rax));
-            regs.push(GprPart::full(Gpr::Rdx));
-        }
-        Mnemonic::Push | Mnemonic::Pop | Mnemonic::Call | Mnemonic::Ret => {
-            regs.push(GprPart::full(Gpr::Rsp));
-        }
-        Mnemonic::Rdtsc | Mnemonic::Rdtscp | Mnemonic::Rdpmc | Mnemonic::Rdmsr => {
-            regs.push(GprPart::full(Gpr::Rax));
-            regs.push(GprPart::full(Gpr::Rdx));
-        }
-        Mnemonic::Cpuid => {
-            for r in [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx] {
-                regs.push(GprPart::full(r));
-            }
-        }
-        _ => {}
-    }
-    regs
-}
-
-fn writes_dst(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    !matches!(
-        m,
-        Cmp | Test
-            | Jmp
-            | Jz
-            | Jnz
-            | Jc
-            | Jnc
-            | Call
-            | Ret
-            | Push
-            | Clflush
-            | Clflushopt
-            | Prefetcht0
-            | Prefetcht1
-            | Prefetcht2
-            | Prefetchnta
-            | Invlpg
-            | Nop
-            | Pause
-    )
+    nanobench_x86::defuse::output_gprs(inst)
 }
 
 #[cfg(test)]

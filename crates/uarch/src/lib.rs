@@ -29,6 +29,6 @@ pub use bpred::BranchPredictor;
 pub use bus::{Bus, CpuFault, InterruptEvent};
 pub use descriptor::{DescriptorTable, InstrDesc, PortClass, UopSpec};
 pub use engine::{Engine, EngineConfig, RunContext, RunStats};
-pub use plan::DecodedProgram;
+pub use plan::{verify_plan, DecodedProgram, PlanRule, PlanViolation};
 pub use port::{MicroArch, PortConfig, PortSet};
 pub use state::CpuState;

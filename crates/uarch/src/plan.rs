@@ -48,6 +48,7 @@
 use crate::descriptor::{is_move, DescriptorTable, PortClass, UopSpec};
 use crate::exec;
 use crate::port::{MicroArch, PortSet};
+use nanobench_x86::defuse;
 use nanobench_x86::inst::{Instruction, Mnemonic};
 use nanobench_x86::operand::{MemRef, Operand};
 use nanobench_x86::reg::{Gpr, Width};
@@ -148,7 +149,7 @@ pub(crate) mod meta {
 /// Maximum number of ALU entries fused into one superblock. Bounds how far
 /// a fused step can run ahead of interrupt polling and the instruction
 /// limit check (both happen once per dispatched block).
-const FUSE_CAP: u8 = 16;
+pub(crate) const FUSE_CAP: u8 = 16;
 
 /// A store operand plus whether this instruction's load µop already
 /// touched the line (RMW forms skip the second cache access).
@@ -467,92 +468,26 @@ fn special_handler(m: Mnemonic) -> u8 {
     }
 }
 
+// Flag and memory read/write classification lives in
+// [`nanobench_x86::defuse`] (shared with the semantic interpreter and the
+// static analyzer); the plan only needs the boolean projections.
+
 fn flags_read(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    matches!(
-        m,
-        Adc | Sbb | Cmovz | Cmovnz | Setz | Setnz | Jz | Jnz | Jc | Jnc
-    )
+    !defuse::flags_read(m).is_empty()
 }
 
 fn flags_written(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    matches!(
-        m,
-        Add | Adc
-            | Sub
-            | Sbb
-            | And
-            | Or
-            | Xor
-            | Cmp
-            | Test
-            | Inc
-            | Dec
-            | Neg
-            | Imul
-            | Mul
-            | Shl
-            | Shr
-            | Sar
-            | Rol
-            | Ror
-            | Popcnt
-            | Lzcnt
-            | Tzcnt
-            | Bsf
-            | Bsr
-            | Xadd
-            | Comiss
-            | Comisd
-            | Ptest
-    )
+    !defuse::flags_written(m).is_empty()
 }
 
 /// Memory operands an instruction reads.
 fn mem_reads(inst: &Instruction, out: &mut Vec<MemRef>) {
-    use Mnemonic::*;
-    let m = inst.mnemonic;
-    out.clear();
-    if matches!(
-        m,
-        Lea | Clflush | Clflushopt | Prefetcht0 | Prefetcht1 | Prefetcht2 | Prefetchnta | Invlpg
-    ) {
-        return;
-    }
-    for (i, op) in inst.operands.iter().enumerate() {
-        if let Operand::Mem(mem) = op {
-            let is_dst = i == 0;
-            let reads = if is_dst { dst_mem_is_read(m) } else { true };
-            if reads {
-                out.push(*mem);
-            }
-        }
-    }
+    defuse::mem_reads(inst, out);
 }
 
 /// Memory operands an instruction writes.
 fn mem_writes(inst: &Instruction) -> Option<MemRef> {
-    if let Some(Operand::Mem(mem)) = inst.dst() {
-        if dst_mem_is_written(inst.mnemonic) {
-            return Some(*mem);
-        }
-    }
-    None
-}
-
-fn dst_mem_is_read(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    // Pure stores and SETcc only write; CMP/TEST only read; RMW both.
-    !matches!(
-        m,
-        Mov | Movaps | Movups | Movapd | Movdqa | Movdqu | Movd | Movq | Setz | Setnz
-    )
-}
-
-fn dst_mem_is_written(m: Mnemonic) -> bool {
-    use Mnemonic::*;
-    !matches!(m, Cmp | Test | Ptest | Comiss | Comisd | Push)
+    defuse::mem_writes(inst)
 }
 
 impl PlanBody {
@@ -753,6 +688,18 @@ impl PlanBody {
             body.hot[i].fuse_len = next.saturating_add(1).min(FUSE_CAP);
         }
 
+        // Debug builds certify every invariant the interpreter assumes
+        // right where the plan is born; release builds stay lean (the
+        // checked-interpreter debug asserts re-check the per-step facts).
+        #[cfg(debug_assertions)]
+        {
+            let violations = verify_body(&body, program);
+            debug_assert!(
+                violations.is_empty(),
+                "plan verifier found violations: {violations:?}"
+            );
+        }
+
         body
     }
 }
@@ -803,6 +750,290 @@ impl DecodedProgram {
     pub(crate) fn body(&self) -> &PlanBody {
         &self.body
     }
+}
+
+/// The invariant class a [`PlanViolation`] reports against. One variant
+/// per assumption the dispatch-table interpreter makes about a decoded
+/// plan (DESIGN.md §3g lists them with the rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanRule {
+    /// Every entry's handler index addresses the dispatch table
+    /// (`handler < COUNT` for any `Bus` instantiation).
+    HandlerRange,
+    /// Every span lies within its arena (`start + len <= arena.len()`).
+    SpanBounds,
+    /// Spans into one arena never overlap: each entry owns its slice.
+    SpanOverlap,
+    /// Every resolved µop has at least one dispatch port.
+    EmptyPortSet,
+    /// Superblock fusion legality: blocks only cover consecutive fusable
+    /// entries (ALU/load/store/RMW), never a branch, fault source,
+    /// privileged, or vector entry mid-block, and never exceed the cap.
+    FusionLegality,
+    /// PMU-batch flush coverage: every counter observation site (RDPMC,
+    /// RDMSR, WRMSR, pause/resume markers) is its own dispatch boundary,
+    /// where the interpreter flushes the deferred batch.
+    FlushPoint,
+    /// Plan metadata agrees with the instruction it was decoded from
+    /// (e.g. the precomputed privilege bit).
+    MetaConsistency,
+}
+
+impl std::fmt::Display for PlanRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlanRule::HandlerRange => "handler-range",
+            PlanRule::SpanBounds => "span-bounds",
+            PlanRule::SpanOverlap => "span-overlap",
+            PlanRule::EmptyPortSet => "empty-port-set",
+            PlanRule::FusionLegality => "fusion-legality",
+            PlanRule::FlushPoint => "flush-point",
+            PlanRule::MetaConsistency => "meta-consistency",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One violated invariant of a decoded execution plan, anchored to the
+/// static instruction index it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanViolation {
+    /// Static instruction index the violation anchors to.
+    pub index: usize,
+    /// The invariant class.
+    pub rule: PlanRule,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] at {}: {}", self.rule, self.index, self.detail)
+    }
+}
+
+/// Statically checks every invariant the dispatch-table interpreter
+/// assumes about a decoded plan. Returns the full violation list (empty
+/// for every plan `PlanBody::build` produces — the build hooks this under
+/// `debug_assertions`, and the checked interpreter re-asserts the per-step
+/// facts it relies on).
+pub fn verify_plan(program: &DecodedProgram) -> Vec<PlanViolation> {
+    verify_body(program.body(), program.instructions())
+}
+
+pub(crate) fn verify_body(body: &PlanBody, insts: &[Instruction]) -> Vec<PlanViolation> {
+    let mut out = Vec::new();
+    let n = insts.len();
+    let mut push = |index: usize, rule: PlanRule, detail: String| {
+        out.push(PlanViolation {
+            index,
+            rule,
+            detail,
+        });
+    };
+    if body.hot.len() != n || body.cold.len() != n || body.fast.len() != n {
+        push(
+            0,
+            PlanRule::SpanBounds,
+            format!(
+                "entry arenas have {}/{}/{} entries for {n} instructions",
+                body.hot.len(),
+                body.cold.len(),
+                body.fast.len()
+            ),
+        );
+        return out;
+    }
+
+    let span_ok = |s: Span, arena_len: usize| (s.start as usize + s.len as usize) <= arena_len;
+    // (arena id, start, len, entry index) for the overlap check.
+    let mut spans: Vec<(u8, u32, u32, usize)> = Vec::new();
+
+    for (i, (hot, cold)) in body.hot.iter().zip(&body.cold).enumerate() {
+        if (hot.handler as usize) >= handler::COUNT {
+            push(
+                i,
+                PlanRule::HandlerRange,
+                format!(
+                    "handler index {} out of range (table has {} entries)",
+                    hot.handler,
+                    handler::COUNT
+                ),
+            );
+        }
+        for (name, span, arena_len, arena_id) in [
+            ("uops", hot.uops, body.uops.len(), 0u8),
+            ("in_regs", hot.in_regs, body.regs.len(), 1),
+            ("out_regs", hot.out_regs, body.regs.len(), 1),
+            ("in_vregs", cold.in_vregs, body.regs.len(), 1),
+            ("reads", hot.reads, body.reads.len(), 2),
+            ("writes", hot.writes, body.writes.len(), 3),
+        ] {
+            if !span_ok(span, arena_len) {
+                push(
+                    i,
+                    PlanRule::SpanBounds,
+                    format!(
+                        "{name} span [{}, {}) exceeds arena of {arena_len}",
+                        span.start,
+                        span.start + span.len
+                    ),
+                );
+            } else if span.len > 0 {
+                spans.push((arena_id, span.start, span.len, i));
+            }
+        }
+        if span_ok(hot.uops, body.uops.len()) {
+            for (k, uop) in hot.uops.slice(&body.uops).iter().enumerate() {
+                // Zero-port µops are legal only when declared free: the
+                // interpreter completes them at their ready cycle without
+                // dispatching (vzeroupper, pause padding). A µop with
+                // latency or a reciprocal-throughput cost but nowhere to
+                // execute is a descriptor-resolution bug.
+                if uop.ports.is_empty() && (uop.latency > 0 || uop.recip > 1) {
+                    push(
+                        i,
+                        PlanRule::EmptyPortSet,
+                        format!(
+                            "resolved µop {k} has latency {} / recip {} but an empty port set",
+                            uop.latency, uop.recip
+                        ),
+                    );
+                }
+            }
+        }
+        if hot.has(meta::PRIVILEGED) != insts[i].mnemonic.is_privileged() {
+            push(
+                i,
+                PlanRule::MetaConsistency,
+                format!(
+                    "privilege bit {} disagrees with mnemonic {}",
+                    hot.has(meta::PRIVILEGED),
+                    insts[i].mnemonic.name()
+                ),
+            );
+        }
+
+        // Fusion legality.
+        if hot.fuse_len == 0 {
+            push(i, PlanRule::FusionLegality, "fuse_len of 0".to_string());
+        }
+        if !handler::is_fusable(hot.handler) {
+            if hot.fuse_len > 1 {
+                push(
+                    i,
+                    PlanRule::FusionLegality,
+                    format!(
+                        "non-fusable handler {} carries fuse_len {}",
+                        hot.handler, hot.fuse_len
+                    ),
+                );
+            }
+        } else {
+            if hot.fuse_len > FUSE_CAP {
+                push(
+                    i,
+                    PlanRule::FusionLegality,
+                    format!("fuse_len {} exceeds cap {FUSE_CAP}", hot.fuse_len),
+                );
+            }
+            let end = i + hot.fuse_len as usize;
+            if end > n {
+                push(
+                    i,
+                    PlanRule::FusionLegality,
+                    format!("superblock [{i}, {end}) runs past the program end {n}"),
+                );
+            } else {
+                for j in i..end {
+                    let member = &body.hot[j];
+                    if !handler::is_fusable(member.handler) {
+                        push(
+                            i,
+                            PlanRule::FusionLegality,
+                            format!(
+                                "non-fusable handler {} fused at offset {}",
+                                member.handler,
+                                j - i
+                            ),
+                        );
+                    }
+                    if member.has(meta::IS_BRANCH)
+                        || member.has(meta::PRIVILEGED)
+                        || member.has(meta::IS_AVX)
+                    {
+                        push(
+                            i,
+                            PlanRule::FusionLegality,
+                            format!(
+                                "branch/privileged/AVX entry {} inside superblock [{i}, {end})",
+                                j
+                            ),
+                        );
+                    }
+                    if !body.cold[j].in_vregs.is_empty() || body.cold[j].out_vreg.is_some() {
+                        push(
+                            i,
+                            PlanRule::FusionLegality,
+                            format!("vector-dependent entry {j} inside superblock [{i}, {end})"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Flush-point coverage: batch observation sites are their own
+        // dispatch boundaries.
+        let observes_counters = matches!(
+            hot.handler,
+            handler::RDPMC
+                | handler::RDMSR
+                | handler::WRMSR
+                | handler::NB_PAUSE
+                | handler::NB_RESUME
+        );
+        if observes_counters {
+            if handler::is_fusable(hot.handler) || hot.fuse_len != 1 {
+                push(
+                    i,
+                    PlanRule::FlushPoint,
+                    "counter observation site is not a lone dispatch".to_string(),
+                );
+            }
+            for j in 0..i {
+                let prior = &body.hot[j];
+                if handler::is_fusable(prior.handler) && j + prior.fuse_len as usize > i {
+                    push(
+                        i,
+                        PlanRule::FlushPoint,
+                        format!(
+                            "superblock at {j} (len {}) spans the observation site",
+                            prior.fuse_len
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Overlap: within one arena, every nonempty span owns its slice.
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        let (a_arena, a_start, a_len, a_idx) = w[0];
+        let (b_arena, b_start, _, b_idx) = w[1];
+        if a_arena == b_arena && a_start + a_len > b_start {
+            push(
+                b_idx.max(a_idx),
+                PlanRule::SpanOverlap,
+                format!(
+                    "spans [{a_start}, {}) (entry {a_idx}) and starting {b_start} (entry {b_idx}) overlap",
+                    a_start + a_len
+                ),
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -922,6 +1153,102 @@ mod tests {
         for i in 0..39 {
             assert!(p.body().hot[i].fuse_len <= p.body().hot[i + 1].fuse_len + 1);
         }
+    }
+
+    #[test]
+    fn verifier_accepts_representative_programs() {
+        for src in [
+            "add rax, 1; mov [r14], rax; mov rbx, [r14]; add [r14+64], rbx",
+            "lfence; rdpmc; push rax; rdrand rbx; pop rax",
+            "addps xmm0, xmm1; vaddps ymm0, ymm1, ymm2; vzeroupper",
+            "cmp rax, rbx; jnz l; cpuid; l: wbinvd; pause",
+            "nop; rdtsc; rdmsr; wrmsr; clflush [r14]",
+        ] {
+            let v = verify_plan(&plan(src));
+            assert!(v.is_empty(), "{src}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_mid_block_branch_fusion() {
+        // Corrupt a built plan so a superblock spans the branch: both the
+        // non-fusable handler and the IS_BRANCH bit must be caught.
+        let mut p = plan("add rax, 1; add rbx, 1; jnz l; l: nop");
+        assert_eq!(p.body.hot[0].fuse_len, 2);
+        p.body.hot[0].fuse_len = 3;
+        let v = verify_plan(&p);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == PlanRule::FusionLegality && v.index == 0),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_handler_out_of_range() {
+        let mut p = plan("nop");
+        p.body.hot[0].handler = handler::COUNT as u8;
+        let v = verify_plan(&p);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == PlanRule::HandlerRange && v.index == 0),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_out_of_bounds_span() {
+        let mut p = plan("add rax, rbx");
+        p.body.hot[0].in_regs = Span {
+            start: 1000,
+            len: 4,
+        };
+        let v = verify_plan(&p);
+        assert!(v.iter().any(|v| v.rule == PlanRule::SpanBounds), "{v:?}");
+    }
+
+    #[test]
+    fn verifier_rejects_overlapping_spans() {
+        // Two entries claiming the same regs-arena slice: the plan writer
+        // must give every nonempty span its own storage.
+        let mut p = plan("add rax, rbx; add rcx, rdx");
+        p.body.hot[1].in_regs = p.body.hot[0].in_regs;
+        let v = verify_plan(&p);
+        assert!(v.iter().any(|v| v.rule == PlanRule::SpanOverlap), "{v:?}");
+    }
+
+    #[test]
+    fn verifier_rejects_corrupted_privilege_bit() {
+        let mut p = plan("wbinvd");
+        p.body.hot[0].meta &= !meta::PRIVILEGED;
+        let v = verify_plan(&p);
+        assert!(
+            v.iter().any(|v| v.rule == PlanRule::MetaConsistency),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_superblock_spanning_a_flush_point() {
+        // A fused block running over an RDPMC would observe counters with
+        // an unflushed PMU batch.
+        let mut p = plan("add rax, 1; rdpmc");
+        p.body.hot[0].fuse_len = 2;
+        let v = verify_plan(&p);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == PlanRule::FlushPoint && v.index == 1),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_costly_uop_with_no_ports() {
+        let mut p = plan("add rax, rbx");
+        let span = p.body.hot[0].uops;
+        p.body.uops[span.start as usize].ports = PortSet::NONE;
+        let v = verify_plan(&p);
+        assert!(v.iter().any(|v| v.rule == PlanRule::EmptyPortSet), "{v:?}");
     }
 
     #[test]

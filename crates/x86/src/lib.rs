@@ -5,7 +5,9 @@
 //! an Intel-syntax assembler ([`asm`]) matching the input format of
 //! nanoBench's `-asm` options, and a byte-level machine-code encoder/decoder
 //! ([`encode`]) for the binary-input path and the magic pause/resume byte
-//! sequences of §III-I of the paper.
+//! sequences of §III-I of the paper. The [`defuse`] module carries the
+//! per-instruction read/write sets (registers, flags, vectors, memory)
+//! that the execution engine and the static analyzer both consume.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 
 pub mod asm;
 pub mod corpus;
+pub mod defuse;
 pub mod encode;
 pub mod inst;
 pub mod operand;

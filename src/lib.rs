@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub use nanobench_analysis as analysis;
 pub use nanobench_cache as cache;
 pub use nanobench_cache_tools as cache_tools;
 pub use nanobench_core as nb;

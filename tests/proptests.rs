@@ -480,3 +480,139 @@ proptest! {
         prop_assert_eq!(fused.arch_state(), single.arch_state());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Analyzer differential: what the static analyzer accepts must complete,
+// what it rejects must fail *structurally*. A spec the analyzer passes with
+// zero errors runs to completion through the full Algorithm-1 pipeline in
+// the analyzed mode, and its raw instruction sequence executes identically
+// under the legacy interpreter and the dispatch-table plan interpreter; a
+// spec the analyzer rejects turns into `NbError::Lint` through the Deny
+// gate — a structured error, never a fault escaping as a panic.
+// ---------------------------------------------------------------------------
+
+use nanobench::analysis::has_errors;
+use nanobench::machine::{Machine, Mode};
+use nanobench::nb::codegen::{ARENA_REGS, ARENA_SIZE};
+use nanobench::nb::{BenchSpec, LintGate, NbError, Session};
+
+/// Spec lines the analyzer differential draws from: a mix of clean lines,
+/// warning-only lines (uninitialized data reads), and lines the analyzer
+/// rejects in one or both modes (uninitialized address base, privileged,
+/// provably unmapped absolute operand).
+fn lint_line(op: usize) -> &'static str {
+    match op {
+        0 => "add rax, 1",
+        1 => "mov [r14+8], rax",
+        2 => "mov rbx, [r14+8]",
+        3 => "imul rbx, rax",
+        4 => "lea rdx, [rcx+rbx]",
+        5 => "mov [rsi+32], rdx",
+        6 => "addps xmm0, xmm1",
+        7 => "shl rdx, 3",
+        8 => "nop",
+        9 => "mov r10, [rdi+128]",
+        10 => "mov rax, [r11]",  // uninit address: rejected everywhere
+        11 => "wbinvd",          // privileged: rejected in user mode
+        _ => "mov rax, [0x100]", // unmapped absolute: rejected in user mode
+    }
+}
+
+fn lint_spec(ops: &[usize]) -> BenchSpec {
+    let body: String = ops.iter().map(|&o| format!("{}; ", lint_line(o))).collect();
+    let mut spec = BenchSpec::new();
+    spec.asm(body.trim_end_matches("; ")).expect("pool parses");
+    spec.n_measurements(2);
+    spec
+}
+
+/// A raw machine set up the way the generated code's prologue leaves the
+/// registers: every dedicated arena register points at its own mapped 1MB
+/// region (RSP biased to the middle, §III-G), and RAX/RCX/RDX hold the
+/// defined values the counter reads leave behind.
+fn machine_with_arenas(mode: Mode) -> Machine {
+    let mut m = Machine::new(MicroArch::Skylake, mode, 7);
+    for reg in ARENA_REGS {
+        let base = m.alloc_region(ARENA_SIZE);
+        let v = if reg == Gpr::Rsp {
+            base + ARENA_SIZE / 2
+        } else {
+            base
+        };
+        m.state_mut().set_gpr(reg, v);
+    }
+    for reg in [Gpr::Rax, Gpr::Rcx, Gpr::Rdx] {
+        m.state_mut().set_gpr(reg, 2);
+    }
+    m
+}
+
+proptest! {
+    /// Accepted ⇒ completes; rejected ⇒ structured `NbError::Lint`.
+    #[test]
+    fn analyzer_verdicts_are_sound(
+        ops in proptest::collection::vec(0usize..13, 1..8),
+        kernel_sel in 0usize..2,
+    ) {
+        let spec = lint_spec(&ops);
+        let mut session = if kernel_sel == 0 {
+            Session::kernel(MicroArch::Skylake)
+        } else {
+            Session::user(MicroArch::Skylake)
+        };
+        session.lint(LintGate::Deny);
+        let diags = session.analyze(&spec);
+        let outcome = session.run(&spec);
+        if has_errors(&diags) {
+            match outcome {
+                Err(NbError::Lint(errors)) => {
+                    prop_assert!(!errors.is_empty());
+                }
+                Err(other) => prop_assert!(
+                    false, "rejected spec must surface NbError::Lint, got {}", other
+                ),
+                Ok(_) => prop_assert!(
+                    false, "the Deny gate must refuse a spec with lint errors"
+                ),
+            }
+        } else {
+            prop_assert!(
+                outcome.is_ok(),
+                "analyzer-accepted spec must complete: {:?}", outcome.err().map(|e| e.to_string())
+            );
+        }
+    }
+
+    /// Analyzer-accepted instruction sequences are interpreter-agnostic:
+    /// on a machine whose registers are set up the way the generated
+    /// prologue leaves them, the legacy interpreter and the dispatch-table
+    /// plan interpreter both complete and agree bit-for-bit, in kernel and
+    /// in user mode.
+    #[test]
+    fn accepted_programs_complete_in_both_interpreters(
+        ops in proptest::collection::vec(0usize..13, 1..8),
+        kernel_sel in 0usize..2,
+    ) {
+        let mode = if kernel_sel == 0 { Mode::Kernel } else { Mode::User };
+        let spec = lint_spec(&ops);
+        let session = if mode == Mode::Kernel {
+            Session::kernel(MicroArch::Skylake)
+        } else {
+            Session::user(MicroArch::Skylake)
+        };
+        if has_errors(&session.analyze(&spec)) {
+            return; // only accepted specs carry the completion guarantee
+        }
+
+        let mut legacy = machine_with_arenas(mode);
+        let mut planned = machine_with_arenas(mode);
+        let plan = planned.decode(&spec.code);
+        let a = legacy.run(&spec.code);
+        let b = planned.run_plan(&plan);
+        prop_assert!(a.is_ok(), "legacy interpreter faulted: {:?}", a);
+        prop_assert_eq!(&a, &b, "interpreters diverged");
+        let gprs_a: Vec<u64> = Gpr::ALL.iter().map(|g| legacy.state().gpr(*g)).collect();
+        let gprs_b: Vec<u64> = Gpr::ALL.iter().map(|g| planned.state().gpr(*g)).collect();
+        prop_assert_eq!(gprs_a, gprs_b, "architectural state diverged");
+    }
+}
