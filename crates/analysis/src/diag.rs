@@ -76,6 +76,8 @@ pub enum Code {
     Privileged,
     /// A memory operand provably outside the spec's mapped regions.
     MemRange,
+    /// A memory operand provably straddling a 64-byte cache-line boundary.
+    LineStraddle,
     /// A branch to a target outside the instruction sequence.
     BranchRange,
     /// No machine-code encoding: the §III-E byte path cannot carry it.
@@ -95,6 +97,7 @@ impl Code {
             Code::DeadStore => "dead-store",
             Code::Privileged => "privileged-user",
             Code::MemRange => "mem-range",
+            Code::LineStraddle => "line-straddle",
             Code::BranchRange => "branch-range",
             Code::Unencodable => "unsupported-encoding",
             Code::PlanInvariant => "plan-invariant",

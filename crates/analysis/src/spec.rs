@@ -270,6 +270,53 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// Flags a memory operand whose address is provably known (absolute,
+    /// or a displacement off a register still holding its line-aligned
+    /// arena base) and provably straddles a 64-byte cache-line boundary.
+    /// Split-line accesses cost extra cycles on every CPU in Table I, so a
+    /// kernel that means to measure an aligned load/store latency would
+    /// silently measure something else.
+    fn check_line_straddle(&mut self, part: Part, i: u32, inst: &Instruction, mem: &MemRef) {
+        let width = mem.width.bytes() as u64;
+        if width <= 1 {
+            return;
+        }
+        let (line_off, dedup) = if mem.base.is_none() && mem.index.is_none() {
+            (mem.disp.rem_euclid(64) as u64, mem.disp as u64)
+        } else if let (Some(b), None) = (mem.base, mem.index) {
+            if !self.flow.arena[b.number() as usize] {
+                return;
+            }
+            // Arena bases are line-aligned; RSP's mid-area bias keeps the
+            // alignment because the area size is a multiple of 128.
+            let bias = if b == Gpr::Rsp {
+                (self.env.arena_size / 2) as i64
+            } else {
+                0
+            };
+            (
+                (mem.disp + bias).rem_euclid(64) as u64,
+                mem.disp as u64 ^ ((b.number() as u64) << 56),
+            )
+        } else {
+            return;
+        };
+        if line_off + width > 64 {
+            self.report(
+                Severity::Warning,
+                Code::LineStraddle,
+                Span::at(i),
+                dedup,
+                format!(
+                    "{}[{i}] `{inst}`: {width}-byte access at line offset {line_off} straddles \
+                     a 64-byte cache-line boundary — split-line accesses take extra cycles and \
+                     skew the measured latency/throughput",
+                    part.name()
+                ),
+            );
+        }
+    }
+
     fn scan(&mut self, part: Part, insts: &[Instruction]) {
         let mut reads_buf: Vec<MemRef> = Vec::new();
         for (idx, inst) in insts.iter().enumerate() {
@@ -431,6 +478,7 @@ impl<'a> Analyzer<'a> {
             let write = defuse::mem_writes(inst);
             for mem in reads_buf.iter().chain(write.iter()) {
                 self.check_mem_range(part, i, inst, mem);
+                self.check_line_straddle(part, i, inst, mem);
             }
             // Dead-store bookkeeping (straight-line only: branches and
             // unknown-address accesses invalidate the tracked set).
@@ -636,6 +684,35 @@ mod tests {
         assert!(lint("mov rax, [rsp - 1024]").is_empty());
         // A register that no longer holds its base is not range-checked.
         assert!(lint("add r14, 64; mov rax, [r14 + 1048577]").is_empty());
+    }
+
+    #[test]
+    fn line_straddling_operands_warn() {
+        // An 8-byte load at line offset 60 provably crosses into the next
+        // 64-byte line.
+        let d = lint("mov rax, [r14 + 60]");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::LineStraddle);
+        assert_eq!(d[0].severity, Severity::Warning);
+        // Same boundary for a store.
+        let d = lint("mov [r14 + 60], rax");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::LineStraddle);
+        // Aligned and line-interior accesses are clean.
+        assert!(lint("mov rax, [r14 + 56]").is_empty());
+        assert!(lint("mov rax, [r14 + 64]").is_empty());
+        // RSP's mid-area bias keeps line alignment, so [rsp - 4] sits at
+        // line offset 60 and an 8-byte load there straddles.
+        let d = lint("mov rax, [rsp - 4]");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::LineStraddle);
+        // Absolute operands are checked too (no regions needed).
+        let d = lint("mov rax, [0x13c]");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::LineStraddle);
+        // A base that no longer provably holds its arena base is unknown —
+        // nothing is provable, so nothing is reported.
+        assert!(lint("add r14, 1; mov rax, [r14 + 60]").is_empty());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Memory-path throughput: simulated memory operations/second on the
+//! cache-resident kernels the paper's latency and interference
+//! experiments (e2, e5 lat/tp, e10, e11) spend their time in — an L1-hit
+//! pointer chase, L2- and L3-resident chases, and a streaming-store
+//! kernel.
+//!
+//! Emits `BENCH_mem.json`. CI guards the L1-hit chase rate through
+//! `profile_mem --min-ips` at 0.8x this checked-in baseline, same shape
+//! as the `profile_engine` guard.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nanobench_bench::write_metrics_json;
+use nanobench_machine::{Machine, Mode};
+use nanobench_uarch::port::MicroArch;
+use nanobench_x86::asm::parse_asm;
+use nanobench_x86::inst::Instruction;
+use nanobench_x86::reg::Gpr;
+use std::time::Instant;
+
+/// Memory µops per loop iteration (the unrolled chase/store body) and the
+/// loop trip count: one run executes `UNROLL * ITERS` memory µops plus
+/// loop overhead.
+const UNROLL: u64 = 8;
+const ITERS: u64 = 200;
+
+fn looped(body: &str) -> Vec<Instruction> {
+    parse_asm(&format!("mov r15, {ITERS}; l: {body}; dec r15; jnz l")).expect("kernel parses")
+}
+
+/// Dependent-load chase: every iteration is `UNROLL` serial L-level hits.
+fn chase_kernel() -> Vec<Instruction> {
+    looped(&"mov r14, [r14]; ".repeat(UNROLL as usize))
+}
+
+/// Streaming stores to `UNROLL` consecutive lines, all L1-resident.
+fn store_kernel() -> Vec<Instruction> {
+    let body: String = (0..UNROLL)
+        .map(|i| format!("mov [r14 + {}], rax; ", i * 64))
+        .collect();
+    looped(&body)
+}
+
+/// A kernel-mode machine with a pointer ring of `lines` cache lines
+/// (stride 64) in a dedicated region and `R14` at the first link. One
+/// line is the self-loop L1-hit case; 2048 lines (128 KiB) is
+/// L2-resident; 32768 lines (2 MiB) is L3-resident on the Skylake preset
+/// (32 KiB L1 / 256 KiB L2 / 8 MiB L3).
+fn chase_machine(lines: u64) -> Machine {
+    let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+    let base = m.alloc_region((lines * 64).max(1 << 20));
+    for i in 0..lines {
+        let next = base + (i + 1) % lines * 64;
+        m.write_mem(base + i * 64, 8, next).expect("ring is mapped");
+    }
+    m.state_mut().set_gpr(Gpr::R14, base);
+    m
+}
+
+fn store_machine() -> Machine {
+    let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+    let base = m.alloc_region(1 << 20);
+    m.state_mut().set_gpr(Gpr::R14, base);
+    m
+}
+
+/// Median sustained memory-µops/second over several timing windows (one
+/// scheduler hiccup inside a single window must not skew the artifact the
+/// CI perf guard compares against).
+const WINDOWS: usize = 5;
+
+fn mem_rate(m: &mut Machine, program: &[Instruction], reps: usize) -> f64 {
+    let plan = m.decode(program);
+    let ops_per_run = (UNROLL * ITERS) as f64;
+    // Warm the caches (and the host branch predictors) before timing.
+    for _ in 0..10 {
+        m.run_plan(&plan).expect("runs");
+    }
+    let mut rates = Vec::with_capacity(WINDOWS);
+    for _ in 0..WINDOWS {
+        let start = Instant::now();
+        for _ in 0..reps {
+            m.run_plan(&plan).expect("runs");
+        }
+        rates.push(ops_per_run * reps as f64 / start.elapsed().as_secs_f64());
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[WINDOWS / 2]
+}
+
+fn bench_mem(c: &mut Criterion) {
+    let chase = chase_kernel();
+    let stores = store_kernel();
+    let mut group = c.benchmark_group("mem_throughput");
+    group.sample_size(10);
+
+    let mut m = chase_machine(1);
+    let plan = m.decode(&chase);
+    group.bench_function("l1_chase", |b| {
+        b.iter(|| black_box(m.run_plan(&plan).expect("runs")))
+    });
+    let mut m = store_machine();
+    let plan = m.decode(&stores);
+    group.bench_function("stream_store", |b| {
+        b.iter(|| black_box(m.run_plan(&plan).expect("runs")))
+    });
+    group.finish();
+
+    // Artifact: memory-µops/sec per kernel. Benches run with the package
+    // directory as CWD, so anchor the artifact at the workspace root
+    // where CI collects BENCH_*.json.
+    let l1 = mem_rate(&mut chase_machine(1), &chase, 400);
+    let store = mem_rate(&mut store_machine(), &stores, 400);
+    let l2 = mem_rate(&mut chase_machine(2048), &chase, 100);
+    let l3 = mem_rate(&mut chase_machine(32768), &chase, 50);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mem.json");
+    write_metrics_json(
+        path,
+        "mem_throughput",
+        "memory-ops/s",
+        &[
+            ("l1_chase_mops", l1),
+            ("stream_store_mops", store),
+            ("l2_chase_mops", l2),
+            ("l3_chase_mops", l3),
+        ],
+    );
+}
+
+criterion_group!(benches, bench_mem);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Quick memory-path throughput probe: the `mem_throughput` kernels
+//! without the criterion harness, for profiling and the CI perf guard.
+//!
+//! Prints sustained memory-µops/second for the L1-hit pointer chase and
+//! the streaming-store kernel, and exits non-zero if `--min-ips N` is
+//! given and the L1-hit chase rate falls below it.
+
+use nanobench_machine::{Machine, Mode};
+use nanobench_uarch::port::MicroArch;
+use nanobench_x86::asm::parse_asm;
+use nanobench_x86::inst::Instruction;
+use nanobench_x86::reg::Gpr;
+use std::time::Instant;
+
+/// Memory µops per loop iteration and loop trip count (must match
+/// `benches/mem_throughput.rs`, whose artifact the CI guard compares
+/// this probe's rate against).
+const UNROLL: u64 = 8;
+const ITERS: u64 = 200;
+
+fn looped(body: &str) -> Vec<Instruction> {
+    parse_asm(&format!("mov r15, {ITERS}; l: {body}; dec r15; jnz l")).expect("kernel parses")
+}
+
+/// Kernel machine with the one-line self-loop chase ring at `R14`.
+fn l1_chase_machine() -> Machine {
+    let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+    let base = m.alloc_region(1 << 20);
+    m.write_mem(base, 8, base).expect("ring is mapped");
+    m.state_mut().set_gpr(Gpr::R14, base);
+    m
+}
+
+fn store_machine() -> Machine {
+    let mut m = Machine::new(MicroArch::Skylake, Mode::Kernel, 7);
+    let base = m.alloc_region(1 << 20);
+    m.state_mut().set_gpr(Gpr::R14, base);
+    m
+}
+
+/// Median over several timing windows: a single scheduler hiccup must not
+/// fail the CI guard.
+const WINDOWS: usize = 5;
+
+fn mem_rate(m: &mut Machine, program: &[Instruction], reps: usize) -> f64 {
+    let plan = m.decode(program);
+    let ops_per_run = (UNROLL * ITERS) as f64;
+    for _ in 0..10 {
+        m.run_plan(&plan).expect("runs");
+    }
+    let mut rates = Vec::with_capacity(WINDOWS);
+    for _ in 0..WINDOWS {
+        let start = Instant::now();
+        for _ in 0..reps {
+            m.run_plan(&plan).expect("runs");
+        }
+        rates.push(ops_per_run * reps as f64 / start.elapsed().as_secs_f64());
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[WINDOWS / 2]
+}
+
+fn main() {
+    let min_ips: Option<f64> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--min-ips")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let chase = looped(&"mov r14, [r14]; ".repeat(UNROLL as usize));
+    let stores = looped(
+        &(0..UNROLL)
+            .map(|i| format!("mov [r14 + {}], rax; ", i * 64))
+            .collect::<String>(),
+    );
+    // Warm up, then measure.
+    mem_rate(&mut l1_chase_machine(), &chase, 50);
+    let l1 = mem_rate(&mut l1_chase_machine(), &chase, 400);
+    let store = mem_rate(&mut store_machine(), &stores, 400);
+    println!("l1_chase_mops     {l1:.0}");
+    println!("stream_store_mops {store:.0}");
+    if let Some(min) = min_ips {
+        if l1 < min {
+            eprintln!("FAIL: L1-hit chase rate {l1:.0} below required {min:.0}");
+            std::process::exit(1);
+        }
+    }
+}

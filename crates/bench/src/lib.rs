@@ -8,10 +8,35 @@
 
 use serde::{Serialize, Value};
 
+/// Schema identifier stamped into every `BENCH_*.json` artifact, bumped
+/// when the artifact shape changes so cross-commit diffs can tell formats
+/// apart.
+pub const METRICS_SCHEMA: &str = "nanobench-metrics/v2";
+
+/// Env var the harness sets to the git commit short-hash the artifact was
+/// produced from. Read at serialization time — nothing in-process shells
+/// out to git or reads a clock.
+pub const ENV_GIT_COMMIT: &str = "NANOBENCH_GIT_COMMIT";
+
+/// Env var the harness sets to the `rustc --version` string.
+pub const ENV_RUSTC_VERSION: &str = "NANOBENCH_RUSTC_VERSION";
+
+/// Provenance pairs from the harness environment: whichever of
+/// [`ENV_GIT_COMMIT`] / [`ENV_RUSTC_VERSION`] are set. Empty when run
+/// outside the harness (local `cargo bench`), so artifacts stay
+/// reproducible byte-for-byte without CI context.
+pub fn provenance_from_env() -> Vec<(String, String)> {
+    [(ENV_GIT_COMMIT, "git_commit"), (ENV_RUSTC_VERSION, "rustc")]
+        .iter()
+        .filter_map(|&(var, key)| std::env::var(var).ok().map(|v| (key.to_string(), v)))
+        .collect()
+}
+
 /// A named set of scalar measurements from one experiment run.
 ///
-/// Serializes as `{"experiment": ..., "unit": ..., "metrics": {...}}` —
-/// the schema every `BENCH_*.json` artifact shares.
+/// Serializes as `{"experiment": ..., "unit": ..., "schema": ...,
+/// "provenance": {...}, "metrics": {...}}` — the schema every
+/// `BENCH_*.json` artifact shares.
 #[derive(Debug, Clone)]
 pub struct BenchMetrics {
     /// Experiment identifier, e.g. `"e2_exec_time"`.
@@ -20,10 +45,14 @@ pub struct BenchMetrics {
     pub unit: String,
     /// `(name, value)` pairs in output order.
     pub metrics: Vec<(String, f64)>,
+    /// `(key, value)` provenance pairs (git commit short-hash, rustc
+    /// version), passed in from the harness via env vars.
+    pub provenance: Vec<(String, String)>,
 }
 
 impl BenchMetrics {
-    /// Builds a metrics set from `(name, value)` pairs.
+    /// Builds a metrics set from `(name, value)` pairs, with provenance
+    /// from the harness environment ([`provenance_from_env`]).
     pub fn new(experiment: &str, unit: &str, metrics: &[(&str, f64)]) -> BenchMetrics {
         BenchMetrics {
             experiment: experiment.to_string(),
@@ -32,6 +61,7 @@ impl BenchMetrics {
                 .iter()
                 .map(|(n, v)| ((*n).to_string(), *v))
                 .collect(),
+            provenance: provenance_from_env(),
         }
     }
 }
@@ -41,6 +71,16 @@ impl Serialize for BenchMetrics {
         Value::Object(vec![
             ("experiment".to_owned(), self.experiment.to_value()),
             ("unit".to_owned(), self.unit.to_value()),
+            ("schema".to_owned(), METRICS_SCHEMA.to_value()),
+            (
+                "provenance".to_owned(),
+                Value::Object(
+                    self.provenance
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
             (
                 "metrics".to_owned(),
                 Value::Object(
@@ -73,11 +113,19 @@ mod tests {
 
     #[test]
     fn metrics_serialize_in_order() {
-        let doc = BenchMetrics::new("e2_exec_time", "ms", &[("kernel", 1.5), ("user", 4.25)]);
+        // Pin provenance explicitly rather than via set_var: env mutation
+        // races parallel test threads.
+        let doc = BenchMetrics {
+            provenance: vec![("git_commit".to_owned(), "abc1234".to_owned())],
+            ..BenchMetrics::new("e2_exec_time", "ms", &[("kernel", 1.5), ("user", 4.25)])
+        };
         let json = serde_json::to_string(&doc).unwrap();
         assert_eq!(
             json,
-            r#"{"experiment":"e2_exec_time","unit":"ms","metrics":{"kernel":1.5,"user":4.25}}"#
+            concat!(
+                r#"{"experiment":"e2_exec_time","unit":"ms","schema":"nanobench-metrics/v2","#,
+                r#""provenance":{"git_commit":"abc1234"},"metrics":{"kernel":1.5,"user":4.25}}"#
+            )
         );
     }
 }

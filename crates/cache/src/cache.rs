@@ -1,6 +1,6 @@
 //! A single set-associative cache.
 
-use crate::policy::{PolicyKind, SetPolicy};
+use crate::policy::{PolicyKind, PolicySlot, SetPolicy};
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
 
@@ -85,27 +85,24 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-#[derive(Debug, Clone)]
-struct CacheSet {
-    tags: Vec<Option<u64>>,
-    /// MESI state per way; meaningful only where the tag is `Some`.
-    states: Vec<LineState>,
-    policy: Box<dyn SetPolicy>,
-}
-
 /// Upper bound on associativity, so occupancy snapshots fit in a stack
 /// buffer — the access path must not heap-allocate (it runs once per
 /// simulated load/store).
 pub const MAX_ASSOC: usize = 64;
 
-impl CacheSet {
-    /// Writes the per-way occupancy into `buf` and returns the filled
-    /// prefix (`..assoc`).
-    fn occupied<'a>(&self, buf: &'a mut [bool; MAX_ASSOC]) -> &'a [bool] {
-        for (b, t) in buf.iter_mut().zip(&self.tags) {
-            *b = t.is_some();
-        }
-        &buf[..self.tags.len()]
+/// Sentinel marking an empty way in the packed tag arena. No reachable
+/// physical address produces this block number (it would need a paddr of
+/// `u64::MAX * 64`).
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Decodes a packed 2-bit MESI value (the `LineState` declaration order).
+#[inline]
+fn state_from_bits(bits: u8) -> LineState {
+    match bits {
+        0 => LineState::Invalid,
+        1 => LineState::Exclusive,
+        2 => LineState::Shared,
+        _ => LineState::Modified,
     }
 }
 
@@ -169,12 +166,21 @@ pub struct LeaderPolicy {
     psel: Arc<PselCounter>,
     /// `true` if this leader runs policy A.
     is_a: bool,
+    /// Cached `inner.wants_occupied_on_hit()` — the answer never changes
+    /// over a policy's lifetime, and the cache asks on every hit.
+    wants_occupied: bool,
 }
 
 impl LeaderPolicy {
     /// Wraps `inner` as a leader for policy A (`is_a`) or B.
     pub fn new(inner: Box<dyn SetPolicy>, psel: Arc<PselCounter>, is_a: bool) -> LeaderPolicy {
-        LeaderPolicy { inner, psel, is_a }
+        let wants_occupied = inner.wants_occupied_on_hit();
+        LeaderPolicy {
+            inner,
+            psel,
+            is_a,
+            wants_occupied,
+        }
     }
 }
 
@@ -184,7 +190,7 @@ impl SetPolicy for LeaderPolicy {
     }
 
     fn wants_occupied_on_hit(&self) -> bool {
-        self.inner.wants_occupied_on_hit()
+        self.wants_occupied
     }
 
     fn on_miss(&mut self, occupied: &[bool]) -> usize {
@@ -229,6 +235,10 @@ pub struct FollowerPolicy {
     a: Box<dyn SetPolicy>,
     b: Box<dyn SetPolicy>,
     psel: Arc<PselCounter>,
+    /// Cached "either candidate reads the occupancy on hits" — the answer
+    /// never changes over a policy's lifetime, and the cache asks on every
+    /// hit.
+    wants_occupied: bool,
 }
 
 impl FollowerPolicy {
@@ -238,7 +248,14 @@ impl FollowerPolicy {
         b: Box<dyn SetPolicy>,
         psel: Arc<PselCounter>,
     ) -> FollowerPolicy {
-        FollowerPolicy { a, b, psel }
+        // Either inner policy may be active when a hit lands.
+        let wants_occupied = a.wants_occupied_on_hit() || b.wants_occupied_on_hit();
+        FollowerPolicy {
+            a,
+            b,
+            psel,
+            wants_occupied,
+        }
     }
 
     fn active(&mut self) -> &mut Box<dyn SetPolicy> {
@@ -256,8 +273,7 @@ impl SetPolicy for FollowerPolicy {
     }
 
     fn wants_occupied_on_hit(&self) -> bool {
-        // Either inner policy may be active when the hit lands.
-        self.a.wants_occupied_on_hit() || self.b.wants_occupied_on_hit()
+        self.wants_occupied
     }
 
     fn on_miss(&mut self, occupied: &[bool]) -> usize {
@@ -285,9 +301,23 @@ impl SetPolicy for FollowerPolicy {
 }
 
 /// A single set-associative cache level (or one L3 slice).
+///
+/// Storage is struct-of-arrays: one contiguous tag arena and one packed
+/// 2-bit MESI arena for the whole cache, indexed `set * assoc + way`, so
+/// the per-access probe walks one dense cache-line-friendly span instead
+/// of chasing per-set `Vec` allocations.
 #[derive(Debug)]
 pub struct Cache {
-    sets: Vec<CacheSet>,
+    /// Block number per way ([`TAG_INVALID`] marks an empty way), indexed
+    /// `set * assoc + way`.
+    tags: Vec<u64>,
+    /// MESI state per way, packed four 2-bit values per byte in the same
+    /// `set * assoc + way` indexing; meaningful only where the tag is
+    /// valid.
+    states: Vec<u8>,
+    /// Most-recently-hit (or filled) way per set, probed before the scan.
+    mru_way: Vec<u8>,
+    policies: Vec<PolicySlot>,
     assoc: usize,
     set_bits: u32,
     stats: CacheStats,
@@ -300,12 +330,13 @@ impl Cache {
         Cache::with_policies(config.num_sets(), config.assoc, |set| {
             config
                 .policy
-                .instantiate(config.assoc, derive_set_seed(seed, set))
+                .instantiate_slot(config.assoc, derive_set_seed(seed, set))
         })
     }
 
     /// Builds a cache with a custom per-set policy factory (used for set
-    /// dueling, where leader and follower sets differ).
+    /// dueling, where leader and follower sets differ; wrap those in
+    /// [`PolicySlot::Boxed`]).
     ///
     /// # Panics
     ///
@@ -313,7 +344,7 @@ impl Cache {
     pub fn with_policies(
         num_sets: usize,
         assoc: usize,
-        mut factory: impl FnMut(usize) -> Box<dyn SetPolicy>,
+        mut factory: impl FnMut(usize) -> PolicySlot,
     ) -> Cache {
         assert!(
             num_sets.is_power_of_two(),
@@ -321,24 +352,60 @@ impl Cache {
         );
         assert!(assoc > 0);
         assert!(assoc <= MAX_ASSOC, "associativity above {MAX_ASSOC}");
-        let sets = (0..num_sets)
-            .map(|s| CacheSet {
-                tags: vec![None; assoc],
-                states: vec![LineState::Invalid; assoc],
-                policy: factory(s),
-            })
-            .collect();
+        let ways = num_sets * assoc;
         Cache {
-            sets,
+            tags: vec![TAG_INVALID; ways],
+            states: vec![0; ways.div_ceil(4)],
+            mru_way: vec![0; num_sets],
+            policies: (0..num_sets).map(&mut factory).collect(),
             assoc,
             set_bits: num_sets.trailing_zeros(),
             stats: CacheStats::default(),
         }
     }
 
+    /// The MESI state packed at arena index `idx` (`set * assoc + way`).
+    #[inline]
+    fn state_at(&self, idx: usize) -> LineState {
+        state_from_bits((self.states[idx >> 2] >> ((idx & 3) << 1)) & 0b11)
+    }
+
+    /// Overwrites the packed MESI state at arena index `idx`.
+    #[inline]
+    fn set_state_at(&mut self, idx: usize, state: LineState) {
+        let shift = (idx & 3) << 1;
+        let byte = &mut self.states[idx >> 2];
+        *byte = (*byte & !(0b11 << shift)) | ((state as u8) << shift);
+    }
+
+    /// Scans `set` for `block`, probing the most-recently-used way first
+    /// (the probe is exact: a set never holds duplicate tags).
+    #[inline]
+    fn find_way(&self, set: usize, block: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        let mru = self.mru_way[set] as usize;
+        if self.tags[base + mru] == block {
+            return Some(mru);
+        }
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == block)
+    }
+
+    /// Writes the per-way occupancy of `set` into `buf` and returns the
+    /// filled prefix (`..assoc`).
+    #[inline]
+    fn occupied<'a>(&self, set: usize, buf: &'a mut [bool; MAX_ASSOC]) -> &'a [bool] {
+        let base = set * self.assoc;
+        for (b, &t) in buf.iter_mut().zip(&self.tags[base..base + self.assoc]) {
+            *b = t != TAG_INVALID;
+        }
+        &buf[..self.assoc]
+    }
+
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        1 << self.set_bits
     }
 
     /// Associativity.
@@ -354,30 +421,39 @@ impl Cache {
     /// Looks up `paddr` without changing any state.
     pub fn probe(&self, paddr: u64) -> bool {
         let block = paddr / LINE_SIZE;
-        let set = &self.sets[self.set_index(paddr)];
-        set.tags.contains(&Some(block))
+        self.find_way(self.set_index(paddr), block).is_some()
     }
 
     /// Performs a lookup, updating replacement state on a hit. Returns
     /// `true` on a hit. On a miss, no fill happens — the caller decides
     /// (this separation lets the hierarchy fill multiple levels coherently).
+    #[inline]
     pub fn access(&mut self, paddr: u64) -> bool {
+        self.access_with_state(paddr).is_some()
+    }
+
+    /// [`Cache::access`] that additionally returns the MESI state of the
+    /// hit line (`None` on a miss): one tag probe serves both the hit
+    /// decision and the state read, which the hierarchy's L1 fast path
+    /// needs on every store hit.
+    #[inline]
+    pub fn access_with_state(&mut self, paddr: u64) -> Option<LineState> {
         let block = paddr / LINE_SIZE;
-        let idx = self.set_index(paddr);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
-            if set.policy.wants_occupied_on_hit() {
+        let set = self.set_index(paddr);
+        if let Some(way) = self.find_way(set, block) {
+            if self.policies[set].wants_occupied_on_hit() {
                 let mut occ = [false; MAX_ASSOC];
-                let occupied = set.occupied(&mut occ);
-                set.policy.on_hit(way, occupied);
+                self.occupied(set, &mut occ);
+                self.policies[set].on_hit(way, &occ[..self.assoc]);
             } else {
-                set.policy.on_hit(way, &[]);
+                self.policies[set].on_hit(way, &[]);
             }
+            self.mru_way[set] = way as u8;
             self.stats.hits += 1;
-            true
+            Some(self.state_at(set * self.assoc + way))
         } else {
             self.stats.misses += 1;
-            false
+            None
         }
     }
 
@@ -394,43 +470,44 @@ impl Cache {
     /// already present, only its state is updated.
     pub fn fill_with_state(&mut self, paddr: u64, state: LineState) -> Option<u64> {
         let block = paddr / LINE_SIZE;
-        let idx = self.set_index(paddr);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
-            set.states[way] = state; // already present (e.g. racing prefetch)
+        let set = self.set_index(paddr);
+        let base = set * self.assoc;
+        if let Some(way) = self.find_way(set, block) {
+            self.set_state_at(base + way, state); // already present (e.g. racing prefetch)
             return None;
         }
         let mut occ = [false; MAX_ASSOC];
-        let occupied = set.occupied(&mut occ);
-        let way = set.policy.on_miss(occupied);
-        let evicted = set.tags[way].take();
-        set.tags[way] = Some(block);
-        set.states[way] = state;
-        if evicted.is_some() {
+        self.occupied(set, &mut occ);
+        let way = self.policies[set].on_miss(&occ[..self.assoc]);
+        let evicted = self.tags[base + way];
+        self.tags[base + way] = block;
+        self.set_state_at(base + way, state);
+        self.mru_way[set] = way as u8;
+        if evicted == TAG_INVALID {
+            None
+        } else {
             self.stats.evictions += 1;
+            Some(evicted * LINE_SIZE)
         }
-        evicted.map(|b| b * LINE_SIZE)
     }
 
     /// The MESI state of the line containing `paddr`; `Invalid` if absent.
     pub fn state_of(&self, paddr: u64) -> LineState {
         let block = paddr / LINE_SIZE;
-        let set = &self.sets[self.set_index(paddr)];
-        set.tags
-            .iter()
-            .position(|t| *t == Some(block))
-            .map_or(LineState::Invalid, |way| set.states[way])
+        let set = self.set_index(paddr);
+        self.find_way(set, block).map_or(LineState::Invalid, |way| {
+            self.state_at(set * self.assoc + way)
+        })
     }
 
     /// Sets the MESI state of the line containing `paddr`; returns whether
     /// the line was present (absent lines are left `Invalid`).
     pub fn set_state(&mut self, paddr: u64, state: LineState) -> bool {
         let block = paddr / LINE_SIZE;
-        let idx = self.set_index(paddr);
-        let set = &mut self.sets[idx];
-        match set.tags.iter().position(|t| *t == Some(block)) {
+        let set = self.set_index(paddr);
+        match self.find_way(set, block) {
             Some(way) => {
-                set.states[way] = state;
+                self.set_state_at(set * self.assoc + way, state);
                 true
             }
             None => false,
@@ -441,12 +518,11 @@ impl Cache {
     /// it was present.
     pub fn invalidate(&mut self, paddr: u64) -> bool {
         let block = paddr / LINE_SIZE;
-        let idx = self.set_index(paddr);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.tags.iter().position(|t| *t == Some(block)) {
-            set.tags[way] = None;
-            set.states[way] = LineState::Invalid;
-            set.policy.on_invalidate(way);
+        let set = self.set_index(paddr);
+        if let Some(way) = self.find_way(set, block) {
+            self.tags[set * self.assoc + way] = TAG_INVALID;
+            self.set_state_at(set * self.assoc + way, LineState::Invalid);
+            self.policies[set].on_invalidate(way);
             true
         } else {
             false
@@ -455,10 +531,11 @@ impl Cache {
 
     /// Flushes the entire cache (as `WBINVD` does).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.tags.fill(None);
-            set.states.fill(LineState::Invalid);
-            set.policy.on_flush();
+        self.tags.fill(TAG_INVALID);
+        self.states.fill(0);
+        self.mru_way.fill(0);
+        for policy in &mut self.policies {
+            policy.on_flush();
         }
     }
 
@@ -477,10 +554,11 @@ impl Cache {
     /// must match the derivation used at construction), and zeroes the
     /// statistics — all without dropping the tag or policy allocations.
     pub fn reset_with(&mut self, mut per_set_seed: impl FnMut(usize) -> u64) {
-        for (s, set) in self.sets.iter_mut().enumerate() {
-            set.tags.fill(None);
-            set.states.fill(LineState::Invalid);
-            set.policy.reset(per_set_seed(s));
+        self.tags.fill(TAG_INVALID);
+        self.states.fill(0);
+        self.mru_way.fill(0);
+        for (s, policy) in self.policies.iter_mut().enumerate() {
+            policy.reset(per_set_seed(s));
         }
         self.stats = CacheStats::default();
     }
@@ -493,7 +571,11 @@ impl Cache {
 
     /// The blocks currently cached in `set` (by way).
     pub fn set_contents(&self, set: usize) -> Vec<Option<u64>> {
-        self.sets[set].tags.clone()
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc]
+            .iter()
+            .map(|&t| if t == TAG_INVALID { None } else { Some(t) })
+            .collect()
     }
 }
 

@@ -7,7 +7,7 @@ use crate::cache::{
     Cache, CacheConfig, CacheStats, FollowerPolicy, LeaderPolicy, LineState, PselCounter,
     POLICY_B_SEED_SALT,
 };
-use crate::policy::PolicyKind;
+use crate::policy::{PolicyKind, PolicySlot};
 use crate::prefetch::Prefetchers;
 use crate::slice::SliceHash;
 use std::ops::Range;
@@ -288,7 +288,7 @@ impl CacheHierarchy {
             let cache = match &config.l3.policy {
                 L3PolicyConfig::Uniform(kind) => {
                     Cache::with_policies(sets_per_slice, config.l3.assoc, |set| {
-                        kind.instantiate(config.l3.assoc, slice_seed ^ set as u64)
+                        kind.instantiate_slot(config.l3.assoc, slice_seed ^ set as u64)
                     })
                 }
                 L3PolicyConfig::Adaptive {
@@ -304,7 +304,9 @@ impl CacheHierarchy {
                             config.l3.assoc,
                             slice_seed ^ set as u64 ^ POLICY_B_SEED_SALT,
                         );
-                        match slice_leaders.role_of(set) {
+                        // Dueling wrappers stay behind the boxed escape
+                        // hatch; only the uniform families devirtualize.
+                        PolicySlot::Boxed(match slice_leaders.role_of(set) {
                             SetRole::LeaderA => {
                                 Box::new(LeaderPolicy::new(sa, Arc::clone(&psel), true))
                             }
@@ -314,7 +316,7 @@ impl CacheHierarchy {
                             SetRole::Follower => {
                                 Box::new(FollowerPolicy::new(sa, sb, Arc::clone(&psel)))
                             }
-                        }
+                        })
                     })
                 }
             };
@@ -367,34 +369,44 @@ impl CacheHierarchy {
     /// With one core every snoop loop is empty, so the behaviour — hit
     /// levels, latencies, replacement updates, C-Box counts — is
     /// bit-identical to the historical single-core hierarchy.
+    #[inline]
     pub fn access_from(&mut self, core: usize, paddr: u64, is_write: bool) -> MemAccessResult {
+        // The L1 lookup runs exactly once per access; its hit state feeds
+        // the two provable-no-op early returns without a second tag probe:
+        //
+        // * a read hit — the DCU prefetcher ignores hits, reads trigger no
+        //   coherence transition, and no prefetch was generated;
+        // * a write hit on an already-Modified line — no upgrade, no
+        //   snoop, no prefetch.
+        //
+        // Everything else takes the outlined general path, keeping this
+        // wrapper small enough to inline into the engine's fused load.
+        let l1_state = self.cores[core].l1.access_with_state(paddr);
+        if let Some(state) = l1_state {
+            if !is_write || state == LineState::Modified {
+                return MemAccessResult {
+                    level: HitLevel::L1,
+                    latency: self.config.latencies.l1,
+                    slice: None,
+                    snoop: SnoopResult::Miss,
+                    invalidated: 0,
+                };
+            }
+        }
+        self.access_from_after_l1(core, paddr, is_write, l1_state.is_some())
+    }
+
+    /// Continuation of [`CacheHierarchy::access_from`] after the L1 lookup
+    /// (which already updated replacement state and hit/miss counters):
+    /// prefetcher observation, coherence, and the L2/L3/memory walk.
+    fn access_from_after_l1(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        is_write: bool,
+        l1_hit: bool,
+    ) -> MemAccessResult {
         let lat = self.config.latencies;
-        let l1_hit = self.cores[core].l1.access(paddr);
-        if l1_hit && !is_write {
-            // Read hit: the DCU prefetcher ignores hits, reads trigger no
-            // coherence transition, and no prefetch was generated — the
-            // general path below is a provable no-op beyond this result.
-            return MemAccessResult {
-                level: HitLevel::L1,
-                latency: lat.l1,
-                slice: None,
-                snoop: SnoopResult::Miss,
-                invalidated: 0,
-            };
-        }
-        if l1_hit && self.cores[core].l1.state_of(paddr) == LineState::Modified {
-            // Write hit on an already-Modified line (reads returned above):
-            // no upgrade, no snoop, no prefetch (the DCU prefetcher ignores
-            // hits) — the general path below is a provable no-op beyond
-            // this result.
-            return MemAccessResult {
-                level: HitLevel::L1,
-                latency: lat.l1,
-                slice: None,
-                snoop: SnoopResult::Miss,
-                invalidated: 0,
-            };
-        }
         let l1_pref = self.cores[core]
             .prefetchers
             .observe_l1_access(paddr, l1_hit);

@@ -77,6 +77,86 @@ impl Clone for Box<dyn SetPolicy> {
     }
 }
 
+/// Devirtualized per-set policy dispatch: one variant per built-in policy
+/// family, so the cache's access path resolves policy calls through a
+/// direct `match` instead of a vtable. [`PolicySlot::Boxed`] is the escape
+/// hatch for wrapper policies (the set-dueling leader/follower wrappers)
+/// and external [`SetPolicy`] implementations.
+#[derive(Debug, Clone)]
+pub enum PolicySlot {
+    /// Least-recently-used.
+    Lru(Lru),
+    /// First-in first-out.
+    Fifo(Fifo),
+    /// Tree-based pseudo-LRU.
+    Plru(Plru),
+    /// One-bit MRU / NRU (both WBINVD variants).
+    Mru(Mru),
+    /// A QLRU variant.
+    Qlru(QlruPolicy),
+    /// An arbitrary permutation policy.
+    Permutation(PermutationPolicy),
+    /// Uniformly random replacement.
+    Random(RandomPolicy),
+    /// Dynamic dispatch for wrappers and external policies.
+    Boxed(Box<dyn SetPolicy>),
+}
+
+/// Delegates a [`SetPolicy`] method call to whichever concrete policy the
+/// slot holds (direct call for the built-in variants, vtable only for
+/// `Boxed`).
+macro_rules! for_each_slot {
+    ($slot:expr, $p:ident => $call:expr) => {
+        match $slot {
+            PolicySlot::Lru($p) => $call,
+            PolicySlot::Fifo($p) => $call,
+            PolicySlot::Plru($p) => $call,
+            PolicySlot::Mru($p) => $call,
+            PolicySlot::Qlru($p) => $call,
+            PolicySlot::Permutation($p) => $call,
+            PolicySlot::Random($p) => $call,
+            PolicySlot::Boxed($p) => $call,
+        }
+    };
+}
+
+impl PolicySlot {
+    /// [`SetPolicy::on_hit`].
+    #[inline]
+    pub fn on_hit(&mut self, way: usize, occupied: &[bool]) {
+        for_each_slot!(self, p => p.on_hit(way, occupied))
+    }
+
+    /// [`SetPolicy::wants_occupied_on_hit`].
+    #[inline]
+    pub fn wants_occupied_on_hit(&self) -> bool {
+        for_each_slot!(self, p => p.wants_occupied_on_hit())
+    }
+
+    /// [`SetPolicy::on_miss`].
+    #[inline]
+    pub fn on_miss(&mut self, occupied: &[bool]) -> usize {
+        for_each_slot!(self, p => p.on_miss(occupied))
+    }
+
+    /// [`SetPolicy::on_invalidate`].
+    #[inline]
+    pub fn on_invalidate(&mut self, way: usize) {
+        for_each_slot!(self, p => p.on_invalidate(way))
+    }
+
+    /// [`SetPolicy::on_flush`].
+    #[inline]
+    pub fn on_flush(&mut self) {
+        for_each_slot!(self, p => p.on_flush())
+    }
+
+    /// [`SetPolicy::reset`].
+    pub fn reset(&mut self, seed: u64) {
+        for_each_slot!(self, p => p.reset(seed))
+    }
+}
+
 /// A policy selector: everything needed to instantiate per-set policy state.
 ///
 /// `PolicyKind` is the configuration-level description used by cache
@@ -239,6 +319,46 @@ impl PolicyKind {
     pub fn instantiate(&self, assoc: usize, seed: u64) -> Box<dyn SetPolicy> {
         match self.try_instantiate(assoc, seed) {
             Ok(policy) => policy,
+            Err(e) => panic!("cannot instantiate policy {}: {e}", self.name()),
+        }
+    }
+
+    /// Like [`PolicyKind::try_instantiate`], but returns the devirtualized
+    /// [`PolicySlot`] the cache's hot path dispatches through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of [`PolicyKind::validate`].
+    pub fn try_instantiate_slot(&self, assoc: usize, seed: u64) -> Result<PolicySlot, String> {
+        self.validate(assoc)?;
+        Ok(match self {
+            PolicyKind::Lru => PolicySlot::Lru(Lru::new(assoc)),
+            PolicyKind::Fifo => PolicySlot::Fifo(Fifo::new(assoc)),
+            PolicyKind::Plru => PolicySlot::Plru(Plru::new(assoc)),
+            PolicyKind::Mru { fill_sets_all_ones } => {
+                PolicySlot::Mru(Mru::new(assoc, *fill_sets_all_ones))
+            }
+            PolicyKind::Qlru(v) => {
+                PolicySlot::Qlru(QlruPolicy::new(assoc, *v, SmallRng::seed_from_u64(seed)))
+            }
+            PolicyKind::Permutation(spec) => {
+                PolicySlot::Permutation(PermutationPolicy::try_new(spec.clone())?)
+            }
+            PolicyKind::Random => {
+                PolicySlot::Random(RandomPolicy::new(assoc, SmallRng::seed_from_u64(seed)))
+            }
+        })
+    }
+
+    /// Panicking counterpart of [`PolicyKind::try_instantiate_slot`], for
+    /// validated configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PolicyKind::validate`] rejects the combination.
+    pub fn instantiate_slot(&self, assoc: usize, seed: u64) -> PolicySlot {
+        match self.try_instantiate_slot(assoc, seed) {
+            Ok(slot) => slot,
             Err(e) => panic!("cannot instantiate policy {}: {e}", self.name()),
         }
     }

@@ -37,6 +37,36 @@ pub enum Mode {
 /// Mean cycles between user-mode interrupts.
 const INTERRUPT_MEAN: u64 = 120_000;
 
+/// Entries in the per-machine direct-mapped micro-TLB (a power of two).
+const TLB_ENTRIES: usize = 64;
+
+/// A direct-mapped vaddr-page → frame cache in front of the user-mode
+/// page map, so the memory fast path stops hashing on every access. It
+/// is a pure memo over `user_map`: entries are filled on lookup and the
+/// whole array is flushed whenever the map could change (`alloc_region`
+/// in user mode, machine reset) — there is no partial invalidation, so
+/// it can never return a stale frame.
+#[derive(Debug)]
+struct MicroTlb {
+    /// Page number per entry; `u64::MAX` (no valid page for 64-bit
+    /// vaddrs) marks an empty slot.
+    pages: [u64; TLB_ENTRIES],
+    frames: [u64; TLB_ENTRIES],
+}
+
+impl MicroTlb {
+    fn new() -> MicroTlb {
+        MicroTlb {
+            pages: [u64::MAX; TLB_ENTRIES],
+            frames: [0; TLB_ENTRIES],
+        }
+    }
+
+    fn flush(&mut self) {
+        self.pages = [u64::MAX; TLB_ENTRIES];
+    }
+}
+
 /// The environment shared by all cores: memory, caches, privilege,
 /// interrupts. `current_core` routes each access to the right private
 /// L1/L2 inside the coherent hierarchy; the scheduler sets it before
@@ -65,6 +95,15 @@ pub struct Env {
     /// per-access drain poll return without touching the per-slice counts
     /// when no uncore traffic happened (the common L1-hit case).
     uncore_seen_total: Vec<u64>,
+    /// Direct-mapped translation memo for the user-mode page map.
+    tlb: MicroTlb,
+    /// Address translations performed on behalf of the core (demand
+    /// reads/writes/accesses, fused or not — never host-side readback).
+    /// Diagnostic only; pinned by the fast-lane invariant tests.
+    translations: u64,
+    /// Hierarchy walks performed for demand accesses (not prefetches or
+    /// interrupt-handler traffic). Diagnostic only.
+    walks: u64,
 }
 
 impl Env {
@@ -79,28 +118,89 @@ impl Env {
         }
     }
 
-    fn translate_or_fault(&self, vaddr: u64) -> Result<u64, CpuFault> {
-        self.translate(vaddr).ok_or(CpuFault::PageFault { vaddr })
+    /// [`Env::translate`] through the micro-TLB (fills the entry on a
+    /// miss). The core's demand-access paths use this; `&self` readback
+    /// helpers keep using the uncached `translate`.
+    #[inline]
+    fn translate_mut(&mut self, vaddr: u64) -> Option<u64> {
+        self.translations += 1;
+        match self.mode {
+            Mode::Kernel => Some(vaddr),
+            Mode::User => {
+                let page = vaddr / PAGE_SIZE;
+                let idx = (page & (TLB_ENTRIES as u64 - 1)) as usize;
+                if self.tlb.pages[idx] == page {
+                    return Some(self.tlb.frames[idx] * PAGE_SIZE + vaddr % PAGE_SIZE);
+                }
+                let frame = *self.user_map.get(&page)?;
+                self.tlb.pages[idx] = page;
+                self.tlb.frames[idx] = frame;
+                Some(frame * PAGE_SIZE + vaddr % PAGE_SIZE)
+            }
+        }
+    }
+
+    #[inline]
+    fn translate_or_fault(&mut self, vaddr: u64) -> Result<u64, CpuFault> {
+        self.translate_mut(vaddr)
+            .ok_or(CpuFault::PageFault { vaddr })
     }
 }
 
 impl Bus for Env {
+    #[inline]
     fn read(&mut self, vaddr: u64, len: u8) -> Result<u64, CpuFault> {
         let paddr = self.translate_or_fault(vaddr)?;
         Ok(self.phys.read(paddr, len))
     }
 
+    #[inline]
     fn write(&mut self, vaddr: u64, len: u8, value: u64) -> Result<(), CpuFault> {
         let paddr = self.translate_or_fault(vaddr)?;
         self.phys.write(paddr, len, value);
         Ok(())
     }
 
+    #[inline]
     fn access(&mut self, vaddr: u64, is_write: bool) -> Result<MemAccessResult, CpuFault> {
         let paddr = self.translate_or_fault(vaddr)?;
+        self.walks += 1;
         Ok(self
             .hierarchy
             .access_from(self.current_core, paddr, is_write))
+    }
+
+    #[inline]
+    fn load_fused(
+        &mut self,
+        vaddr: u64,
+        len: u8,
+        is_write: bool,
+    ) -> Result<(MemAccessResult, u64), CpuFault> {
+        // One translation serves both the hierarchy walk and the data
+        // read; walk first, exactly like the unfused access-then-read
+        // sequence this replaces.
+        let paddr = self.translate_or_fault(vaddr)?;
+        self.walks += 1;
+        let res = self
+            .hierarchy
+            .access_from(self.current_core, paddr, is_write);
+        let value = self.phys.read(paddr, len);
+        Ok((res, value))
+    }
+
+    #[inline]
+    fn store_fused(
+        &mut self,
+        vaddr: u64,
+        len: u8,
+        value: u64,
+    ) -> Result<MemAccessResult, CpuFault> {
+        let paddr = self.translate_or_fault(vaddr)?;
+        self.walks += 1;
+        let res = self.hierarchy.access_from(self.current_core, paddr, true);
+        self.phys.write(paddr, len, value);
+        Ok(res)
     }
 
     fn is_kernel(&self) -> bool {
@@ -304,6 +404,9 @@ impl Machine {
                 current_core: 0,
                 uncore_seen: vec![vec![0; slices]; n_cores],
                 uncore_seen_total: vec![0; n_cores],
+                tlb: MicroTlb::new(),
+                translations: 0,
+                walks: 0,
             },
             uarch,
             cpu,
@@ -367,6 +470,9 @@ impl Machine {
                 env.user_map.insert(base_page + i, frame);
             }
         }
+        // The replay above re-scatters frames, so every memoized
+        // translation is suspect.
+        env.tlb.flush();
     }
 
     /// The seed the machine's random streams are currently derived from.
@@ -546,6 +652,8 @@ impl Machine {
                     let frame = self.env.alloc_rng.gen_range(0x1000u64..0x80000);
                     self.env.user_map.insert(base / PAGE_SIZE + i, frame);
                 }
+                // The page map changed; drop every memoized translation.
+                self.env.tlb.flush();
                 self.user_region_log.push((base / PAGE_SIZE, pages));
                 self.user_next_vaddr += (pages + 16) * PAGE_SIZE;
                 base
@@ -573,6 +681,14 @@ impl Machine {
     /// Translates a virtual address (None if unmapped in user mode).
     pub fn translate(&self, vaddr: u64) -> Option<u64> {
         self.env.translate(vaddr)
+    }
+
+    /// `(translations, hierarchy walks)` performed for the core's demand
+    /// accesses so far — the fast-lane invariant is one of each per
+    /// memory µop (two translations for a read-modify-write, whose store
+    /// side re-translates but never re-walks).
+    pub fn mem_path_counters(&self) -> (u64, u64) {
+        (self.env.translations, self.env.walks)
     }
 
     /// The `[start, end)` virtual ranges of every region handed out by
@@ -855,5 +971,67 @@ mod tests {
         m.run(&program).unwrap();
         assert_eq!(m.state().gpr(Gpr::Rax), 0xF);
         assert_eq!(m.hierarchy().prefetchers().disable_bits(), 0xF);
+    }
+
+    /// The memory fast lane's core invariant: a fused load or store costs
+    /// exactly one address translation and one hierarchy walk; a
+    /// read-modify-write re-translates for its store side but never walks
+    /// the hierarchy twice (the covering load ran write coherence).
+    #[test]
+    fn fast_lane_one_translation_one_walk_per_memory_uop() {
+        for mode in [Mode::Kernel, Mode::User] {
+            let mut m = Machine::new(MicroArch::Skylake, mode, 7);
+            let base = m.alloc_region(4096);
+            m.state_mut().set_gpr(Gpr::R14, base);
+            m.write_mem(base, 8, base).unwrap();
+
+            let (t0, w0) = m.mem_path_counters();
+            m.run(&parse_asm(&"mov R14, [R14]; ".repeat(10)).unwrap())
+                .unwrap();
+            let (t1, w1) = m.mem_path_counters();
+            assert_eq!(
+                (t1 - t0, w1 - w0),
+                (10, 10),
+                "{mode:?}: a fused load is one translation + one walk"
+            );
+
+            m.run(&parse_asm(&"mov [R14+64], rax; ".repeat(10)).unwrap())
+                .unwrap();
+            let (t2, w2) = m.mem_path_counters();
+            assert_eq!(
+                (t2 - t1, w2 - w1),
+                (10, 10),
+                "{mode:?}: a fused store is one translation + one walk"
+            );
+
+            m.run(&parse_asm(&"add [R14+128], rax; ".repeat(10)).unwrap())
+                .unwrap();
+            let (t3, w3) = m.mem_path_counters();
+            assert_eq!(
+                (t3 - t2, w3 - w2),
+                (20, 10),
+                "{mode:?}: RMW re-translates for the store, walks once"
+            );
+        }
+    }
+
+    /// Two pages whose page numbers collide in the direct-mapped micro-TLB
+    /// (64 entries apart) keep translating correctly while evicting each
+    /// other's memoized entry.
+    #[test]
+    fn micro_tlb_collisions_still_translate_correctly() {
+        let mut u = Machine::new(MicroArch::Skylake, Mode::User, 7);
+        let base = u.alloc_region(65 * PAGE_SIZE);
+        let far = base + 64 * PAGE_SIZE;
+        u.write_mem(base, 8, 0x1111).unwrap();
+        u.write_mem(far, 8, 0x2222).unwrap();
+        let program = parse_asm(&format!(
+            "mov rax, [{base:#x}]; mov rbx, [{far:#x}]; mov rcx, [{base:#x}]"
+        ))
+        .unwrap();
+        u.run(&program).unwrap();
+        assert_eq!(u.state().gpr(Gpr::Rax), 0x1111);
+        assert_eq!(u.state().gpr(Gpr::Rbx), 0x2222);
+        assert_eq!(u.state().gpr(Gpr::Rcx), 0x1111);
     }
 }

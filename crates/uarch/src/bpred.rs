@@ -4,13 +4,19 @@
 //! warm-up runs (§III-H: "train the branch predictor to reduce the number
 //! of mispredicted branches") have their documented effect.
 
-use std::collections::HashMap;
-
 /// Two-bit-counter branch predictor keyed by instruction index.
+///
+/// Counters live in a dense array indexed by the branch's instruction
+/// index, grown on demand; an absent entry reads as the weakly-not-taken
+/// initial state. The table is consulted on every conditional branch the
+/// interpreter retires, so lookups must not hash.
 #[derive(Debug, Default, Clone)]
 pub struct BranchPredictor {
-    counters: HashMap<usize, u8>,
+    counters: Vec<u8>,
 }
+
+/// Initial counter value: weakly predicted not-taken.
+const WEAK_NOT_TAKEN: u8 = 1;
 
 impl BranchPredictor {
     /// Creates an empty predictor (all branches weakly predicted
@@ -21,13 +27,16 @@ impl BranchPredictor {
 
     /// Predicts whether the branch at `index` is taken.
     pub fn predict(&self, index: usize) -> bool {
-        self.counters.get(&index).copied().unwrap_or(1) >= 2
+        self.counters.get(index).copied().unwrap_or(WEAK_NOT_TAKEN) >= 2
     }
 
     /// Updates the predictor with the actual outcome; returns `true` if
     /// the branch was mispredicted.
     pub fn update(&mut self, index: usize, taken: bool) -> bool {
-        let counter = self.counters.entry(index).or_insert(1);
+        if index >= self.counters.len() {
+            self.counters.resize(index + 1, WEAK_NOT_TAKEN);
+        }
+        let counter = &mut self.counters[index];
         let predicted = *counter >= 2;
         if taken {
             *counter = (*counter + 1).min(3);

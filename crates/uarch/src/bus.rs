@@ -91,6 +91,46 @@ pub trait Bus {
     /// Returns [`CpuFault::PageFault`] for unmapped addresses.
     fn access(&mut self, vaddr: u64, is_write: bool) -> Result<MemAccessResult, CpuFault>;
 
+    /// Fused timing + data load: one hierarchy walk plus the semantic
+    /// read of the same address, in that order. The default composes
+    /// [`Bus::access`] and [`Bus::read`]; environments that translate
+    /// addresses override it to translate once per memory µop.
+    /// `is_write` marks the covering load of a read-modify-write, which
+    /// runs the write side of the coherence protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::PageFault`] for unmapped addresses.
+    fn load_fused(
+        &mut self,
+        vaddr: u64,
+        len: u8,
+        is_write: bool,
+    ) -> Result<(MemAccessResult, u64), CpuFault> {
+        let res = self.access(vaddr, is_write)?;
+        let value = self.read(vaddr, len)?;
+        Ok((res, value))
+    }
+
+    /// Fused timing + data store: one hierarchy walk (as a write) plus
+    /// the semantic write of the same address, in that order. The default
+    /// composes [`Bus::access`] and [`Bus::write`]; environments that
+    /// translate addresses override it to translate once per memory µop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuFault::PageFault`] for unmapped addresses.
+    fn store_fused(
+        &mut self,
+        vaddr: u64,
+        len: u8,
+        value: u64,
+    ) -> Result<MemAccessResult, CpuFault> {
+        let res = self.access(vaddr, true)?;
+        self.write(vaddr, len, value)?;
+        Ok(res)
+    }
+
     /// Whether the core runs at CPL 0 (the kernel-space version, §III-D).
     fn is_kernel(&self) -> bool;
 

@@ -25,7 +25,7 @@
 use crate::bpred::BranchPredictor;
 use crate::bus::{Bus, CpuFault};
 use crate::exec::{self, Next};
-use crate::plan::{handler, meta, DecodedProgram, FastOp, PlanBody};
+use crate::plan::{handler, meta, DecodedProgram, FastCc, FastOp, FastSrc, PlanBody};
 use crate::port::{MicroArch, PortConfig, PortSet};
 use crate::state::CpuState;
 use nanobench_cache::hierarchy::{HitLevel, MemAccessResult, SnoopResult};
@@ -33,7 +33,7 @@ use nanobench_pmu::event::events;
 use nanobench_pmu::Pmu;
 use nanobench_x86::inst::{Instruction, Mnemonic};
 use nanobench_x86::operand::{MemRef, Operand};
-use nanobench_x86::reg::Gpr;
+use nanobench_x86::reg::{Flag, Gpr};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::marker::PhantomData;
@@ -141,7 +141,13 @@ impl Timing {
         // positions `start..n` are considered before those at `0..start`,
         // and the first port with the minimal free time wins — port
         // selection is identical to rotating an explicit candidate list.
-        let start = self.rr % n;
+        // Every real port set has a power-of-two candidate count, so the
+        // rotation mask avoids a hardware divide on the dispatch path.
+        let start = if n.is_power_of_two() {
+            self.rr & (n - 1)
+        } else {
+            self.rr % n
+        };
         let mut tail = (0u8, u64::MAX);
         let mut head = (0u8, u64::MAX);
         let mut pos = 0usize;
@@ -815,6 +821,36 @@ impl Engine {
         Ok(done)
     }
 
+    /// [`Engine::timed_load`] fused with the semantic quadword read of the
+    /// same address: one translation and one hierarchy walk per load on
+    /// buses that override [`Bus::load_fused`]. Returns the completion
+    /// cycle and the loaded value.
+    #[allow(clippy::too_many_arguments)] // timing + batch + bus is the full hot-path context
+    #[inline]
+    fn timed_load_fused<B: Bus + ?Sized>(
+        &mut self,
+        t: &mut Timing,
+        vaddr: u64,
+        addr_ready: u64,
+        is_write: bool,
+        batch: &mut PmuBatch,
+        pmu: &mut Pmu,
+        bus: &mut B,
+    ) -> Result<(u64, u64), CpuFault> {
+        let (res, value) = bus.load_fused(vaddr, 8, is_write)?;
+        if is_write {
+            batch.count_store_coherence(&res);
+        }
+        if res.slice.is_some() {
+            self.drain_uncore(pmu, bus);
+        }
+        batch.record_load(&res);
+        let dispatch = t.dispatch(self.ports.load, addr_ready, 1, batch);
+        let done = dispatch + res.latency;
+        t.complete(done);
+        Ok((done, value))
+    }
+
     fn drain_uncore<B: Bus + ?Sized>(&mut self, pmu: &mut Pmu, bus: &mut B) {
         self.uncore_buf.clear();
         bus.drain_uncore_lookups(&mut self.uncore_buf);
@@ -999,8 +1035,14 @@ fn step_block<B: Bus + ?Sized>(
         let pc = a.pc + i;
         let r = match a.body.hot[pc].handler {
             handler::ALU_BLOCK => alu_entry(eng, a, pc),
-            handler::LOAD => mem_entry::<B, true, false>(eng, a, pc),
-            handler::STORE => mem_entry::<B, false, true>(eng, a, pc),
+            handler::LOAD => match &a.body.fast[pc] {
+                FastOp::LoadQ { dst } => load_q_entry(eng, a, pc, *dst),
+                _ => mem_entry::<B, true, false>(eng, a, pc),
+            },
+            handler::STORE => match &a.body.fast[pc] {
+                FastOp::StoreQ { src } => store_q_entry(eng, a, pc, *src),
+                _ => mem_entry::<B, false, true>(eng, a, pc),
+            },
             _ => mem_entry::<B, true, true>(eng, a, pc), // RMW
         };
         if let Err(f) = r {
@@ -1012,6 +1054,68 @@ fn step_block<B: Bus + ?Sized>(
                 consumed: i as u32,
                 retired: i as u32,
                 fault: Some(f),
+            });
+        }
+    }
+    // Loop-close fusion: a certified conditional branch directly behind
+    // the block runs in the same dispatch, so a benchmark loop iteration
+    // costs one step instead of two. The branch math below replicates
+    // `step_branch` exactly; the pre-decoded condition and target make the
+    // generic executor redundant.
+    if a.fuse {
+        let bpc = a.pc + n;
+        if let Some(&FastOp::CondJump { target, cc }) = a.body.fast.get(bpc) {
+            let body = a.body;
+            let hot = &body.hot[bpc];
+            // Checked-interpreter mode: `fast_branch_op` certified these.
+            debug_assert!(
+                hot.has(meta::IS_BRANCH)
+                    && hot.has(meta::CONDITIONAL)
+                    && hot.has(meta::RETIRES)
+                    && !hot.has(meta::PRIVILEGED)
+                    && !hot.has(meta::FLAGS_WRITTEN)
+                    && hot.out_regs.slice(&body.regs).is_empty()
+                    && hot.reads.is_empty()
+                    && hot.writes.is_empty(),
+                "CondJump entry violates the certified loop-close shape"
+            );
+            let mut input_ready = a.t.barrier;
+            for &r in hot.in_regs.slice(&body.regs) {
+                input_ready = input_ready.max(a.t.reg[r as usize]);
+            }
+            if hot.has(meta::FLAGS_READ) {
+                input_ready = input_ready.max(a.t.flags);
+            }
+            for u in hot.uops.slice(&body.uops) {
+                let dispatch = a.t.dispatch(u.ports, input_ready, u.recip, a.batch);
+                a.t.complete(dispatch + u.latency);
+            }
+            let taken = match cc {
+                FastCc::Z => a.state.flag(Flag::Zf),
+                FastCc::Nz => !a.state.flag(Flag::Zf),
+                FastCc::C => a.state.flag(Flag::Cf),
+                FastCc::Nc => !a.state.flag(Flag::Cf),
+            };
+            let dispatch = a.t.dispatch(eng.ports.branch, input_ready, 1, a.batch);
+            let done = dispatch + 1;
+            a.t.complete(done);
+            a.batch.br_retired += 1;
+            if eng.bpred.update(bpc, taken) {
+                a.batch.br_misp += 1;
+                a.t.alloc_cycle = a.t.alloc_cycle.max(done + eng.config.mispredict_penalty);
+                a.t.alloc_slots = 0;
+            }
+            eng.note_non_avx_n(n as u64 + 1);
+            let next = if taken {
+                Next::Jump(target as usize)
+            } else {
+                Next::Seq
+            };
+            return Ok(StepOutcome {
+                next,
+                consumed: n as u32 + 1,
+                retired: n as u32 + 1,
+                fault: None,
             });
         }
     }
@@ -1087,13 +1191,29 @@ fn mem_entry<B: Bus + ?Sized, const READS: bool, const WRITES: bool>(
         input_ready = input_ready.max(a.t.flags);
     }
 
+    // Pre-decoded shapes fuse timing and data into one bus operation, so
+    // a translating environment resolves each memory µop's address once.
+    let fast = body.fast[pc];
+    let fast_load = matches!(
+        fast,
+        FastOp::LoadQ { .. } | FastOp::LoadAlu { .. } | FastOp::RmwAlu { .. }
+    );
+
     let mut load_done = 0u64;
+    let mut loaded = 0u64;
     if READS {
         for mem in hot.reads.slice(&body.reads) {
             let a_ready = addr_ready(a.t, mem);
             let vaddr = exec::mem_vaddr(a.state, mem);
             // In the RMW shape the (single) write is covered by this read.
-            let done = eng.timed_load(a.t, vaddr, a_ready, WRITES, a.batch, a.pmu, a.bus)?;
+            let done = if fast_load {
+                let (done, value) =
+                    eng.timed_load_fused(a.t, vaddr, a_ready, WRITES, a.batch, a.pmu, a.bus)?;
+                loaded = value;
+                done
+            } else {
+                eng.timed_load(a.t, vaddr, a_ready, WRITES, a.batch, a.pmu, a.bus)?
+            };
             load_done = load_done.max(done);
         }
     }
@@ -1125,7 +1245,12 @@ fn mem_entry<B: Bus + ?Sized, const READS: bool, const WRITES: bool>(
             a.t.dispatch(eng.ports.store_data, result_ready, 1, a.batch);
             if !store.covered_by_read {
                 let vaddr = exec::mem_vaddr(a.state, &store.mem);
-                let res = a.bus.access(vaddr, true)?;
+                let res = if let FastOp::StoreQ { src, .. } = fast {
+                    a.bus
+                        .store_fused(vaddr, 8, exec::fast_src_val(a.state, src))?
+                } else {
+                    a.bus.access(vaddr, true)?
+                };
                 a.batch.count_store_coherence(&res);
                 if res.slice.is_some() {
                     eng.drain_uncore(a.pmu, a.bus);
@@ -1141,12 +1266,128 @@ fn mem_entry<B: Bus + ?Sized, const READS: bool, const WRITES: bool>(
         a.t.flags = result_ready;
     }
 
-    let fast = &body.fast[pc];
-    if matches!(fast, FastOp::None) {
-        let next = exec::execute(&a.insts[pc], a.state, a.bus)?;
-        debug_assert!(matches!(next, Next::Seq), "mem shapes never branch");
+    // Semantic completion. The data side of every pre-decoded shape went
+    // through the fused bus operations above; only the register/flag
+    // effects (and the RMW write-back) remain. Must stay bit-identical to
+    // [`exec::execute`] on the same instruction (pinned by
+    // `plan_equivalence` and the differential suites).
+    match fast {
+        FastOp::None => {
+            let next = exec::execute(&a.insts[pc], a.state, a.bus)?;
+            debug_assert!(matches!(next, Next::Seq), "mem shapes never branch");
+        }
+        FastOp::LoadQ { dst, .. } => a.state.set_gpr(dst, loaded),
+        FastOp::LoadAlu { op, dst, .. } => {
+            let acc = a.state.gpr(dst);
+            let r = exec::fast_mem_alu(a.state, op, acc, loaded);
+            a.state.set_gpr(dst, r);
+        }
+        FastOp::StoreQ { .. } => {} // written via the fused store above
+        FastOp::RmwAlu { op, mem, src } => {
+            let b = exec::fast_src_val(a.state, src);
+            let r = exec::fast_mem_alu(a.state, op, loaded, b);
+            // The address registers are untouched by the ALU step, so this
+            // recomputes the exact vaddr the covering load walked.
+            a.bus.write(exec::mem_vaddr(a.state, &mem), 8, r)?;
+        }
+        _ => unreachable!("mem entries carry memory-shape fast ops or None"),
+    }
+    debug_assert!(hot.has(meta::RETIRES), "mem shapes always retire");
+    Ok(())
+}
+
+/// One pre-decoded quadword load (`FastOp::LoadQ`, i.e. `mov r64, [m64]`)
+/// inside a superblock: [`mem_entry`] specialized to the shape's statics —
+/// one fused load, no stores, no flag effects, the destination register as
+/// the only timing output — so the per-entry arena scans the generic entry
+/// pays disappear. An entry whose decode carries compute µops or more than
+/// one memory read (no shipping descriptor does for this shape) takes the
+/// generic entry unchanged.
+#[inline]
+fn load_q_entry<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+    pc: usize,
+    dst: Gpr,
+) -> Result<(), CpuFault> {
+    let body = a.body;
+    let hot = &body.hot[pc];
+    let reads = hot.reads.slice(&body.reads);
+    // Checked-interpreter mode: `certify_fast_mem` demoted any entry that
+    // does not satisfy these statics back to the generic path.
+    debug_assert!(
+        hot.uops.is_empty()
+            && reads.len() == 1
+            && hot.out_regs.slice(&body.regs) == [dst.number()]
+            && !hot.has(meta::FLAGS_WRITTEN),
+        "LoadQ entry violates the certified fast-load shape"
+    );
+    let mem = &reads[0];
+    let a_ready = addr_ready(a.t, mem);
+    let vaddr = exec::mem_vaddr(a.state, mem);
+    let (done, value) = eng.timed_load_fused(a.t, vaddr, a_ready, false, a.batch, a.pmu, a.bus)?;
+    let result_ready = if done > 0 {
+        done
     } else {
-        exec::execute_fast_mem(fast, a.state, a.bus)?;
+        // Zero-latency corner (configurable latencies can be 0 at cycle
+        // 0): the generic entry falls back to input readiness.
+        let mut input_ready = a.t.barrier;
+        for &r in hot.in_regs.slice(&body.regs) {
+            input_ready = input_ready.max(a.t.reg[r as usize]);
+        }
+        if hot.has(meta::FLAGS_READ) {
+            input_ready = input_ready.max(a.t.flags);
+        }
+        input_ready
+    };
+    a.t.reg[dst.number() as usize] = result_ready;
+    a.state.set_gpr(dst, value);
+    debug_assert!(hot.has(meta::RETIRES), "mem shapes always retire");
+    Ok(())
+}
+
+/// One pre-decoded quadword store (`FastOp::StoreQ`, i.e. `mov [m64],
+/// r64/imm64`) inside a superblock: [`mem_entry`] specialized the same way
+/// as [`load_q_entry`] — one uncovered fused store, no loads, no compute
+/// µops, no register or flag outputs.
+#[inline]
+fn store_q_entry<B: Bus + ?Sized>(
+    eng: &mut Engine,
+    a: &mut StepArgs<'_, B>,
+    pc: usize,
+    src: FastSrc,
+) -> Result<(), CpuFault> {
+    let body = a.body;
+    let hot = &body.hot[pc];
+    let writes = hot.writes.slice(&body.writes);
+    // Checked-interpreter mode: `certify_fast_mem` demoted any entry that
+    // does not satisfy these statics back to the generic path.
+    debug_assert!(
+        hot.uops.is_empty()
+            && writes.len() == 1
+            && !writes[0].covered_by_read
+            && hot.out_regs.is_empty()
+            && !hot.has(meta::FLAGS_WRITTEN),
+        "StoreQ entry violates the certified fast-store shape"
+    );
+    let mut input_ready = a.t.barrier;
+    for &r in hot.in_regs.slice(&body.regs) {
+        input_ready = input_ready.max(a.t.reg[r as usize]);
+    }
+    if hot.has(meta::FLAGS_READ) {
+        input_ready = input_ready.max(a.t.flags);
+    }
+    let store = &writes[0];
+    let a_ready = addr_ready(a.t, &store.mem);
+    a.t.dispatch(eng.ports.store_addr, a_ready, 1, a.batch);
+    a.t.dispatch(eng.ports.store_data, input_ready, 1, a.batch);
+    let vaddr = exec::mem_vaddr(a.state, &store.mem);
+    let res = a
+        .bus
+        .store_fused(vaddr, 8, exec::fast_src_val(a.state, src))?;
+    a.batch.count_store_coherence(&res);
+    if res.slice.is_some() {
+        eng.drain_uncore(a.pmu, a.bus);
     }
     debug_assert!(hot.has(meta::RETIRES), "mem shapes always retire");
     Ok(())
@@ -1500,10 +1741,25 @@ fn step_push<B: Bus + ?Sized>(
     a.t.dispatch(eng.ports.store_data, data_ready, 1, a.batch);
     a.t.complete(rsp_done);
     let vaddr = a.state.gpr(Gpr::Rsp).wrapping_sub(8);
-    let res = a.bus.access(vaddr, true)?;
-    a.batch.count_store_coherence(&res);
-    let next = exec::execute(inst, a.state, a.bus)?;
-    Ok(StepOutcome::one(next, true))
+    // Register and immediate sources never touch the bus, so their pushes
+    // fuse timing and data into one store operation (one translation);
+    // memory-source pushes keep the generic access + execute path.
+    let fused_value = match inst.dst() {
+        Some(Operand::Gpr(g)) => Some(a.state.gpr_part(*g)),
+        Some(Operand::Imm(v)) => Some(*v as u64),
+        _ => None,
+    };
+    if let Some(value) = fused_value {
+        let res = a.bus.store_fused(vaddr, 8, value)?;
+        a.batch.count_store_coherence(&res);
+        a.state.set_gpr(Gpr::Rsp, vaddr);
+        Ok(StepOutcome::one(Next::Seq, true))
+    } else {
+        let res = a.bus.access(vaddr, true)?;
+        a.batch.count_store_coherence(&res);
+        let next = exec::execute(inst, a.state, a.bus)?;
+        Ok(StepOutcome::one(next, true))
+    }
 }
 
 fn step_pop<B: Bus + ?Sized>(
@@ -1513,13 +1769,25 @@ fn step_pop<B: Bus + ?Sized>(
     let inst = &a.insts[a.pc];
     let rsp_ready = a.t.reg[Gpr::Rsp.number() as usize];
     let vaddr = a.state.gpr(Gpr::Rsp);
-    let load_done = eng.timed_load(a.t, vaddr, rsp_ready, false, a.batch, a.pmu, a.bus)?;
-    let rsp_done = a.t.dispatch(eng.ports.alu, rsp_ready, 1, a.batch) + 1;
-    a.t.reg[Gpr::Rsp.number() as usize] = rsp_done;
+    // Register destinations fuse the timing walk with the data read (one
+    // translation); memory destinations keep the generic path.
     if let Some(Operand::Gpr(g)) = inst.dst() {
+        let (load_done, value) =
+            eng.timed_load_fused(a.t, vaddr, rsp_ready, false, a.batch, a.pmu, a.bus)?;
+        let rsp_done = a.t.dispatch(eng.ports.alu, rsp_ready, 1, a.batch) + 1;
+        a.t.reg[Gpr::Rsp.number() as usize] = rsp_done;
         a.t.reg[g.reg.number() as usize] = load_done;
+        a.t.complete(load_done);
+        // RSP before the destination, so `pop rsp` keeps the loaded value.
+        a.state.set_gpr(Gpr::Rsp, vaddr.wrapping_add(8));
+        a.state.set_gpr_part(*g, value);
+        Ok(StepOutcome::one(Next::Seq, true))
+    } else {
+        let load_done = eng.timed_load(a.t, vaddr, rsp_ready, false, a.batch, a.pmu, a.bus)?;
+        let rsp_done = a.t.dispatch(eng.ports.alu, rsp_ready, 1, a.batch) + 1;
+        a.t.reg[Gpr::Rsp.number() as usize] = rsp_done;
+        a.t.complete(load_done);
+        let next = exec::execute(inst, a.state, a.bus)?;
+        Ok(StepOutcome::one(next, true))
     }
-    a.t.complete(load_done);
-    let next = exec::execute(inst, a.state, a.bus)?;
-    Ok(StepOutcome::one(next, true))
 }

@@ -188,29 +188,25 @@ pub(crate) fn execute_fast(op: &FastOp, state: &mut CpuState) {
             let addr = mem_vaddr(state, &mem);
             state.set_gpr(dst, addr);
         }
-        _ => unreachable!("register-only fast ops only (see execute_fast_mem)"),
+        _ => unreachable!("register-only fast ops only (the engine fuses memory shapes)"),
     }
 }
 
-/// Executes a pre-decoded memory-shape [`FastOp`] semantically. Must be
-/// bit-identical to running the corresponding instruction through
-/// [`execute`]: same data access, result value, and flag updates (pinned
-/// by the `plan_equivalence` and differential suites).
-///
-/// # Errors
-///
-/// Propagates memory faults from the data access, exactly where
-/// [`execute`] would raise them.
-pub(crate) fn execute_fast_mem<B: Bus + ?Sized>(
-    op: &FastOp,
-    state: &mut CpuState,
-    bus: &mut B,
-) -> Result<(), CpuFault> {
-    let src_val = |state: &CpuState, src: FastSrc| match src {
+/// Resolves a [`FastSrc`] operand against register state.
+pub(crate) fn fast_src_val(state: &CpuState, src: FastSrc) -> u64 {
+    match src {
         FastSrc::Reg(r) => state.gpr(r),
         FastSrc::Imm(v) => v,
-    };
-    let alu = |state: &mut CpuState, op: FastAlu, a: u64, b: u64| match op {
+    }
+}
+
+/// Applies a 64-bit [`FastAlu`] operation with the exact flag updates of
+/// the corresponding instruction through [`execute`] (pinned by the
+/// `plan_equivalence` and differential suites). Used by the engine to
+/// complete memory-shape fast ops whose data access already went through
+/// the fused bus path.
+pub(crate) fn fast_mem_alu(state: &mut CpuState, op: FastAlu, a: u64, b: u64) -> u64 {
+    match op {
         FastAlu::Add => set_add_flags(state, a, b, 0, Width::Q),
         FastAlu::Sub => set_sub_flags(state, a, b, 0, Width::Q),
         FastAlu::And | FastAlu::Or | FastAlu::Xor => {
@@ -222,32 +218,7 @@ pub(crate) fn execute_fast_mem<B: Bus + ?Sized>(
             set_logic_flags(state, r, Width::Q);
             r
         }
-    };
-    match *op {
-        FastOp::LoadQ { dst, mem } => {
-            let v = bus.read(mem_vaddr(state, &mem), 8)?;
-            state.set_gpr(dst, v);
-        }
-        FastOp::LoadAlu { op, dst, mem } => {
-            let a = state.gpr(dst);
-            let b = bus.read(mem_vaddr(state, &mem), 8)?;
-            let r = alu(state, op, a, b);
-            state.set_gpr(dst, r);
-        }
-        FastOp::StoreQ { mem, src } => {
-            let v = src_val(state, src);
-            bus.write(mem_vaddr(state, &mem), 8, v)?;
-        }
-        FastOp::RmwAlu { op, mem, src } => {
-            let vaddr = mem_vaddr(state, &mem);
-            let a = bus.read(vaddr, 8)?;
-            let b = src_val(state, src);
-            let r = alu(state, op, a, b);
-            bus.write(vaddr, 8, r)?;
-        }
-        _ => unreachable!("memory-shape fast ops only (see execute_fast)"),
     }
-    Ok(())
 }
 
 /// Executes one "ordinary" instruction semantically (the engine handles

@@ -246,12 +246,22 @@ pub(crate) enum FastAlu {
     Xor,
 }
 
+/// The condition of a pre-decoded conditional branch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastCc {
+    Z,
+    Nz,
+    C,
+    Nc,
+}
+
 /// Pre-decoded semantics for the dominant 64-bit ALU and memory shapes.
 /// Decode resolves the operand pattern once so the fused block handler
 /// executes these without re-matching mnemonic and operands on
 /// every dynamic instruction ([`exec::execute_fast`] for register-only
-/// ops, [`exec::execute_fast_mem`] for the memory shapes); anything not
-/// covered falls back to the generic interpreter via [`FastOp::None`].
+/// ops; the memory shapes run through the engine's fused bus path);
+/// anything not covered falls back to the generic interpreter via
+/// [`FastOp::None`].
 /// Register-only fast ops never touch the bus, so they cannot fault; the
 /// memory shapes fault exactly where [`exec::execute`] would (the data
 /// access).
@@ -279,18 +289,25 @@ pub(crate) enum FastOp {
     Dec { dst: Gpr },
     /// `lea r64, [mem]` (address computation, no flags).
     Lea { dst: Gpr, mem: MemRef },
-    /// `mov r64, [mem64]` (no flags).
-    LoadQ { dst: Gpr, mem: MemRef },
+    /// `mov r64, [mem64]` (no flags). The address comes from the entry's
+    /// read slice, which the engine's fused load path walks.
+    LoadQ { dst: Gpr },
     /// `op r64, [mem64]` — ALU with a memory source.
-    LoadAlu { op: FastAlu, dst: Gpr, mem: MemRef },
-    /// `mov [mem64], r64/imm` (no flags).
-    StoreQ { mem: MemRef, src: FastSrc },
-    /// `op [mem64], r64/imm` — read-modify-write ALU.
+    LoadAlu { op: FastAlu, dst: Gpr },
+    /// `mov [mem64], r64/imm` (no flags). The address comes from the
+    /// entry's write slice.
+    StoreQ { src: FastSrc },
+    /// `op [mem64], r64/imm` — read-modify-write ALU. Keeps its own
+    /// [`MemRef`] for the write-back after the fused covering load.
     RmwAlu {
         op: FastAlu,
         mem: MemRef,
         src: FastSrc,
     },
+    /// `jcc label` with a resolved instruction-index target — the
+    /// loop-close shape. The block handler fuses this behind a trailing
+    /// superblock so a benchmark loop iteration costs a single dispatch.
+    CondJump { target: u32, cc: FastCc },
 }
 
 /// Pre-decodes `inst` into a [`FastOp`] if its shape is covered. Only
@@ -357,11 +374,11 @@ fn fast_mem_op(inst: &Instruction) -> FastOp {
         (Some(Operand::Gpr(g)), Some(Operand::Mem(m)))
             if g.width == Width::Q && m.width == Width::Q =>
         {
-            let (dst, mem) = (g.reg, *m);
+            let dst = g.reg;
             if inst.mnemonic == Mov {
-                FastOp::LoadQ { dst, mem }
+                FastOp::LoadQ { dst }
             } else if let Some(op) = alu(inst.mnemonic) {
-                FastOp::LoadAlu { op, dst, mem }
+                FastOp::LoadAlu { op, dst }
             } else {
                 FastOp::None
             }
@@ -373,16 +390,75 @@ fn fast_mem_op(inst: &Instruction) -> FastOp {
                 Operand::Imm(v) => FastSrc::Imm(*v as u64),
                 _ => return FastOp::None,
             };
-            let mem = *m;
             if inst.mnemonic == Mov {
-                FastOp::StoreQ { mem, src }
+                FastOp::StoreQ { src }
             } else if let Some(op) = alu(inst.mnemonic) {
-                FastOp::RmwAlu { op, mem, src }
+                FastOp::RmwAlu { op, mem: *m, src }
             } else {
                 FastOp::None
             }
         }
         _ => FastOp::None,
+    }
+}
+
+/// Pre-decodes a conditional branch whose target is a resolved label and
+/// whose decoded entry writes nothing (no GPR outputs, no flags) — the
+/// statics the engine's fused loop-close path assumes. Anything else
+/// stays on the generic `step_branch` path.
+fn fast_branch_op(inst: &Instruction, hot: &HotEntry, body: &PlanBody) -> FastOp {
+    use Mnemonic::*;
+    let cc = match inst.mnemonic {
+        Jz => FastCc::Z,
+        Jnz => FastCc::Nz,
+        Jc => FastCc::C,
+        Jnc => FastCc::Nc,
+        _ => return FastOp::None,
+    };
+    match inst.dst() {
+        Some(Operand::Label(t))
+            if u32::try_from(*t).is_ok()
+                && hot.out_regs.slice(&body.regs).is_empty()
+                && !hot.has(meta::FLAGS_WRITTEN)
+                && hot.has(meta::RETIRES) =>
+        {
+            FastOp::CondJump {
+                target: *t as u32,
+                cc,
+            }
+        }
+        _ => FastOp::None,
+    }
+}
+
+/// Demotes a pre-decoded quadword load/store shape back to the generic
+/// path unless the decoded entry matches the statics the engine's
+/// specialized entries assume: no compute µops, exactly one memory
+/// operand, and exactly the register/flag outputs the shape implies. No
+/// shipping descriptor table violates these for `mov`, but a custom table
+/// may — the demotion keeps the specialized entries trivially correct.
+fn certify_fast_mem(fast: FastOp, hot: &HotEntry, body: &PlanBody) -> FastOp {
+    let ok = match fast {
+        FastOp::LoadQ { dst } => {
+            hot.uops.is_empty()
+                && hot.reads.slice(&body.reads).len() == 1
+                && hot.out_regs.slice(&body.regs) == [dst.number()]
+                && !hot.has(meta::FLAGS_WRITTEN)
+        }
+        FastOp::StoreQ { .. } => {
+            let writes = hot.writes.slice(&body.writes);
+            hot.uops.is_empty()
+                && writes.len() == 1
+                && !writes[0].covered_by_read
+                && hot.out_regs.is_empty()
+                && !hot.has(meta::FLAGS_WRITTEN)
+        }
+        _ => return fast,
+    };
+    if ok {
+        fast
+    } else {
+        FastOp::None
     }
 }
 
@@ -662,13 +738,17 @@ impl PlanBody {
                 handler::ALU_BLOCK
             };
 
+            let fast = match hot.handler {
+                handler::ALU_BLOCK => fast_op(inst),
+                handler::LOAD | handler::STORE | handler::RMW => {
+                    certify_fast_mem(fast_mem_op(inst), &hot, &body)
+                }
+                handler::COND_BRANCH => fast_branch_op(inst, &hot, &body),
+                _ => FastOp::None,
+            };
             body.hot.push(hot);
             body.cold.push(cold);
-            body.fast.push(match hot.handler {
-                handler::ALU_BLOCK => fast_op(inst),
-                handler::LOAD | handler::STORE | handler::RMW => fast_mem_op(inst),
-                _ => FastOp::None,
-            });
+            body.fast.push(fast);
         }
 
         // Superblock fusion: fuse_len[i] is the (capped) length of the run

@@ -125,6 +125,24 @@ fn seeded_negatives_are_rejected_with_code_and_span() {
             .all(|d| d.code != Code::MemRange || d.severity == Severity::Warning),
         "kernel-mode unmapped absolute is a warning, got {diags:?}"
     );
+
+    // 4. Memory operand provably straddling a 64-byte cache line: a
+    // warning in either mode (the access runs, but split-line cycles skew
+    // what the kernel means to measure).
+    for session in [&kernel, &user] {
+        let diags = session.analyze(&spec("mov [r14], r14", "nop; mov rax, [r14 + 60]"));
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::LineStraddle)
+            .expect("line-straddle diagnostic");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.start, 1, "the straddling load is body instruction 1");
+        let diags = session.analyze(&spec("mov [r14], r14", "mov rax, [r14 + 56]"));
+        assert!(
+            diags.iter().all(|d| d.code != Code::LineStraddle),
+            "a line-interior access must not warn, got {diags:?}"
+        );
+    }
 }
 
 /// The `-lint` gate end to end: a Deny-gated run returns a structured
