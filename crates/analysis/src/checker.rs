@@ -1,0 +1,837 @@
+//! `nbverify`: explicit-state model checking of the MESI protocol spec
+//! ([`crate::mesi`]) and a conformance bridge against the real
+//! `CacheHierarchy` implementation.
+//!
+//! Three layers, each catching a different class of bug:
+//!
+//! 1. [`explore`] — a breadth-first enumeration of every protocol state
+//!    reachable within a bounded configuration (cores × lines × op
+//!    depth), with hash-consed visited-set dedup over the packed state.
+//!    Every state and transition is checked against the safety
+//!    invariants ([`check_state`]): single-writer-multiple-reader,
+//!    `E`-uniqueness, L3 inclusion, copy/backing data freshness, and the
+//!    read-value invariant (a read always observes the last write).
+//!    Violations come back as a [`Counterexample`] trace shrunk to a
+//!    minimal reproduction.
+//! 2. [`conformance`] — replays every enumerated operation sequence
+//!    against a real `CacheHierarchy` (via `access_from` / `line_state` /
+//!    `probe_level_from` and the `force_evict_*` hooks) and checks the
+//!    implementation refines the spec: per-core MESI states, probe
+//!    levels, hit levels, snoop outcomes, invalidation counts, and
+//!    latencies must all match. Divergences are reported as a shrunk
+//!    [`Divergence`] trace.
+//! 3. Mutation testing — [`spec_mutations`] and [`impl_mutations`]
+//!    enumerate seeded protocol corruptions; the checker must catch every
+//!    spec-side one with an invariant counterexample, and the bridge must
+//!    catch every impl-side one with a divergence. A checker that cannot
+//!    distinguish a corrupted protocol from the real one proves nothing.
+//!
+//! The bounds are small (≤3 cores, ≤2 lines, depth ~8) but exhaustive
+//! within them; see DESIGN.md §3i for why that suffices for this
+//! protocol.
+
+use crate::mesi::{all_ops, enabled, step, Level, Mesi, Op, SpecConfig, SpecMutation, SpecState};
+use nanobench_cache::{
+    CacheConfig, CacheHierarchy, HierarchyConfig, HitLevel, L3Config, L3PolicyConfig, Latencies,
+    LineState, MemAccessResult, PolicyKind, ProtocolMutation, SnoopResult,
+};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// A safety invariant the abstract protocol state violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// SWMR broken: a core holds `M` while another core holds a copy.
+    MultipleOwners {
+        /// Line index.
+        line: usize,
+        /// Core holding the `M` copy.
+        owner: usize,
+        /// The other core holding a copy.
+        other: usize,
+        /// That copy's state.
+        other_state: Mesi,
+    },
+    /// `E` is not exclusive: another core also holds a copy.
+    SharedExclusive {
+        /// Line index.
+        line: usize,
+        /// Core holding the `E` copy.
+        owner: usize,
+        /// The other core holding a copy.
+        other: usize,
+    },
+    /// Inclusion broken: a private copy exists but the line is not in the
+    /// L3.
+    InclusionHole {
+        /// Line index.
+        line: usize,
+        /// Core with the orphaned copy.
+        core: usize,
+        /// The orphaned copy's state.
+        state: Mesi,
+    },
+    /// A valid copy no longer holds the last written value (a write's
+    /// invalidation or a dirty forward was lost).
+    StaleCopy {
+        /// Line index.
+        line: usize,
+        /// Core with the stale copy.
+        core: usize,
+        /// The stale copy's state.
+        state: Mesi,
+    },
+    /// No dirty copy exists anywhere yet the L3/memory backing is stale:
+    /// the last write has been lost entirely.
+    LostWrite {
+        /// Line index.
+        line: usize,
+    },
+    /// A read observed stale data (the data-value invariant).
+    StaleRead {
+        /// Line index.
+        line: usize,
+        /// The reading core.
+        core: usize,
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::MultipleOwners {
+                line,
+                owner,
+                other,
+                other_state,
+            } => write!(
+                f,
+                "SWMR violated on line{line}: core {owner} holds M while core {other} holds {}",
+                other_state.letter()
+            ),
+            SpecViolation::SharedExclusive { line, owner, other } => write!(
+                f,
+                "exclusivity violated on line{line}: core {owner} holds E while core {other} \
+                 also holds a copy"
+            ),
+            SpecViolation::InclusionHole { line, core, state } => write!(
+                f,
+                "inclusion violated on line{line}: core {core} holds {} but the line is not in \
+                 the L3",
+                state.letter()
+            ),
+            SpecViolation::StaleCopy { line, core, state } => write!(
+                f,
+                "stale copy on line{line}: core {core} holds {} without the last written value",
+                state.letter()
+            ),
+            SpecViolation::LostWrite { line } => write!(
+                f,
+                "lost write on line{line}: no dirty copy exists and the backing is stale"
+            ),
+            SpecViolation::StaleRead { line, core } => write!(
+                f,
+                "stale read on line{line}: core {core} observed data older than the last write"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+/// Checks the state-level safety invariants of the protocol:
+///
+/// * **SWMR** — a `Modified` copy coexists with no other copy;
+/// * **`E`-uniqueness** — an `Exclusive` copy coexists with no other copy;
+/// * **inclusion** — any private copy implies the line is in the L3;
+/// * **copy freshness** — every valid copy holds the last written value
+///   (writes invalidate all other copies; forwards carry the dirty data);
+/// * **no lost writes** — if no dirty copy exists, the backing is fresh.
+///
+/// The remaining (transition-level) invariant, stale reads, is checked by
+/// [`explore`] on each `Read` outcome.
+pub fn check_state(state: &SpecState, cfg: SpecConfig) -> Result<(), SpecViolation> {
+    for line in 0..cfg.lines {
+        let mut holder: Option<(usize, Mesi)> = None;
+        let mut any_dirty = false;
+        for core in 0..cfg.cores {
+            let s = state.core_state(core, line);
+            if s == Mesi::I {
+                continue;
+            }
+            if !state.l3[line] {
+                return Err(SpecViolation::InclusionHole {
+                    line,
+                    core,
+                    state: s,
+                });
+            }
+            if !state.fresh[core][line] {
+                return Err(SpecViolation::StaleCopy {
+                    line,
+                    core,
+                    state: s,
+                });
+            }
+            if s == Mesi::M {
+                any_dirty = true;
+            }
+            if let Some((prev, prev_state)) = holder {
+                if prev_state == Mesi::M || s == Mesi::M {
+                    let (owner, other, other_state) = if prev_state == Mesi::M {
+                        (prev, core, s)
+                    } else {
+                        (core, prev, prev_state)
+                    };
+                    return Err(SpecViolation::MultipleOwners {
+                        line,
+                        owner,
+                        other,
+                        other_state,
+                    });
+                }
+                if prev_state == Mesi::E || s == Mesi::E {
+                    let (owner, other) = if prev_state == Mesi::E {
+                        (prev, core)
+                    } else {
+                        (core, prev)
+                    };
+                    return Err(SpecViolation::SharedExclusive { line, owner, other });
+                }
+            }
+            holder = Some((core, s));
+        }
+        if !any_dirty && !state.backing_fresh[line] {
+            return Err(SpecViolation::LostWrite { line });
+        }
+    }
+    Ok(())
+}
+
+/// A minimal operation trace reproducing an invariant violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The operation sequence, from the initial (all-invalid) state.
+    pub trace: Vec<Op>,
+    /// Human-readable description of the violated invariant.
+    pub violation: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.trace.iter().enumerate() {
+            writeln!(f, "  {}. {}", i + 1, op.describe())?;
+        }
+        write!(f, "  => {}", self.violation)
+    }
+}
+
+/// The result of a bounded breadth-first enumeration of the protocol.
+#[derive(Debug)]
+pub struct Exploration {
+    /// The configuration enumerated.
+    pub cfg: SpecConfig,
+    /// The operation-depth bound.
+    pub depth: usize,
+    /// Distinct reachable states within the bound.
+    pub reachable: usize,
+    /// Transitions (state × enabled op) examined.
+    pub transitions: u64,
+    /// The first invariant violation found (`None` on a clean protocol),
+    /// shrunk to a minimal trace.
+    pub violation: Option<Counterexample>,
+    /// Every reached state with its canonical (BFS-shortest) op path,
+    /// in discovery order. Consumed by the conformance bridge.
+    pub states: Vec<(SpecState, Vec<Op>)>,
+}
+
+/// Replays `trace` through the spec and returns the first invariant
+/// violation it produces, if any (used to validate shrunk candidates).
+fn replay_spec(trace: &[Op], cfg: SpecConfig, mutation: Option<SpecMutation>) -> Option<String> {
+    let mut state = SpecState::initial();
+    for &op in trace {
+        let (next, outcome) = step(&state, cfg, op, mutation);
+        if let (Op::Read { core, line }, Some(o)) = (op, outcome) {
+            if !o.fresh {
+                return Some(SpecViolation::StaleRead { line, core }.to_string());
+            }
+        }
+        if let Err(v) = check_state(&next, cfg) {
+            return Some(v.to_string());
+        }
+        state = next;
+    }
+    None
+}
+
+/// Greedily shrinks `trace` by deleting operations while `reproduces`
+/// still holds, to a locally minimal reproduction.
+fn shrink_trace(mut trace: Vec<Op>, reproduces: impl Fn(&[Op]) -> bool) -> Vec<Op> {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < trace.len() {
+            let mut candidate = trace.clone();
+            candidate.remove(i);
+            if reproduces(&candidate) {
+                trace = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return trace;
+        }
+    }
+}
+
+/// Exhaustively enumerates every state reachable within `depth`
+/// operations of [`SpecState::initial`], checking the safety invariants
+/// at each transition. `mutation` seeds a spec-side corruption (used to
+/// prove the invariants discriminate); `None` checks the faithful
+/// protocol.
+pub fn explore(cfg: SpecConfig, depth: usize, mutation: Option<SpecMutation>) -> Exploration {
+    let ops = all_ops(cfg);
+    let initial = SpecState::initial();
+    let mut visited = HashSet::new();
+    visited.insert(initial.pack(cfg));
+    let mut states: Vec<(SpecState, Vec<Op>)> = vec![(initial, Vec::new())];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    let mut transitions = 0u64;
+    let mut violation = None;
+    'bfs: while let Some(idx) = queue.pop_front() {
+        let (state, path) = states[idx].clone();
+        if path.len() >= depth {
+            continue;
+        }
+        for &op in &ops {
+            if !enabled(&state, op) {
+                continue;
+            }
+            transitions += 1;
+            let (next, outcome) = step(&state, cfg, op, mutation);
+            let found = match (op, outcome) {
+                (Op::Read { core, line }, Some(o)) if !o.fresh => {
+                    Some(SpecViolation::StaleRead { line, core }.to_string())
+                }
+                _ => check_state(&next, cfg).err().map(|v| v.to_string()),
+            };
+            if let Some(msg) = found {
+                let mut trace = path.clone();
+                trace.push(op);
+                let trace = shrink_trace(trace, |t| replay_spec(t, cfg, mutation).is_some());
+                let violation_msg = replay_spec(&trace, cfg, mutation).unwrap_or(msg);
+                violation = Some(Counterexample {
+                    trace,
+                    violation: violation_msg,
+                });
+                break 'bfs;
+            }
+            if visited.insert(next.pack(cfg)) {
+                let mut trace = path.clone();
+                trace.push(op);
+                states.push((next, trace));
+                queue.push_back(states.len() - 1);
+            }
+        }
+    }
+    Exploration {
+        cfg,
+        depth,
+        reachable: states.len(),
+        transitions,
+        violation,
+        states,
+    }
+}
+
+/// The physical address of each abstract line index used by the
+/// conformance bridge: distinct 64-byte lines mapping to distinct sets in
+/// every level of [`bridge_hierarchy_config`], so no organic capacity
+/// eviction can ever fire (evictions are modeled as explicit ops).
+pub const LINE_PADDRS: [u64; crate::mesi::MAX_LINES] = [0x0, 0x40];
+
+/// The tiny hierarchy the conformance bridge replays against: single
+/// L3 slice, ample associativity, LRU everywhere (replacement is
+/// irrelevant — the line set never conflicts), default latencies.
+pub fn bridge_hierarchy_config() -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig {
+            size_bytes: 4 * 1024, // 8 sets x 8 ways
+            assoc: 8,
+            policy: PolicyKind::Lru,
+        },
+        l2: CacheConfig {
+            size_bytes: 8 * 1024, // 16 sets x 8 ways
+            assoc: 8,
+            policy: PolicyKind::Lru,
+        },
+        l3: L3Config {
+            size_bytes: 64 * 1024, // 1 slice x 64 sets x 16 ways
+            assoc: 16,
+            slices: 1,
+            policy: L3PolicyConfig::Uniform(PolicyKind::Lru),
+        },
+        latencies: Latencies::default(),
+        inclusive_l3: true,
+    }
+}
+
+/// Builds the bridge hierarchy for `cfg.cores` cores with prefetchers
+/// disabled (a hardware prefetch would inject fills the abstract spec
+/// does not model).
+fn build_bridge_hierarchy(
+    cfg: SpecConfig,
+    hcfg: &HierarchyConfig,
+    mutation: Option<ProtocolMutation>,
+) -> CacheHierarchy {
+    let mut h = CacheHierarchy::try_new_multi(hcfg, 7, cfg.cores)
+        .expect("bridge hierarchy config is statically valid");
+    for core in 0..cfg.cores {
+        h.prefetchers_of_mut(core).disable_all();
+    }
+    h.seed_protocol_mutation(mutation);
+    if mutation.is_some() {
+        // A seeded corruption would trip the debug-build per-access
+        // assert before the bridge can report it as a divergence.
+        h.set_invariant_monitor(false);
+    }
+    h
+}
+
+/// Applies one abstract op to the real hierarchy, returning the
+/// implementation's observable outcome for reads/writes. `paddrs` maps
+/// abstract line indices to physical addresses.
+fn apply_impl(
+    h: &mut CacheHierarchy,
+    op: Op,
+    paddrs: &[u64; crate::mesi::MAX_LINES],
+) -> Option<MemAccessResult> {
+    match op {
+        Op::Read { core, line } => Some(
+            h.access_from(core, paddrs[line], false)
+                .expect("bridge cores are in range"),
+        ),
+        Op::Write { core, line } => Some(
+            h.access_from(core, paddrs[line], true)
+                .expect("bridge cores are in range"),
+        ),
+        Op::EvictL1 { core, line } => {
+            h.force_evict_l1(core, paddrs[line])
+                .expect("bridge cores are in range");
+            None
+        }
+        Op::EvictL2 { core, line } => {
+            h.force_evict_l2(core, paddrs[line])
+                .expect("bridge cores are in range");
+            None
+        }
+        Op::EvictL3 { line } => {
+            h.force_evict_l3(paddrs[line]);
+            None
+        }
+        Op::Clflush { line } => {
+            h.clflush(paddrs[line]);
+            None
+        }
+        Op::Wbinvd => {
+            h.wbinvd();
+            None
+        }
+    }
+}
+
+fn level_name(level: Level) -> &'static str {
+    match level {
+        Level::L1 => "L1",
+        Level::L2 => "L2",
+        Level::L3 => "L3",
+        Level::Memory => "Memory",
+    }
+}
+
+fn levels_match(spec: Level, actual: HitLevel) -> bool {
+    matches!(
+        (spec, actual),
+        (Level::L1, HitLevel::L1)
+            | (Level::L2, HitLevel::L2)
+            | (Level::L3, HitLevel::L3)
+            | (Level::Memory, HitLevel::Memory)
+    )
+}
+
+fn snoops_match(spec: crate::mesi::Snoop, actual: SnoopResult) -> bool {
+    matches!(
+        (spec, actual),
+        (crate::mesi::Snoop::Miss, SnoopResult::Miss)
+            | (crate::mesi::Snoop::Hit, SnoopResult::Hit)
+            | (crate::mesi::Snoop::HitM, SnoopResult::HitM)
+    )
+}
+
+/// The latency the spec predicts for an access, derived from the
+/// pre-state and the outcome: the serving level's latency, except a
+/// snoop-HITM forward (cross-core cost) and a `Shared→Modified` RFO
+/// upgrade, which goes through the uncore at L3 cost even when the line
+/// was privately held.
+fn expected_latency(pre: &SpecState, op: Op, out: crate::mesi::Outcome, lat: &Latencies) -> u64 {
+    if let Op::Write { core, line } = op {
+        if pre.core_state(core, line) == Mesi::S {
+            return lat.l3;
+        }
+    }
+    match out.level {
+        Level::L1 => lat.l1,
+        Level::L2 => lat.l2,
+        Level::L3 => {
+            if out.snoop == crate::mesi::Snoop::HitM {
+                lat.snoop_hitm
+            } else {
+                lat.l3
+            }
+        }
+        Level::Memory => lat.mem,
+    }
+}
+
+/// Compares the implementation's observable outcome of one read/write
+/// against the spec's.
+fn compare_outcome(
+    pre: &SpecState,
+    op: Op,
+    spec_out: crate::mesi::Outcome,
+    impl_out: MemAccessResult,
+    lat: &Latencies,
+) -> Option<String> {
+    if !levels_match(spec_out.level, impl_out.level) {
+        return Some(format!(
+            "{}: spec serves from {}, impl served from {:?}",
+            op.describe(),
+            level_name(spec_out.level),
+            impl_out.level
+        ));
+    }
+    if !snoops_match(spec_out.snoop, impl_out.snoop) {
+        return Some(format!(
+            "{}: spec snoop {:?}, impl snoop {:?}",
+            op.describe(),
+            spec_out.snoop,
+            impl_out.snoop
+        ));
+    }
+    if spec_out.invalidated != impl_out.invalidated {
+        return Some(format!(
+            "{}: spec invalidates {} remote copies, impl invalidated {}",
+            op.describe(),
+            spec_out.invalidated,
+            impl_out.invalidated
+        ));
+    }
+    let want = expected_latency(pre, op, spec_out, lat);
+    if want != impl_out.latency {
+        return Some(format!(
+            "{}: spec latency {want} cycles, impl latency {}",
+            op.describe(),
+            impl_out.latency
+        ));
+    }
+    None
+}
+
+fn mesi_letter_of(state: LineState) -> char {
+    state.letter()
+}
+
+/// Compares the implementation's full observable state (per-core MESI
+/// state and probe level, per line) against the spec state.
+fn compare_state(
+    h: &CacheHierarchy,
+    spec: &SpecState,
+    cfg: SpecConfig,
+    paddrs: &[u64; crate::mesi::MAX_LINES],
+) -> Option<String> {
+    for (line, &paddr) in paddrs.iter().enumerate().take(cfg.lines) {
+        for core in 0..cfg.cores {
+            let impl_state = h
+                .line_state(core, paddr)
+                .expect("bridge cores are in range");
+            let spec_state = spec.core_state(core, line);
+            if mesi_letter_of(impl_state) != spec_state.letter() {
+                return Some(format!(
+                    "line{line}: spec has core {core} in {}, impl is in {}",
+                    spec_state.letter(),
+                    impl_state.letter()
+                ));
+            }
+            let impl_level = h
+                .probe_level_from(core, paddr)
+                .expect("bridge cores are in range");
+            let spec_level = spec.probe_level(core, line);
+            if !levels_match(spec_level, impl_level) {
+                return Some(format!(
+                    "line{line}: spec would serve core {core} from {}, impl would serve from {:?}",
+                    level_name(spec_level),
+                    impl_level
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Replays `trace` simultaneously through the spec and a fresh real
+/// hierarchy, returning the first observable divergence.
+fn replay_compare(
+    trace: &[Op],
+    cfg: SpecConfig,
+    hcfg: &HierarchyConfig,
+    mutation: Option<ProtocolMutation>,
+) -> Option<String> {
+    replay_compare_at(trace, cfg, hcfg, mutation, &LINE_PADDRS)
+}
+
+/// [`replay_compare`] with an explicit abstract-line → physical-address
+/// layout. The caller must pick addresses that map to distinct sets in
+/// every level of `hcfg`, or organic evictions (which the spec does not
+/// model) will show up as spurious divergences.
+fn replay_compare_at(
+    trace: &[Op],
+    cfg: SpecConfig,
+    hcfg: &HierarchyConfig,
+    mutation: Option<ProtocolMutation>,
+    paddrs: &[u64; crate::mesi::MAX_LINES],
+) -> Option<String> {
+    let mut h = build_bridge_hierarchy(cfg, hcfg, mutation);
+    let mut state = SpecState::initial();
+    for &op in trace {
+        let (next, spec_out) = step(&state, cfg, op, None);
+        let impl_out = apply_impl(&mut h, op, paddrs);
+        if let (Some(so), Some(io)) = (spec_out, impl_out) {
+            if let Some(d) = compare_outcome(&state, op, so, io, &hcfg.latencies) {
+                return Some(d);
+            }
+        }
+        if let Some(d) = compare_state(&h, &next, cfg, paddrs) {
+            return Some(format!("after {}: {d}", op.describe()));
+        }
+        state = next;
+    }
+    None
+}
+
+/// Differential check for one op trace at a caller-chosen physical
+/// layout: the trace runs in lockstep through the pure spec and a fresh
+/// real hierarchy (runtime invariant monitor armed, no mutation), and
+/// every observable — hit level, snoop result, invalidation count,
+/// latency, per-core MESI letters, probe levels — must agree at every
+/// step. Returns the first divergence, `None` on agreement.
+pub fn differential_replay(
+    trace: &[Op],
+    cfg: SpecConfig,
+    paddrs: &[u64; crate::mesi::MAX_LINES],
+) -> Option<Divergence> {
+    let hcfg = bridge_hierarchy_config();
+    replay_compare_at(trace, cfg, &hcfg, None, paddrs).map(|detail| Divergence {
+        trace: trace.to_vec(),
+        detail,
+    })
+}
+
+/// An observable spec/implementation divergence, as a minimal trace.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The operation sequence, from a freshly built hierarchy.
+    pub trace: Vec<Op>,
+    /// What diverged.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.trace.iter().enumerate() {
+            writeln!(f, "  {}. {}", i + 1, op.describe())?;
+        }
+        write!(f, "  => {}", self.detail)
+    }
+}
+
+/// The result of a conformance sweep.
+#[derive(Debug)]
+pub struct BridgeReport {
+    /// Spec transitions replayed against the implementation.
+    pub edges: u64,
+    /// Reachable spec states the sweep covered.
+    pub reachable: usize,
+    /// The first divergence found (`None` when the implementation
+    /// conforms on the full enumeration), shrunk to a minimal trace.
+    pub divergence: Option<Divergence>,
+}
+
+/// Replays every enumerated transition of the bounded spec against the
+/// real `CacheHierarchy` and checks the implementation refines the spec.
+///
+/// For each reachable spec state (by its canonical shortest path) and
+/// each enabled op, a fresh hierarchy is built, the path replayed, the op
+/// applied, and every observable compared: read/write hit level, snoop
+/// result, invalidation count and latency, plus per-core MESI state and
+/// probe level for every line after every step.
+///
+/// `mutation` seeds an impl-side corruption (the bridge must then report
+/// a divergence); `None` checks the faithful implementation.
+pub fn conformance(
+    cfg: SpecConfig,
+    depth: usize,
+    mutation: Option<ProtocolMutation>,
+) -> BridgeReport {
+    let hcfg = bridge_hierarchy_config();
+    let exploration = explore(cfg, depth, None);
+    debug_assert!(
+        exploration.violation.is_none(),
+        "the faithful spec must be invariant-clean before bridging"
+    );
+    let ops = all_ops(cfg);
+    let mut edges = 0u64;
+    for (state, path) in &exploration.states {
+        for &op in &ops {
+            if !enabled(state, op) {
+                continue;
+            }
+            edges += 1;
+            let mut trace = path.clone();
+            trace.push(op);
+            if replay_compare(&trace, cfg, &hcfg, mutation).is_some() {
+                let trace =
+                    shrink_trace(trace, |t| replay_compare(t, cfg, &hcfg, mutation).is_some());
+                let detail = replay_compare(&trace, cfg, &hcfg, mutation)
+                    .expect("shrunk trace still reproduces the divergence");
+                return BridgeReport {
+                    edges,
+                    reachable: exploration.reachable,
+                    divergence: Some(Divergence { trace, detail }),
+                };
+            }
+        }
+    }
+    BridgeReport {
+        edges,
+        reachable: exploration.reachable,
+        divergence: None,
+    }
+}
+
+/// Every spec-side seeded corruption the model checker must catch.
+pub fn spec_mutations() -> [SpecMutation; 6] {
+    [
+        SpecMutation::SkipBackInvalidation,
+        SpecMutation::ForwardWithoutDowngrade,
+        SpecMutation::DropRfoInvalidate,
+        SpecMutation::BreakInclusionOnEvict,
+        SpecMutation::StaleDataForward,
+        SpecMutation::SilentDirtyDrop,
+    ]
+}
+
+/// Every impl-side seeded corruption the conformance bridge must catch.
+pub fn impl_mutations() -> [ProtocolMutation; 5] {
+    [
+        ProtocolMutation::SkipBackInvalidation,
+        ProtocolMutation::ForwardWithoutDowngrade,
+        ProtocolMutation::DropRfoInvalidate,
+        ProtocolMutation::BreakInclusionOnEvict,
+        ProtocolMutation::StaleDataForward,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG_2X1: SpecConfig = SpecConfig { cores: 2, lines: 1 };
+    const CFG_2X2: SpecConfig = SpecConfig { cores: 2, lines: 2 };
+
+    #[test]
+    fn faithful_protocol_is_invariant_clean() {
+        let e = explore(CFG_2X2, 8, None);
+        assert!(
+            e.violation.is_none(),
+            "faithful protocol violated an invariant:\n{}",
+            e.violation.unwrap()
+        );
+        assert!(
+            e.reachable > 50,
+            "suspiciously small state space: {}",
+            e.reachable
+        );
+        assert!(e.transitions > e.reachable as u64);
+    }
+
+    #[test]
+    fn every_spec_mutation_is_caught_with_a_counterexample() {
+        for m in spec_mutations() {
+            let e = explore(CFG_2X1, 8, Some(m));
+            let cx = e
+                .violation
+                .unwrap_or_else(|| panic!("spec mutation {m:?} was not caught"));
+            assert!(!cx.trace.is_empty());
+            // The shrunk trace must still reproduce from scratch.
+            assert!(
+                replay_spec(&cx.trace, CFG_2X1, Some(m)).is_some(),
+                "shrunk counterexample for {m:?} does not replay"
+            );
+        }
+    }
+
+    #[test]
+    fn counterexamples_are_minimal() {
+        // Dropping any single op from a shrunk counterexample must make
+        // the violation vanish.
+        for m in spec_mutations() {
+            let cx = explore(CFG_2X1, 8, Some(m)).violation.unwrap();
+            for i in 0..cx.trace.len() {
+                let mut t = cx.trace.clone();
+                t.remove(i);
+                assert!(
+                    replay_spec(&t, CFG_2X1, Some(m)).is_none(),
+                    "counterexample for {m:?} is not minimal: op {i} is removable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implementation_conforms_on_two_cores_one_line() {
+        let report = conformance(CFG_2X1, 6, None);
+        assert!(
+            report.divergence.is_none(),
+            "implementation diverges from the spec:\n{}",
+            report.divergence.unwrap()
+        );
+        assert!(report.edges > 100);
+    }
+
+    #[test]
+    fn every_impl_mutation_diverges() {
+        for m in impl_mutations() {
+            let report = conformance(CFG_2X1, 6, Some(m));
+            assert!(
+                report.divergence.is_some(),
+                "impl mutation {m:?} was not caught by the bridge"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_monitor_catches_a_seeded_corruption() {
+        // The same corruption the bridge sees as a divergence trips the
+        // full-audit `check_invariants` on the real hierarchy.
+        let hcfg = bridge_hierarchy_config();
+        let mut h =
+            build_bridge_hierarchy(CFG_2X1, &hcfg, Some(ProtocolMutation::DropRfoInvalidate));
+        h.access_from(0, 0x0, false).unwrap();
+        h.access_from(1, 0x0, false).unwrap();
+        h.access_from(1, 0x0, true).unwrap();
+        assert!(h.check_invariants().is_err(), "SWMR break went unnoticed");
+    }
+}

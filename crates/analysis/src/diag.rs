@@ -84,6 +84,10 @@ pub enum Code {
     Unencodable,
     /// A violated execution-plan invariant (see `verify_plan`).
     PlanInvariant,
+    /// A co-runner access provably lands on a cache line the measured
+    /// kernel also touches (unintended false sharing in an interference
+    /// spec).
+    CorunnerFalseShare,
 }
 
 impl Code {
@@ -101,6 +105,7 @@ impl Code {
             Code::BranchRange => "branch-range",
             Code::Unencodable => "unsupported-encoding",
             Code::PlanInvariant => "plan-invariant",
+            Code::CorunnerFalseShare => "corunner-false-sharing",
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Static analysis for benchmark specs and execution plans.
+//! Static analysis for benchmark specs and execution plans, plus the
+//! `nbverify` coherence model checker.
 //!
 //! Two layers share one diagnostic model:
 //!
@@ -21,13 +22,27 @@
 //! that faults or cannot mean what it says is an error; anything that
 //! merely measures unspecified machine state on real hardware is a
 //! warning, so the stock corpus and experiment specs lint clean of errors.
+//!
+//! A third layer, `nbverify` ([`mesi`] + [`checker`]), verifies the
+//! multi-core memory hierarchy itself: [`mesi`] is a pure MESI protocol
+//! specification written from DESIGN.md §3d, and [`checker`] exhaustively
+//! model-checks it for bounded configurations, bridges every enumerated
+//! op sequence against the real `CacheHierarchy`, and mutation-tests both
+//! directions with seeded protocol corruptions.
 
 #![warn(missing_docs)]
 
+pub mod checker;
 pub mod diag;
+pub mod mesi;
 pub mod plan;
 pub mod spec;
 
+pub use checker::{
+    conformance, differential_replay, explore, BridgeReport, Counterexample, Divergence,
+    Exploration,
+};
 pub use diag::{has_errors, Code, Diagnostic, Severity, Span};
+pub use mesi::{Op, SpecConfig, SpecMutation, SpecState};
 pub use plan::plan_diagnostics;
-pub use spec::{analyze_spec, AnalysisEnv};
+pub use spec::{analyze_corunner, analyze_spec, AnalysisEnv};

@@ -1,0 +1,692 @@
+//! The pure MESI protocol specification `nbverify` checks the cache
+//! hierarchy against.
+//!
+//! This module is written from the *prose* protocol of DESIGN.md §3d —
+//! not from `crates/cache`'s code — so the two can disagree: write hits
+//! upgrade `E→M` silently and `S→M` via an RFO that invalidates every
+//! remote copy; a read that misses privately but snoop-hits a remote
+//! `Modified` copy is forwarded cross-core (writing the dirty data back)
+//! and downgrades the owner to `Shared`; a clean remote copy downgrades
+//! `E→S`; inclusive L3 evictions back-invalidate every core; `clflush`
+//! and `wbinvd` write back and invalidate every level.
+//!
+//! The state is fully abstract: per core, a MESI state per line in each
+//! private level, plus an L3 presence bit per line. On top of the
+//! protocol states the spec tracks *data freshness* — whether each copy
+//! (and the L3/memory backing) holds the value of the last write — which
+//! is what lets the model checker catch stale-forward bugs that the MESI
+//! states alone cannot express.
+//!
+//! Everything here is side-effect free: [`step`] maps a state and an
+//! operation to the successor state plus the externally observable
+//! [`Outcome`], and the checker layers (`checker.rs`) enumerate and
+//! compare.
+
+/// Maximum cores the bounded model supports.
+pub const MAX_CORES: usize = 4;
+/// Maximum distinct cache lines the bounded model supports.
+pub const MAX_LINES: usize = 2;
+
+/// Abstract MESI state of one copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mesi {
+    /// Not present.
+    I,
+    /// Present in exactly one core, clean.
+    E,
+    /// Present in one or more cores, clean.
+    S,
+    /// Present in exactly one core, dirty.
+    M,
+}
+
+impl Mesi {
+    /// One-letter name, matching `LineState::letter`.
+    pub fn letter(self) -> char {
+        match self {
+            Mesi::M => 'M',
+            Mesi::E => 'E',
+            Mesi::S => 'S',
+            Mesi::I => 'I',
+        }
+    }
+
+    fn bits(self) -> u64 {
+        match self {
+            Mesi::I => 0,
+            Mesi::E => 1,
+            Mesi::S => 2,
+            Mesi::M => 3,
+        }
+    }
+
+    fn from_bits(b: u64) -> Mesi {
+        match b & 3 {
+            0 => Mesi::I,
+            1 => Mesi::E,
+            2 => Mesi::S,
+            _ => Mesi::M,
+        }
+    }
+}
+
+/// A bounded protocol configuration: how many cores and distinct lines
+/// the abstract state ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecConfig {
+    /// Cores (1..=[`MAX_CORES`]).
+    pub cores: usize,
+    /// Distinct cache lines (1..=[`MAX_LINES`]).
+    pub lines: usize,
+}
+
+/// One operation the hierarchy supports, over abstract line indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A load by `core` of `line`.
+    Read {
+        /// Requesting core.
+        core: usize,
+        /// Line index.
+        line: usize,
+    },
+    /// A store by `core` to `line` (read-for-ownership on miss).
+    Write {
+        /// Requesting core.
+        core: usize,
+        /// Line index.
+        line: usize,
+    },
+    /// A capacity eviction of `line` from `core`'s L1 (L2/L3 untouched).
+    EvictL1 {
+        /// Core whose L1 evicts.
+        core: usize,
+        /// Line index.
+        line: usize,
+    },
+    /// A capacity eviction of `line` from `core`'s L2 (any L1 copy
+    /// survives; the private levels are not inclusive of each other).
+    EvictL2 {
+        /// Core whose L2 evicts.
+        core: usize,
+        /// Line index.
+        line: usize,
+    },
+    /// A capacity eviction of `line` from the inclusive L3:
+    /// back-invalidates every core's private copies.
+    EvictL3 {
+        /// Line index.
+        line: usize,
+    },
+    /// `CLFLUSH line`: write back and invalidate from every level of
+    /// every core.
+    Clflush {
+        /// Line index.
+        line: usize,
+    },
+    /// `WBINVD`: write back and invalidate everything.
+    Wbinvd,
+}
+
+impl Op {
+    /// Short display form for counterexample traces.
+    pub fn describe(self) -> String {
+        match self {
+            Op::Read { core, line } => format!("c{core} R line{line}"),
+            Op::Write { core, line } => format!("c{core} W line{line}"),
+            Op::EvictL1 { core, line } => format!("c{core} evictL1 line{line}"),
+            Op::EvictL2 { core, line } => format!("c{core} evictL2 line{line}"),
+            Op::EvictL3 { line } => format!("evictL3 line{line}"),
+            Op::Clflush { line } => format!("clflush line{line}"),
+            Op::Wbinvd => "wbinvd".to_string(),
+        }
+    }
+}
+
+/// The level that served an access, as the spec predicts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Hit in the requesting core's L1.
+    L1,
+    /// Hit in the requesting core's L2.
+    L2,
+    /// Served by the shared L3 (including cross-core forwards).
+    L3,
+    /// Served by memory.
+    Memory,
+}
+
+/// What snooping the other cores found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Snoop {
+    /// No remote copy.
+    Miss,
+    /// A clean remote copy.
+    Hit,
+    /// A dirty remote copy, forwarded cross-core.
+    HitM,
+}
+
+/// The externally observable outcome of a [`Op::Read`] / [`Op::Write`],
+/// mirroring the fields of the implementation's `MemAccessResult` the
+/// conformance bridge compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The serving level.
+    pub level: Level,
+    /// The snoop outcome.
+    pub snoop: Snoop,
+    /// Remote copies invalidated.
+    pub invalidated: u8,
+    /// Whether the value the access observed is the last written one.
+    /// `false` flags a stale forward — the data-value invariant.
+    pub fresh: bool,
+}
+
+/// A seeded corruption of the *specification's* transition function, used
+/// to prove the model checker's invariants actually discriminate: each
+/// variant must produce a counterexample. Mirrors the implementation-side
+/// `ProtocolMutation` in `crates/cache`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecMutation {
+    /// `clflush`/`wbinvd` skip the private caches.
+    SkipBackInvalidation,
+    /// A read forwarded from a remote `M` copy leaves it `M`.
+    ForwardWithoutDowngrade,
+    /// A store's RFO stops invalidating remote copies.
+    DropRfoInvalidate,
+    /// An L3 eviction back-invalidates only the L1s, not the L2s.
+    BreakInclusionOnEvict,
+    /// A read snoop-hitting a remote `M` copy is served the stale
+    /// L3/memory data as a clean hit.
+    StaleDataForward,
+    /// An L2 eviction of a dirty line silently drops the data instead of
+    /// writing it back.
+    SilentDirtyDrop,
+}
+
+/// The abstract protocol state: per-core per-line MESI states for L1 and
+/// L2, an L3 presence bit per line, and the data-freshness bits (whether
+/// each copy, and the L3/memory backing, holds the last written value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecState {
+    /// L1 state, `[core][line]`.
+    pub l1: [[Mesi; MAX_LINES]; MAX_CORES],
+    /// L2 state, `[core][line]`.
+    pub l2: [[Mesi; MAX_LINES]; MAX_CORES],
+    /// L3 presence per line.
+    pub l3: [bool; MAX_LINES],
+    /// Whether `core`'s copy of `line` holds the last written value
+    /// (meaningful only while the copy is valid).
+    pub fresh: [[bool; MAX_LINES]; MAX_CORES],
+    /// Whether the L3/memory backing of `line` holds the last written
+    /// value.
+    pub backing_fresh: [bool; MAX_LINES],
+}
+
+impl SpecState {
+    /// The initial state: everything invalid, backing fresh (memory holds
+    /// the "last write" before any store happens).
+    pub fn initial() -> SpecState {
+        SpecState {
+            l1: [[Mesi::I; MAX_LINES]; MAX_CORES],
+            l2: [[Mesi::I; MAX_LINES]; MAX_CORES],
+            l3: [false; MAX_LINES],
+            fresh: [[false; MAX_LINES]; MAX_CORES],
+            backing_fresh: [true; MAX_LINES],
+        }
+    }
+
+    /// The strongest state `core` holds `line` in across its private
+    /// levels (what the implementation's `line_state` reports).
+    pub fn core_state(&self, core: usize, line: usize) -> Mesi {
+        self.l1[core][line].max(self.l2[core][line])
+    }
+
+    /// The level that would serve `core`'s access of `line` now.
+    pub fn probe_level(&self, core: usize, line: usize) -> Level {
+        if self.l1[core][line] != Mesi::I {
+            Level::L1
+        } else if self.l2[core][line] != Mesi::I {
+            Level::L2
+        } else if self.l3[line] {
+            Level::L3
+        } else {
+            Level::Memory
+        }
+    }
+
+    /// Packs the state into a hash-consing key. 5 bits per (core, line)
+    /// pair plus 2 per line: 44 bits at the maximum bounds.
+    pub fn pack(&self, cfg: SpecConfig) -> u64 {
+        let mut k = 0u64;
+        for core in 0..cfg.cores {
+            for line in 0..cfg.lines {
+                k = (k << 5)
+                    | (self.l1[core][line].bits() << 3)
+                    | (self.l2[core][line].bits() << 1)
+                    | u64::from(self.fresh[core][line]);
+            }
+        }
+        for line in 0..cfg.lines {
+            k = (k << 2) | (u64::from(self.l3[line]) << 1) | u64::from(self.backing_fresh[line]);
+        }
+        k
+    }
+
+    /// Inverse of [`SpecState::pack`].
+    pub fn unpack(mut k: u64, cfg: SpecConfig) -> SpecState {
+        let mut s = SpecState::initial();
+        for line in (0..cfg.lines).rev() {
+            s.backing_fresh[line] = k & 1 != 0;
+            s.l3[line] = k & 2 != 0;
+            k >>= 2;
+        }
+        for core in (0..cfg.cores).rev() {
+            for line in (0..cfg.lines).rev() {
+                s.fresh[core][line] = k & 1 != 0;
+                s.l2[core][line] = Mesi::from_bits(k >> 1);
+                s.l1[core][line] = Mesi::from_bits(k >> 3);
+                k >>= 5;
+            }
+        }
+        s
+    }
+
+    /// Drops `core`'s copy of `line` from both private levels. The fresh
+    /// bit is cleared so semantically identical states pack identically
+    /// (freshness of an invalid copy is meaningless).
+    fn drop_private(&mut self, core: usize, line: usize) {
+        self.l1[core][line] = Mesi::I;
+        self.l2[core][line] = Mesi::I;
+        self.fresh[core][line] = false;
+    }
+
+    /// Writes a dropped dirty copy back to the L3/memory backing.
+    fn writeback(&mut self, core: usize, line: usize) {
+        self.backing_fresh[line] = self.fresh[core][line];
+    }
+
+    /// Sets `core`'s state for `line` in every private level that
+    /// currently holds the line.
+    fn set_present_state(&mut self, core: usize, line: usize, state: Mesi) {
+        if self.l1[core][line] != Mesi::I {
+            self.l1[core][line] = state;
+        }
+        if self.l2[core][line] != Mesi::I {
+            self.l2[core][line] = state;
+        }
+    }
+}
+
+/// Whether `op` is enabled in `state` (evictions and flushes of absent
+/// lines are skipped during enumeration — they are no-ops that only blow
+/// up the transition count).
+pub fn enabled(state: &SpecState, op: Op) -> bool {
+    match op {
+        Op::Read { .. } | Op::Write { .. } | Op::Wbinvd => true,
+        Op::EvictL1 { core, line } => state.l1[core][line] != Mesi::I,
+        Op::EvictL2 { core, line } => state.l2[core][line] != Mesi::I,
+        Op::EvictL3 { line } => state.l3[line],
+        Op::Clflush { line } => {
+            state.l3[line] || (0..MAX_CORES).any(|c| state.core_state(c, line) != Mesi::I)
+        }
+    }
+}
+
+/// Snoops every core other than `core` for `line`, applying the
+/// protocol's remote-copy transitions. Returns `(snoop, invalidated,
+/// forwarded_fresh)` where `forwarded_fresh` is the freshness of a
+/// forwarded dirty copy (None when no dirty forward happened).
+fn snoop_remote(
+    state: &mut SpecState,
+    cfg: SpecConfig,
+    core: usize,
+    line: usize,
+    is_write: bool,
+    mutation: Option<SpecMutation>,
+) -> (Snoop, u8, Option<bool>) {
+    let mut snoop = Snoop::Miss;
+    let mut invalidated = 0u8;
+    let mut forwarded = None;
+    for other in 0..cfg.cores {
+        if other == core {
+            continue;
+        }
+        let s = state.core_state(other, line);
+        if s == Mesi::I {
+            continue;
+        }
+        let dirty = s == Mesi::M && mutation != Some(SpecMutation::StaleDataForward);
+        snoop = snoop.max(if dirty { Snoop::HitM } else { Snoop::Hit });
+        if s == Mesi::M {
+            // The dirty data is forwarded and written back on downgrade
+            // (or handed to the new owner on an RFO).
+            forwarded = Some(state.fresh[other][line]);
+            if mutation != Some(SpecMutation::StaleDataForward) {
+                state.backing_fresh[line] = state.fresh[other][line];
+            }
+        }
+        if is_write {
+            if mutation != Some(SpecMutation::DropRfoInvalidate) {
+                state.drop_private(other, line);
+                invalidated += 1;
+            }
+        } else if s != Mesi::M || mutation != Some(SpecMutation::ForwardWithoutDowngrade) {
+            state.set_present_state(other, line, Mesi::S);
+        }
+    }
+    (snoop, invalidated, forwarded)
+}
+
+/// The pure transition function: applies `op` to `state`, returning the
+/// successor and, for reads/writes, the observable [`Outcome`].
+///
+/// `mutation` seeds a deliberate corruption of one protocol step (see
+/// [`SpecMutation`]); `None` is the faithful DESIGN.md §3d protocol.
+pub fn step(
+    state: &SpecState,
+    cfg: SpecConfig,
+    op: Op,
+    mutation: Option<SpecMutation>,
+) -> (SpecState, Option<Outcome>) {
+    let mut next = *state;
+    match op {
+        Op::Read { core, line } => {
+            // Private hits serve locally with no coherence action.
+            if next.l1[core][line] != Mesi::I {
+                let fresh = next.fresh[core][line];
+                return (
+                    next,
+                    Some(Outcome {
+                        level: Level::L1,
+                        snoop: Snoop::Miss,
+                        invalidated: 0,
+                        fresh,
+                    }),
+                );
+            }
+            if next.l2[core][line] != Mesi::I {
+                // The L2 hit refills the L1 with the same state.
+                next.l1[core][line] = next.l2[core][line];
+                let fresh = next.fresh[core][line];
+                return (
+                    next,
+                    Some(Outcome {
+                        level: Level::L2,
+                        snoop: Snoop::Miss,
+                        invalidated: 0,
+                        fresh,
+                    }),
+                );
+            }
+            if next.l3[line] {
+                let (snoop, invalidated, forwarded) =
+                    snoop_remote(&mut next, cfg, core, line, false, mutation);
+                // A dirty forward hands over the owner's data; otherwise
+                // the line comes out of the L3/backing.
+                let fresh = match forwarded {
+                    Some(f) if mutation != Some(SpecMutation::StaleDataForward) => f,
+                    _ => next.backing_fresh[line],
+                };
+                let fill = if snoop == Snoop::Miss {
+                    Mesi::E
+                } else {
+                    Mesi::S
+                };
+                next.l1[core][line] = fill;
+                next.l2[core][line] = fill;
+                next.fresh[core][line] = fresh;
+                return (
+                    next,
+                    Some(Outcome {
+                        level: Level::L3,
+                        snoop,
+                        invalidated,
+                        fresh,
+                    }),
+                );
+            }
+            // Memory fill: allocate in the inclusive L3 and both private
+            // levels, Exclusive (no sharer can exist — inclusion says any
+            // private copy implies an L3 line).
+            next.l3[line] = true;
+            let fresh = next.backing_fresh[line];
+            next.l1[core][line] = Mesi::E;
+            next.l2[core][line] = Mesi::E;
+            next.fresh[core][line] = fresh;
+            (
+                next,
+                Some(Outcome {
+                    level: Level::Memory,
+                    snoop: Snoop::Miss,
+                    invalidated: 0,
+                    fresh,
+                }),
+            )
+        }
+        Op::Write { core, line } => {
+            let held = next.core_state(core, line);
+            let hit_level = next.probe_level(core, line);
+            let (level, snoop, invalidated) = match held {
+                Mesi::M => {
+                    // Write hit on an owned line: silent.
+                    if hit_level == Level::L2 {
+                        next.l1[core][line] = Mesi::M;
+                    }
+                    (hit_level, Snoop::Miss, 0)
+                }
+                Mesi::E => {
+                    // Silent upgrade.
+                    if hit_level == Level::L2 {
+                        next.l1[core][line] = Mesi::M;
+                    }
+                    next.set_present_state(core, line, Mesi::M);
+                    (hit_level, Snoop::Miss, 0)
+                }
+                Mesi::S => {
+                    // RFO upgrade through the uncore: every remote copy
+                    // is invalidated before the write.
+                    let (snoop, invalidated, _) =
+                        snoop_remote(&mut next, cfg, core, line, true, mutation);
+                    if hit_level == Level::L2 {
+                        next.l1[core][line] = Mesi::S;
+                    }
+                    next.set_present_state(core, line, Mesi::M);
+                    (hit_level, snoop, invalidated)
+                }
+                Mesi::I => {
+                    // Write miss: read-for-ownership.
+                    if next.l3[line] {
+                        let (snoop, invalidated, _) =
+                            snoop_remote(&mut next, cfg, core, line, true, mutation);
+                        next.l1[core][line] = Mesi::M;
+                        next.l2[core][line] = Mesi::M;
+                        (Level::L3, snoop, invalidated)
+                    } else {
+                        next.l3[line] = true;
+                        next.l1[core][line] = Mesi::M;
+                        next.l2[core][line] = Mesi::M;
+                        (Level::Memory, Snoop::Miss, 0)
+                    }
+                }
+            };
+            // The store defines a new "last written value": the writer's
+            // copy is the only fresh one, everything else is stale.
+            for fresh in &mut next.fresh {
+                fresh[line] = false;
+            }
+            next.fresh[core][line] = true;
+            next.backing_fresh[line] = false;
+            (
+                next,
+                Some(Outcome {
+                    level,
+                    snoop,
+                    invalidated,
+                    fresh: true,
+                }),
+            )
+        }
+        Op::EvictL1 { core, line } => {
+            // A dirty L1 victim with no L2 copy behind it writes back.
+            if next.l1[core][line] == Mesi::M && next.l2[core][line] == Mesi::I {
+                next.writeback(core, line);
+            }
+            next.l1[core][line] = Mesi::I;
+            if next.l2[core][line] == Mesi::I {
+                next.fresh[core][line] = false;
+            }
+            (next, None)
+        }
+        Op::EvictL2 { core, line } => {
+            if next.l2[core][line] == Mesi::M
+                && next.l1[core][line] == Mesi::I
+                && mutation != Some(SpecMutation::SilentDirtyDrop)
+            {
+                next.writeback(core, line);
+            }
+            next.l2[core][line] = Mesi::I;
+            if next.l1[core][line] == Mesi::I {
+                next.fresh[core][line] = false;
+            }
+            (next, None)
+        }
+        Op::EvictL3 { line } => {
+            next.l3[line] = false;
+            // Inclusive back-invalidation of every private copy, writing
+            // dirty data back on the way out.
+            for c in 0..cfg.cores {
+                if next.core_state(c, line) == Mesi::M {
+                    next.writeback(c, line);
+                }
+                match mutation {
+                    Some(SpecMutation::SkipBackInvalidation) => {}
+                    Some(SpecMutation::BreakInclusionOnEvict) => {
+                        next.l1[c][line] = Mesi::I;
+                        if next.l2[c][line] == Mesi::I {
+                            next.fresh[c][line] = false;
+                        }
+                    }
+                    _ => next.drop_private(c, line),
+                }
+            }
+            (next, None)
+        }
+        Op::Clflush { line } => {
+            for c in 0..cfg.cores {
+                if next.core_state(c, line) == Mesi::M {
+                    next.writeback(c, line);
+                }
+                if mutation != Some(SpecMutation::SkipBackInvalidation) {
+                    next.drop_private(c, line);
+                }
+            }
+            next.l3[line] = false;
+            (next, None)
+        }
+        Op::Wbinvd => {
+            for line in 0..cfg.lines {
+                for c in 0..cfg.cores {
+                    if next.core_state(c, line) == Mesi::M {
+                        next.writeback(c, line);
+                    }
+                    if mutation != Some(SpecMutation::SkipBackInvalidation) {
+                        next.drop_private(c, line);
+                    }
+                }
+                next.l3[line] = false;
+            }
+            (next, None)
+        }
+    }
+}
+
+/// All operations of a bounded configuration, in a fixed enumeration
+/// order (the model checker's transition alphabet).
+pub fn all_ops(cfg: SpecConfig) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for core in 0..cfg.cores {
+        for line in 0..cfg.lines {
+            ops.push(Op::Read { core, line });
+            ops.push(Op::Write { core, line });
+            ops.push(Op::EvictL1 { core, line });
+            ops.push(Op::EvictL2 { core, line });
+        }
+    }
+    for line in 0..cfg.lines {
+        ops.push(Op::EvictL3 { line });
+        ops.push(Op::Clflush { line });
+    }
+    ops.push(Op::Wbinvd);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: SpecConfig = SpecConfig { cores: 2, lines: 1 };
+
+    #[test]
+    fn pack_unpack_roundtrips() {
+        let mut s = SpecState::initial();
+        let (s1, _) = step(&s, CFG, Op::Write { core: 0, line: 0 }, None);
+        s = s1;
+        let (s2, _) = step(&s, CFG, Op::Read { core: 1, line: 0 }, None);
+        for state in [SpecState::initial(), s, s2] {
+            assert_eq!(SpecState::unpack(state.pack(CFG), CFG), state);
+        }
+    }
+
+    #[test]
+    fn write_then_remote_read_forwards_and_downgrades() {
+        let s0 = SpecState::initial();
+        let (s1, o1) = step(&s0, CFG, Op::Write { core: 0, line: 0 }, None);
+        assert_eq!(o1.unwrap().level, Level::Memory);
+        assert_eq!(s1.core_state(0, 0), Mesi::M);
+        let (s2, o2) = step(&s1, CFG, Op::Read { core: 1, line: 0 }, None);
+        let o2 = o2.unwrap();
+        assert_eq!(o2.snoop, Snoop::HitM);
+        assert!(o2.fresh, "the forward must carry the dirty data");
+        assert_eq!(s2.core_state(0, 0), Mesi::S);
+        assert_eq!(s2.core_state(1, 0), Mesi::S);
+        assert!(s2.backing_fresh[0], "the downgrade writes back");
+    }
+
+    #[test]
+    fn rfo_upgrade_invalidates_remotes() {
+        let mut s = SpecState::initial();
+        for core in [0, 1] {
+            s = step(&s, CFG, Op::Read { core, line: 0 }, None).0;
+        }
+        assert_eq!(s.core_state(0, 0), Mesi::S);
+        let (s, o) = step(&s, CFG, Op::Write { core: 1, line: 0 }, None);
+        let o = o.unwrap();
+        assert_eq!(o.invalidated, 1);
+        assert_eq!(s.core_state(0, 0), Mesi::I);
+        assert_eq!(s.core_state(1, 0), Mesi::M);
+    }
+
+    #[test]
+    fn stale_forward_mutation_serves_stale_data() {
+        let s0 = SpecState::initial();
+        let (s1, _) = step(&s0, CFG, Op::Write { core: 0, line: 0 }, None);
+        let mutation = Some(SpecMutation::StaleDataForward);
+        let (_, o) = step(&s1, CFG, Op::Read { core: 1, line: 0 }, mutation);
+        let o = o.unwrap();
+        assert!(!o.fresh, "the seeded stale forward must be observable");
+        assert_eq!(o.snoop, Snoop::Hit, "reported as a clean hit");
+    }
+
+    #[test]
+    fn l3_eviction_back_invalidates_and_writes_back() {
+        let s0 = SpecState::initial();
+        let (s1, _) = step(&s0, CFG, Op::Write { core: 0, line: 0 }, None);
+        assert!(!s1.backing_fresh[0]);
+        let (s2, _) = step(&s1, CFG, Op::EvictL3 { line: 0 }, None);
+        assert_eq!(s2.core_state(0, 0), Mesi::I);
+        assert!(!s2.l3[0]);
+        assert!(s2.backing_fresh[0], "the dirty victim must be written back");
+    }
+}

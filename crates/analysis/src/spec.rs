@@ -47,6 +47,12 @@ pub struct AnalysisEnv {
     /// Mapped `[start, end)` virtual-address ranges for absolute-operand
     /// checks. Empty disables the absolute-address lint.
     pub regions: Vec<(u64, u64)>,
+    /// Absolute base addresses of the arena registers' areas, parallel to
+    /// [`AnalysisEnv::arena_regs`]. Used by the co-runner false-sharing
+    /// lint to resolve the measured kernel's arena-relative operands to
+    /// concrete cache lines; empty leaves them unresolved (only absolute
+    /// operands are then comparable).
+    pub arena_bases: Vec<u64>,
 }
 
 impl Default for AnalysisEnv {
@@ -58,6 +64,7 @@ impl Default for AnalysisEnv {
             arena_size: 1 << 20,
             arena_regs: vec![Gpr::Rsp, Gpr::Rbp, Gpr::Rdi, Gpr::Rsi, Gpr::R14],
             regions: Vec::new(),
+            arena_bases: Vec::new(),
         }
     }
 }
@@ -577,6 +584,153 @@ pub fn analyze_spec(
     diags
 }
 
+/// The cache lines the measured kernel (init + body) provably touches:
+/// absolute memory operands, plus displacements off registers that still
+/// provably hold their arena base, resolved through
+/// [`AnalysisEnv::arena_bases`]. Registers lose their base on any write,
+/// exactly as the dataflow pass tracks them.
+fn kernel_lines(init: &[Instruction], code: &[Instruction], env: &AnalysisEnv) -> HashSet<u64> {
+    let mut base_of = [None::<u64>; 16];
+    for (i, &r) in env.arena_regs.iter().enumerate() {
+        if let Some(&base) = env.arena_bases.get(i) {
+            // RSP points at the middle of its area (§III-G).
+            let bias = if r == Gpr::Rsp { env.arena_size / 2 } else { 0 };
+            base_of[r.number() as usize] = Some(base + bias);
+        }
+    }
+    let mut lines = HashSet::new();
+    let mut reads = Vec::new();
+    for inst in init.iter().chain(code.iter()) {
+        defuse::mem_reads(inst, &mut reads);
+        let write = defuse::mem_writes(inst);
+        for mem in reads.iter().chain(write.iter()) {
+            let addr = match (mem.base, mem.index) {
+                (None, None) => Some(mem.disp as u64),
+                (Some(b), None) => {
+                    base_of[b.number() as usize].map(|base| base.wrapping_add(mem.disp as u64))
+                }
+                _ => None,
+            };
+            if let Some(addr) = addr {
+                lines.insert(addr / 64);
+                lines.insert(addr.wrapping_add(mem.width.bytes() as u64 - 1) / 64);
+            }
+        }
+        for g in defuse::output_gprs(inst) {
+            base_of[g.reg.number() as usize] = None;
+        }
+    }
+    lines
+}
+
+/// One constant-propagation step over a co-runner instruction: `mov
+/// r64/r32, imm` defines a register, `add`/`sub r64, imm` adjusts a known
+/// one, zero idioms define zero, and every other write kills the value.
+fn const_step(vals: &mut [Option<u64>; 16], inst: &Instruction) {
+    let mut update = None;
+    if defuse::is_zero_idiom(inst) {
+        if let Some(Operand::Gpr(g)) = inst.dst() {
+            if matches!(g.width, Width::D | Width::Q) {
+                update = Some((g.reg.number() as usize, Some(0)));
+            }
+        }
+    } else if let (Some(&Operand::Gpr(g)), Some(&Operand::Imm(v))) = (inst.dst(), inst.src()) {
+        let n = g.reg.number() as usize;
+        match (inst.mnemonic, g.width) {
+            (Mnemonic::Mov, Width::Q) => update = Some((n, Some(v as u64))),
+            (Mnemonic::Mov, Width::D) => update = Some((n, Some(v as u32 as u64))),
+            (Mnemonic::Add, Width::Q) => {
+                update = Some((n, vals[n].map(|x| x.wrapping_add(v as u64))));
+            }
+            (Mnemonic::Sub, Width::Q) => {
+                update = Some((n, vals[n].map(|x| x.wrapping_sub(v as u64))));
+            }
+            _ => {}
+        }
+    }
+    for g in defuse::output_gprs(inst) {
+        vals[g.reg.number() as usize] = None;
+    }
+    if let Some((n, v)) = update {
+        vals[n] = v;
+    }
+}
+
+/// The address a co-runner memory operand provably computes, given the
+/// constant-propagated register values.
+fn const_addr(vals: &[Option<u64>; 16], mem: &MemRef) -> Option<u64> {
+    let base = match mem.base {
+        None => 0,
+        Some(b) => vals[b.number() as usize]?,
+    };
+    let index = match mem.index {
+        None => 0,
+        Some((r, scale)) => vals[r.number() as usize]?.wrapping_mul(u64::from(scale)),
+    };
+    Some(base.wrapping_add(index).wrapping_add(mem.disp as u64))
+}
+
+/// Lints one co-runner instruction sequence against the measured kernel:
+/// warns ([`Code::CorunnerFalseShare`]) for every co-runner memory
+/// operand whose address is provable and lands on a cache line the
+/// kernel's init or body provably touches. Cross-core stores to a
+/// measured line invalidate the kernel's copy on every iteration —
+/// false sharing that turns an interference spec into a coherence probe,
+/// which is rarely what a co-runner streaming its own working set means
+/// to do.
+///
+/// Co-runner cores start from a zeroed register state (§VI-C), so
+/// provable co-runner addresses come from constant propagation: `mov
+/// reg, imm` defines, `add`/`sub reg, imm` adjusts, zero idioms define
+/// zero, any other write kills. Spans index instructions within the
+/// co-runner sequence.
+pub fn analyze_corunner(
+    corunner_index: usize,
+    corunner: &[Instruction],
+    init: &[Instruction],
+    code: &[Instruction],
+    env: &AnalysisEnv,
+) -> Vec<Diagnostic> {
+    let kernel = kernel_lines(init, code, env);
+    if kernel.is_empty() {
+        return Vec::new();
+    }
+    // Co-runner cores boot from a zeroed CpuState.
+    let mut vals = [Some(0u64); 16];
+    let mut diags = Vec::new();
+    let mut seen = HashSet::new();
+    let mut reads = Vec::new();
+    for (idx, inst) in corunner.iter().enumerate() {
+        let i = idx as u32;
+        defuse::mem_reads(inst, &mut reads);
+        let write = defuse::mem_writes(inst);
+        for mem in reads.iter().chain(write.iter()) {
+            let Some(addr) = const_addr(&vals, mem) else {
+                continue;
+            };
+            let first = addr / 64;
+            let last = addr.wrapping_add(mem.width.bytes() as u64 - 1) / 64;
+            for line in [first, last] {
+                if kernel.contains(&line) && seen.insert((i, line)) {
+                    diags.push(Diagnostic::warning(
+                        Code::CorunnerFalseShare,
+                        Span::at(i),
+                        format!(
+                            "corunner{corunner_index}[{i}] `{inst}`: access at {addr:#x} lands \
+                             on cache line {:#x}, which the measured kernel also touches — \
+                             cross-core traffic on a measured line adds coherence misses the \
+                             interference spec does not mean to measure",
+                            line * 64
+                        ),
+                    ));
+                }
+            }
+        }
+        const_step(&mut vals, inst);
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,5 +934,111 @@ mod tests {
         let d = lint("add rax, r8");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].code, Code::UninitRead);
+    }
+
+    /// An env with known arena bases, as a session would build it.
+    fn corunner_env() -> AnalysisEnv {
+        AnalysisEnv {
+            arena_bases: vec![0x10_0000, 0x20_0000, 0x30_0000, 0x40_0000, 0x50_0000],
+            ..AnalysisEnv::default()
+        }
+    }
+
+    fn lint_corunner(corunner: &str, body: &str, env: &AnalysisEnv) -> Vec<Diagnostic> {
+        analyze_corunner(
+            0,
+            &parse_asm(corunner).unwrap(),
+            &[],
+            &parse_asm(body).unwrap(),
+            env,
+        )
+    }
+
+    #[test]
+    fn corunner_store_on_a_kernel_line_warns() {
+        // Kernel reads [r14] = its arena base (0x50_0000); the co-runner
+        // builds the same absolute address by constant propagation.
+        let d = lint_corunner(
+            "mov rax, 0x500000; mov qword [rax], 1",
+            "mov rbx, [r14]",
+            &corunner_env(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::CorunnerFalseShare);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].span, Span::at(1));
+    }
+
+    #[test]
+    fn corunner_on_its_own_lines_is_clean() {
+        // Same shape, different line: one line (64 bytes) past the one the
+        // kernel touches.
+        let d = lint_corunner(
+            "mov rax, 0x500040; mov qword [rax], 1",
+            "mov rbx, [r14]",
+            &corunner_env(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn corunner_add_adjusted_address_is_tracked() {
+        // rax starts zeroed on a co-runner core; add/sub chains stay provable.
+        let d = lint_corunner(
+            "add rax, 0x300040; sub rax, 0x40; mov rbx, [rax]",
+            "mov rcx, [rdi + 8]",
+            &corunner_env(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::CorunnerFalseShare);
+        assert_eq!(d[0].span, Span::at(2));
+    }
+
+    #[test]
+    fn unprovable_corunner_address_does_not_warn() {
+        // A load kills rax's constant; the later access is no longer
+        // provable, so the lint must stay quiet.
+        let d = lint_corunner(
+            "mov rax, 0x500000; mov rax, [rax]; mov rbx, [rax]",
+            "mov rbx, [r14]",
+            &corunner_env(),
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].span, Span::at(1));
+    }
+
+    #[test]
+    fn kernel_line_resolution_stops_at_clobbered_arena_regs() {
+        // The kernel overwrites rdi before using it; [rdi] is no longer a
+        // provable arena line, so a co-runner hit there cannot be proven.
+        let d = lint_corunner(
+            "mov rax, 0x400000; mov qword [rax], 1",
+            "mov rdi, [r14]; mov rcx, [rdi]",
+            &corunner_env(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn straddling_corunner_access_warns_on_the_tail_line() {
+        // The co-runner's 8-byte store starts on the line before the
+        // kernel's but straddles into it.
+        let d = lint_corunner(
+            "mov rax, 0x4FFFFC; mov qword [rax], 1",
+            "mov rbx, [r14]",
+            &corunner_env(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::CorunnerFalseShare);
+    }
+
+    #[test]
+    fn no_arena_bases_disables_the_corunner_lint() {
+        let d = lint_corunner(
+            "mov rax, 0x500000; mov qword [rax], 1",
+            "mov rbx, [r14]",
+            &AnalysisEnv::default(),
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 }

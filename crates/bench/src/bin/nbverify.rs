@@ -1,0 +1,170 @@
+//! nbverify — exhaustive bounded model checking of the MESI coherence
+//! protocol and conformance verification of the real `CacheHierarchy`
+//! against the pure spec.
+//!
+//! Four phases, mirroring `crates/analysis::checker`:
+//!
+//! 1. **Enumerate** — BFS over every reachable protocol state for each
+//!    bounded configuration (2–3 cores × 1–2 lines, op depth 8), checking
+//!    the safety invariants at every transition. Must find 0 violations.
+//! 2. **Conform** — replay every enumerated op sequence against a real
+//!    `CacheHierarchy` and compare all observables. Must find 0
+//!    divergences.
+//! 3. **Mutate (spec)** — every seeded spec-side protocol corruption must
+//!    be caught by the invariants with a minimal counterexample.
+//! 4. **Mutate (impl)** — every seeded impl-side corruption must be
+//!    caught by the bridge with a minimal divergence trace.
+//!
+//! Writes a state-space summary to `nbverify_summary.json` (or the path
+//! given as the first argument) for CI artifact upload. Exit status is
+//! nonzero on any violation, divergence, or uncaught mutation.
+//!
+//! Run with `cargo run --release -p nanobench-bench --bin nbverify`.
+
+use nanobench_analysis::checker::{self, conformance, explore};
+use nanobench_analysis::mesi::SpecConfig;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// The bounded configurations the sweep exhausts.
+const CONFIGS: [SpecConfig; 4] = [
+    SpecConfig { cores: 2, lines: 1 },
+    SpecConfig { cores: 2, lines: 2 },
+    SpecConfig { cores: 3, lines: 1 },
+    SpecConfig { cores: 3, lines: 2 },
+];
+
+/// Operation-depth bound for the state enumeration.
+const DEPTH: usize = 8;
+
+/// Operation-depth bound for the conformance bridge (each edge replays a
+/// whole trace against a freshly built hierarchy, so the bridge budget is
+/// separate from the in-memory enumeration's).
+fn bridge_depth(cfg: SpecConfig) -> usize {
+    if cfg.cores * cfg.lines >= 6 {
+        6
+    } else {
+        DEPTH
+    }
+}
+
+fn main() -> ExitCode {
+    let summary_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nbverify_summary.json".to_string());
+    let mut failures = 0usize;
+    let mut rows = String::new();
+
+    // Phase 1 + 2: exhaustive enumeration and conformance per config.
+    for cfg in CONFIGS {
+        let e = explore(cfg, DEPTH, None);
+        match &e.violation {
+            None => println!(
+                "enumerate {}x{} depth {}: {} reachable states, {} transitions, 0 violations",
+                cfg.cores, cfg.lines, e.depth, e.reachable, e.transitions
+            ),
+            Some(cx) => {
+                println!(
+                    "FAIL enumerate {}x{}: invariant violated\n{cx}",
+                    cfg.cores, cfg.lines
+                );
+                failures += 1;
+            }
+        }
+        let bd = bridge_depth(cfg);
+        let report = conformance(cfg, bd, None);
+        match &report.divergence {
+            None => println!(
+                "conform   {}x{} depth {bd}: {} edges replayed over {} states, 0 divergences",
+                cfg.cores, cfg.lines, report.edges, report.reachable
+            ),
+            Some(d) => {
+                println!(
+                    "FAIL conform {}x{}: implementation diverges from the spec\n{d}",
+                    cfg.cores, cfg.lines
+                );
+                failures += 1;
+            }
+        }
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        let _ = write!(
+            rows,
+            "\n    {{\"cores\": {}, \"lines\": {}, \"depth\": {}, \"reachable\": {}, \
+             \"transitions\": {}, \"bridge_depth\": {bd}, \"bridge_edges\": {}, \
+             \"violations\": {}, \"divergences\": {}}}",
+            cfg.cores,
+            cfg.lines,
+            e.depth,
+            e.reachable,
+            e.transitions,
+            report.edges,
+            e.violation.is_some() as u8,
+            report.divergence.is_some() as u8,
+        );
+    }
+
+    // Phase 3: every spec-side corruption must produce a counterexample.
+    let mutation_cfg = SpecConfig { cores: 3, lines: 2 };
+    let mut spec_caught = 0usize;
+    for m in checker::spec_mutations() {
+        match explore(mutation_cfg, DEPTH, Some(m)).violation {
+            Some(cx) => {
+                println!(
+                    "mutation  spec {m:?}: caught in {} op(s)\n{cx}",
+                    cx.trace.len()
+                );
+                spec_caught += 1;
+            }
+            None => {
+                println!("FAIL mutation spec {m:?}: NOT caught — the invariants are too weak");
+                failures += 1;
+            }
+        }
+    }
+
+    // Phase 4: every impl-side corruption must diverge under the bridge.
+    let bridge_cfg = SpecConfig { cores: 3, lines: 1 };
+    let mut impl_caught = 0usize;
+    for m in checker::impl_mutations() {
+        match conformance(bridge_cfg, 6, Some(m)).divergence {
+            Some(d) => {
+                println!(
+                    "mutation  impl {m:?}: caught in {} op(s)\n{d}",
+                    d.trace.len()
+                );
+                impl_caught += 1;
+            }
+            None => {
+                println!("FAIL mutation impl {m:?}: NOT caught — the bridge is too weak");
+                failures += 1;
+            }
+        }
+    }
+
+    let spec_total = checker::spec_mutations().len();
+    let impl_total = checker::impl_mutations().len();
+    let summary = format!(
+        "{{\n  \"configs\": [{rows}\n  ],\n  \"spec_mutations_caught\": {spec_caught},\n  \
+         \"spec_mutations_total\": {spec_total},\n  \"impl_mutations_caught\": {impl_caught},\n  \
+         \"impl_mutations_total\": {impl_total},\n  \"failures\": {failures}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&summary_path, &summary) {
+        println!("FAIL: could not write {summary_path}: {e}");
+        failures += 1;
+    } else {
+        println!("summary written to {summary_path}");
+    }
+
+    println!(
+        "nbverify: {} config(s), {spec_caught}/{spec_total} spec mutations caught, \
+         {impl_caught}/{impl_total} impl mutations caught, {failures} failure(s)",
+        CONFIGS.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

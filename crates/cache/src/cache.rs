@@ -569,6 +569,17 @@ impl Cache {
         self.reset_with(|set| derive_set_seed(cache_seed, set));
     }
 
+    /// Iterates over every valid line as `(paddr, state)` pairs (the
+    /// paddr is the line's base address). Used by the hierarchy's
+    /// full-state coherence audit.
+    pub fn valid_lines(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != TAG_INVALID)
+            .map(|(i, &t)| (t * LINE_SIZE, self.state_at(i)))
+    }
+
     /// The blocks currently cached in `set` (by way).
     pub fn set_contents(&self, set: usize) -> Vec<Option<u64>> {
         let base = set * self.assoc;

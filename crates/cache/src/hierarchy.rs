@@ -9,9 +9,164 @@ use crate::cache::{
 };
 use crate::policy::{PolicyKind, PolicySlot};
 use crate::prefetch::Prefetchers;
-use crate::slice::SliceHash;
+use crate::slice::{SliceHash, SliceHashError};
+use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
+
+/// A core index outside the hierarchy's `0..n_cores` range, returned by
+/// the fallible entry points ([`CacheHierarchy::access_from`] and
+/// friends) instead of panicking — a bad index coming in over the public
+/// API is a caller bug the simulator must reject, not abort on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreOutOfRange {
+    /// The offending core index.
+    pub core: usize,
+    /// The number of cores the hierarchy was built with.
+    pub n_cores: usize,
+}
+
+impl fmt::Display for CoreOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core index {} out of range for a {}-core hierarchy",
+            self.core, self.n_cores
+        )
+    }
+}
+
+impl std::error::Error for CoreOutOfRange {}
+
+/// Why a hierarchy could not be constructed (the fallible counterpart of
+/// the panics [`CacheHierarchy::new_multi`] documents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// `n_cores` outside `1..=8`.
+    CoreCount(usize),
+    /// A multi-core hierarchy over a non-inclusive L3 (the snoop protocol
+    /// relies on inclusion).
+    NonInclusiveMultiCore,
+    /// L3 sets per slice not a power of two.
+    L3Geometry(usize),
+    /// Invalid L3 slice count.
+    Slice(SliceHashError),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::CoreCount(n) => {
+                write!(f, "core count must be between 1 and 8 (got {n})")
+            }
+            HierarchyError::NonInclusiveMultiCore => {
+                f.write_str("multi-core hierarchies require an inclusive L3")
+            }
+            HierarchyError::L3Geometry(sets) => {
+                write!(f, "L3 sets per slice must be a power of two (got {sets})")
+            }
+            HierarchyError::Slice(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+/// A coherence-protocol invariant the hierarchy's state violates,
+/// reported by [`CacheHierarchy::check_invariants`]. Under
+/// `debug_assertions` every access asserts these for the touched line,
+/// turning every debug-mode suite into a continuous protocol monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoherenceViolation {
+    /// Single-writer-multiple-reader broken: a core holds the line
+    /// `Modified` while another core also holds a copy.
+    MultipleOwners {
+        /// The line.
+        paddr: u64,
+        /// The core holding the `Modified` copy.
+        owner: usize,
+        /// A different core that also holds the line.
+        other: usize,
+        /// The state of `other`'s copy.
+        other_state: LineState,
+    },
+    /// `Exclusive` is not exclusive: a core holds the line `E` while
+    /// another core also holds a copy.
+    SharedExclusive {
+        /// The line.
+        paddr: u64,
+        /// The core holding the `Exclusive` copy.
+        owner: usize,
+        /// A different core that also holds the line.
+        other: usize,
+    },
+    /// Inclusion broken: a private L1/L2 copy exists but the line is not
+    /// present in the (inclusive) L3.
+    InclusionHole {
+        /// The line.
+        paddr: u64,
+        /// The core whose private caches hold the orphaned copy.
+        core: usize,
+        /// The orphaned copy's state.
+        state: LineState,
+    },
+}
+
+impl fmt::Display for CoherenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceViolation::MultipleOwners {
+                paddr,
+                owner,
+                other,
+                other_state,
+            } => write!(
+                f,
+                "SWMR violated at {paddr:#x}: core {owner} holds M while core {other} holds {}",
+                other_state.letter()
+            ),
+            CoherenceViolation::SharedExclusive {
+                paddr,
+                owner,
+                other,
+            } => write!(
+                f,
+                "exclusivity violated at {paddr:#x}: core {owner} holds E while core {other} \
+                 also holds a copy"
+            ),
+            CoherenceViolation::InclusionHole { paddr, core, state } => write!(
+                f,
+                "inclusion violated at {paddr:#x}: core {core} holds {} but the line is not in \
+                 the L3",
+                state.letter()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoherenceViolation {}
+
+/// A seeded protocol corruption, used to mutation-test `nbverify`'s
+/// conformance bridge and the runtime invariant monitor: each variant
+/// disables one coherence action, and the checkers must catch every one
+/// with a counterexample. `None` (the default) is the faithful protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMutation {
+    /// `clflush`/inclusive-victim back-invalidation skips the private
+    /// caches entirely, leaving orphaned copies behind.
+    SkipBackInvalidation,
+    /// A read that snoop-hits a remote `Modified` copy forwards the data
+    /// but leaves the remote copy `Modified` instead of downgrading it.
+    ForwardWithoutDowngrade,
+    /// A store's RFO stops invalidating remote copies.
+    DropRfoInvalidate,
+    /// An L3 eviction back-invalidates only the L1s, leaving stale L2
+    /// copies behind (inclusion broken on the evict path).
+    BreakInclusionOnEvict,
+    /// A read that snoop-hits a remote `Modified` copy is served from the
+    /// (stale) L3 data as a clean hit instead of the dirty forward.
+    StaleDataForward,
+}
 
 /// Which level of the memory hierarchy served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -244,6 +399,12 @@ pub struct CacheHierarchy {
     snoop_hits: Vec<u64>,
     /// Total cross-core invalidations (remote copies killed by stores).
     invalidations: u64,
+    /// Seeded protocol corruption (mutation testing); `None` is faithful.
+    mutation: Option<ProtocolMutation>,
+    /// Whether the debug-build per-access invariant assert is armed.
+    /// Mutation tests disarm it to observe violations via
+    /// [`CacheHierarchy::check_invariants`] instead of aborting.
+    monitor: bool,
 }
 
 impl CacheHierarchy {
@@ -262,26 +423,37 @@ impl CacheHierarchy {
     /// Panics if `n_cores` is 0 or greater than 8, or if the L3 geometry
     /// is inconsistent.
     pub fn new_multi(config: &HierarchyConfig, seed: u64, n_cores: usize) -> CacheHierarchy {
-        assert!(
-            (1..=8).contains(&n_cores),
-            "core count must be between 1 and 8 (got {n_cores})"
-        );
+        match CacheHierarchy::try_new_multi(config, seed, n_cores) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`CacheHierarchy::new_multi`]: returns the
+    /// constraint violation instead of panicking, for callers assembling
+    /// configurations from external input.
+    pub fn try_new_multi(
+        config: &HierarchyConfig,
+        seed: u64,
+        n_cores: usize,
+    ) -> Result<CacheHierarchy, HierarchyError> {
+        if !(1..=8).contains(&n_cores) {
+            return Err(HierarchyError::CoreCount(n_cores));
+        }
         // The snoop protocol relies on inclusion: a line held in any
         // core's private caches is guaranteed to be in the L3, so only
         // the L3-hit path needs to probe remote cores. A non-inclusive
         // multi-core L3 would let private copies outlive their L3 line
         // and break the coherence invariants (all Table I parts are
         // inclusive, so this constrains nothing the paper models).
-        assert!(
-            n_cores == 1 || config.inclusive_l3,
-            "multi-core hierarchies require an inclusive L3"
-        );
+        if n_cores > 1 && !config.inclusive_l3 {
+            return Err(HierarchyError::NonInclusiveMultiCore);
+        }
         let psel = PselCounter::new();
         let sets_per_slice = config.l3.sets_per_slice();
-        assert!(
-            sets_per_slice.is_power_of_two(),
-            "L3 sets per slice must be a power of two (got {sets_per_slice})"
-        );
+        if !sets_per_slice.is_power_of_two() {
+            return Err(HierarchyError::L3Geometry(sets_per_slice));
+        }
         let mut l3 = Vec::with_capacity(config.l3.slices);
         for slice in 0..config.l3.slices {
             let slice_seed = seed ^ ((slice as u64 + 1) << 48);
@@ -323,19 +495,21 @@ impl CacheHierarchy {
             l3.push(cache);
         }
         let slices = config.slice_count();
-        CacheHierarchy {
+        Ok(CacheHierarchy {
             cores: (0..n_cores)
                 .map(|core| PrivateCaches::new(config, seed, core))
                 .collect(),
             l3,
-            hash: SliceHash::new(slices).expect("L3 slice count validated by the preset"),
+            hash: SliceHash::new(slices).map_err(HierarchyError::Slice)?,
             psel,
             uncore_lookups: vec![0; slices],
             uncore_total: 0,
             snoop_hits: vec![0; slices],
             invalidations: 0,
             config: config.clone(),
-        }
+            mutation: None,
+            monitor: true,
+        })
     }
 
     /// The configuration this hierarchy was built from.
@@ -352,6 +526,7 @@ impl CacheHierarchy {
     /// single-core callers; see [`CacheHierarchy::access_from`].
     pub fn access(&mut self, paddr: u64) -> MemAccessResult {
         self.access_from(0, paddr, false)
+            .expect("core 0 always exists")
     }
 
     /// Performs a data access from `core` (load or store — both allocate
@@ -369,8 +544,18 @@ impl CacheHierarchy {
     /// With one core every snoop loop is empty, so the behaviour — hit
     /// levels, latencies, replacement updates, C-Box counts — is
     /// bit-identical to the historical single-core hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreOutOfRange`] when `core >= n_cores` — an out-of-range
+    /// index must not panic in release builds.
     #[inline]
-    pub fn access_from(&mut self, core: usize, paddr: u64, is_write: bool) -> MemAccessResult {
+    pub fn access_from(
+        &mut self,
+        core: usize,
+        paddr: u64,
+        is_write: bool,
+    ) -> Result<MemAccessResult, CoreOutOfRange> {
         // The L1 lookup runs exactly once per access; its hit state feeds
         // the two provable-no-op early returns without a second tag probe:
         //
@@ -381,19 +566,46 @@ impl CacheHierarchy {
         //
         // Everything else takes the outlined general path, keeping this
         // wrapper small enough to inline into the engine's fused load.
-        let l1_state = self.cores[core].l1.access_with_state(paddr);
+        let l1 = match self.cores.get_mut(core) {
+            Some(c) => &mut c.l1,
+            None => return Err(self.core_out_of_range(core)),
+        };
+        let l1_state = l1.access_with_state(paddr);
         if let Some(state) = l1_state {
             if !is_write || state == LineState::Modified {
-                return MemAccessResult {
+                return Ok(MemAccessResult {
                     level: HitLevel::L1,
                     latency: self.config.latencies.l1,
                     slice: None,
                     snoop: SnoopResult::Miss,
                     invalidated: 0,
-                };
+                });
             }
         }
-        self.access_from_after_l1(core, paddr, is_write, l1_state.is_some())
+        let res = self.access_from_after_l1(core, paddr, is_write, l1_state.is_some());
+        #[cfg(debug_assertions)]
+        self.assert_line_invariants(paddr);
+        Ok(res)
+    }
+
+    #[cold]
+    fn core_out_of_range(&self, core: usize) -> CoreOutOfRange {
+        CoreOutOfRange {
+            core,
+            n_cores: self.cores.len(),
+        }
+    }
+
+    /// Panics (debug builds only) if the line's coherence invariants do
+    /// not hold; the mutation tests disarm this via
+    /// [`CacheHierarchy::set_invariant_monitor`].
+    #[cfg(debug_assertions)]
+    fn assert_line_invariants(&self, paddr: u64) {
+        if self.monitor {
+            if let Err(v) = self.check_line_invariants(paddr) {
+                panic!("coherence invariant violated after access: {v}");
+            }
+        }
     }
 
     /// Continuation of [`CacheHierarchy::access_from`] after the L1 lookup
@@ -533,6 +745,7 @@ impl CacheHierarchy {
     ) -> (SnoopResult, u8) {
         let mut snoop = SnoopResult::Miss;
         let mut invalidated = 0u8;
+        let mutation = self.mutation;
         for (i, remote) in self.cores.iter_mut().enumerate() {
             if i == core {
                 continue;
@@ -541,15 +754,21 @@ impl CacheHierarchy {
             if state == LineState::Invalid {
                 continue;
             }
-            snoop = snoop.max(if state == LineState::Modified {
+            let dirty = state == LineState::Modified
+                && mutation != Some(ProtocolMutation::StaleDataForward);
+            snoop = snoop.max(if dirty {
                 SnoopResult::HitM
             } else {
                 SnoopResult::Hit
             });
             if is_write {
-                remote.invalidate(paddr);
-                invalidated += 1;
-            } else {
+                if mutation != Some(ProtocolMutation::DropRfoInvalidate) {
+                    remote.invalidate(paddr);
+                    invalidated += 1;
+                }
+            } else if state != LineState::Modified
+                || mutation != Some(ProtocolMutation::ForwardWithoutDowngrade)
+            {
                 remote.set_state(paddr, LineState::Shared);
             }
         }
@@ -566,8 +785,27 @@ impl CacheHierarchy {
         let slice = self.hash.slice_of(paddr);
         if let Some(evicted) = self.l3[slice].fill(paddr) {
             if self.config.inclusive_l3 {
+                self.back_invalidate(evicted);
+                #[cfg(debug_assertions)]
+                self.assert_line_invariants(evicted);
+            }
+        }
+    }
+
+    /// Back-invalidates every core's private copies of an inclusive L3
+    /// victim. The seeded mutations corrupt exactly this step so the
+    /// checkers can prove they would catch a real back-invalidation bug.
+    fn back_invalidate(&mut self, paddr: u64) {
+        match self.mutation {
+            Some(ProtocolMutation::SkipBackInvalidation) => {}
+            Some(ProtocolMutation::BreakInclusionOnEvict) => {
                 for core in &mut self.cores {
-                    core.invalidate(evicted);
+                    core.l1.invalidate(paddr);
+                }
+            }
+            _ => {
+                for core in &mut self.cores {
+                    core.invalidate(paddr);
                 }
             }
         }
@@ -634,36 +872,180 @@ impl CacheHierarchy {
 
     /// `CLFLUSH`: invalidates one line from every level of every core.
     pub fn clflush(&mut self, paddr: u64) {
-        for core in &mut self.cores {
-            core.invalidate(paddr);
+        if self.mutation != Some(ProtocolMutation::SkipBackInvalidation) {
+            for core in &mut self.cores {
+                core.invalidate(paddr);
+            }
         }
         let slice = self.hash.slice_of(paddr);
         self.l3[slice].invalidate(paddr);
+        #[cfg(debug_assertions)]
+        self.assert_line_invariants(paddr);
     }
 
     /// Non-destructive probe: the level that would serve a core-0 access.
     pub fn probe_level(&self, paddr: u64) -> HitLevel {
         self.probe_level_from(0, paddr)
+            .expect("core 0 always exists")
     }
 
     /// Non-destructive probe: the level that would serve an access by
     /// `core` now.
-    pub fn probe_level_from(&self, core: usize, paddr: u64) -> HitLevel {
-        if self.cores[core].l1.probe(paddr) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreOutOfRange`] when `core >= n_cores`.
+    pub fn probe_level_from(&self, core: usize, paddr: u64) -> Result<HitLevel, CoreOutOfRange> {
+        let c = self
+            .cores
+            .get(core)
+            .ok_or_else(|| self.core_out_of_range(core))?;
+        Ok(if c.l1.probe(paddr) {
             HitLevel::L1
-        } else if self.cores[core].l2.probe(paddr) {
+        } else if c.l2.probe(paddr) {
             HitLevel::L2
         } else if self.l3[self.hash.slice_of(paddr)].probe(paddr) {
             HitLevel::L3
         } else {
             HitLevel::Memory
-        }
+        })
     }
 
     /// The strongest MESI state `core` holds the line in (`Invalid` when
     /// its private caches do not hold it).
-    pub fn line_state(&self, core: usize, paddr: u64) -> LineState {
-        self.cores[core].state_of(paddr)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreOutOfRange`] when `core >= n_cores`.
+    pub fn line_state(&self, core: usize, paddr: u64) -> Result<LineState, CoreOutOfRange> {
+        self.cores
+            .get(core)
+            .map(|c| c.state_of(paddr))
+            .ok_or_else(|| self.core_out_of_range(core))
+    }
+
+    /// Checks the coherence invariants for one line across every core:
+    /// single-writer-multiple-reader (`M` on one core ⇒ `I` everywhere
+    /// else), `E` uniqueness, and L3 inclusion (a private copy ⇒ the line
+    /// is present in the inclusive L3). Returns the first violation found.
+    pub fn check_line_invariants(&self, paddr: u64) -> Result<(), CoherenceViolation> {
+        let mut holder: Option<(usize, LineState)> = None;
+        for (i, c) in self.cores.iter().enumerate() {
+            let state = c.state_of(paddr);
+            if state == LineState::Invalid {
+                continue;
+            }
+            if self.config.inclusive_l3 && !self.l3[self.hash.slice_of(paddr)].probe(paddr) {
+                return Err(CoherenceViolation::InclusionHole {
+                    paddr,
+                    core: i,
+                    state,
+                });
+            }
+            if let Some((prev, prev_state)) = holder {
+                // Two cores hold the line: neither copy may claim
+                // exclusive ownership.
+                if prev_state == LineState::Modified || state == LineState::Modified {
+                    let (owner, other, other_state) = if prev_state == LineState::Modified {
+                        (prev, i, state)
+                    } else {
+                        (i, prev, prev_state)
+                    };
+                    return Err(CoherenceViolation::MultipleOwners {
+                        paddr,
+                        owner,
+                        other,
+                        other_state,
+                    });
+                }
+                if prev_state == LineState::Exclusive || state == LineState::Exclusive {
+                    let (owner, other) = if prev_state == LineState::Exclusive {
+                        (prev, i)
+                    } else {
+                        (i, prev)
+                    };
+                    return Err(CoherenceViolation::SharedExclusive {
+                        paddr,
+                        owner,
+                        other,
+                    });
+                }
+            }
+            holder = Some((i, state));
+        }
+        Ok(())
+    }
+
+    /// Full-hierarchy protocol audit: sweeps every valid line in every
+    /// core's private caches and checks [`check_line_invariants`] for
+    /// each. O(total private ways) — meant for checkpoints and the
+    /// `nbverify` sweeps, not the per-access hot path (which asserts the
+    /// touched line only, under `debug_assertions`).
+    ///
+    /// [`check_line_invariants`]: CacheHierarchy::check_line_invariants
+    pub fn check_invariants(&self) -> Result<(), CoherenceViolation> {
+        for c in &self.cores {
+            for (paddr, _) in c.l1.valid_lines().chain(c.l2.valid_lines()) {
+                self.check_line_invariants(paddr)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeds (or clears) a protocol corruption for mutation testing. The
+    /// faithful protocol is `None`; see [`ProtocolMutation`].
+    pub fn seed_protocol_mutation(&mut self, mutation: Option<ProtocolMutation>) {
+        self.mutation = mutation;
+    }
+
+    /// Arms or disarms the per-access invariant assert that runs under
+    /// `debug_assertions`. On by default; mutation tests disarm it so a
+    /// seeded corruption can be observed through
+    /// [`CacheHierarchy::check_invariants`] instead of aborting the test.
+    pub fn set_invariant_monitor(&mut self, on: bool) {
+        self.monitor = on;
+    }
+
+    /// Conformance hook: drops `paddr` from `core`'s L1, exactly as a
+    /// capacity eviction that chose this line as victim would (the L2 and
+    /// L3 copies are untouched). Returns whether the line was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreOutOfRange`] when `core >= n_cores`.
+    pub fn force_evict_l1(&mut self, core: usize, paddr: u64) -> Result<bool, CoreOutOfRange> {
+        if core >= self.cores.len() {
+            return Err(self.core_out_of_range(core));
+        }
+        Ok(self.cores[core].l1.invalidate(paddr))
+    }
+
+    /// Conformance hook: drops `paddr` from `core`'s L2 (a capacity
+    /// eviction victim); any L1 copy survives, as the non-inclusive
+    /// private levels allow. Returns whether the line was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreOutOfRange`] when `core >= n_cores`.
+    pub fn force_evict_l2(&mut self, core: usize, paddr: u64) -> Result<bool, CoreOutOfRange> {
+        if core >= self.cores.len() {
+            return Err(self.core_out_of_range(core));
+        }
+        Ok(self.cores[core].l2.invalidate(paddr))
+    }
+
+    /// Conformance hook: evicts `paddr` from the L3 as a capacity victim,
+    /// running the same inclusive back-invalidation as an organic
+    /// conflict eviction. Returns whether the line was present in the L3.
+    pub fn force_evict_l3(&mut self, paddr: u64) -> bool {
+        let slice = self.hash.slice_of(paddr);
+        let present = self.l3[slice].invalidate(paddr);
+        if present && self.config.inclusive_l3 {
+            self.back_invalidate(paddr);
+            #[cfg(debug_assertions)]
+            self.assert_line_invariants(paddr);
+        }
+        present
     }
 
     /// Core 0's prefetcher bank (MSR 0x1A4 is routed here by the machine).

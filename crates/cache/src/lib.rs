@@ -34,8 +34,9 @@ pub mod slice;
 
 pub use cache::{Cache, CacheConfig, CacheStats, LineState, PselCounter, LINE_SIZE};
 pub use hierarchy::{
-    CacheHierarchy, HierarchyConfig, HitLevel, L3Config, L3PolicyConfig, Latencies,
-    MemAccessResult, SetRole, SliceLeaders, SnoopResult,
+    CacheHierarchy, CoherenceViolation, CoreOutOfRange, HierarchyConfig, HierarchyError, HitLevel,
+    L3Config, L3PolicyConfig, Latencies, MemAccessResult, ProtocolMutation, SetRole, SliceLeaders,
+    SnoopResult,
 };
 pub use policy::{PolicyKind, QlruVariant, SetPolicy};
 pub use prefetch::{Prefetchers, MSR_MISC_FEATURE_CONTROL};

@@ -1,8 +1,13 @@
 //! Golden tests pinning the MESI coherence transitions of the multi-core
-//! hierarchy for small fixed traces. If a protocol change alters any
-//! state, hit level, snoop outcome, or invalidation count in these
-//! sequences, the test fails with the exact step that moved.
+//! hierarchy. The 2-core traces are hand-pinned compact strings (if a
+//! protocol change alters any state, hit level, snoop outcome, or
+//! invalidation count, the test fails with the exact step that moved);
+//! the 3-core traces derive their expectations from the `nbverify` pure
+//! protocol spec (`nanobench_analysis::mesi`) step by step, so their
+//! coverage is generated from the model checker's transition function
+//! rather than hand-picked.
 
+use nanobench_analysis::mesi::{self, Op, SpecConfig, SpecState};
 use nanobench_cache::hierarchy::{CacheHierarchy, HitLevel, SnoopResult};
 use nanobench_cache::presets::cpu_by_microarch;
 use nanobench_cache::LineState;
@@ -10,7 +15,7 @@ use nanobench_cache::LineState;
 /// One observed step: `(core, is_write, level, snoop, invalidated,
 /// state_core0, state_core1)` compressed into a compact string.
 fn step(h: &mut CacheHierarchy, core: usize, paddr: u64, is_write: bool) -> String {
-    let r = h.access_from(core, paddr, is_write);
+    let r = h.access_from(core, paddr, is_write).unwrap();
     let level = match r.level {
         HitLevel::L1 => "L1",
         HitLevel::L2 => "L2",
@@ -26,18 +31,22 @@ fn step(h: &mut CacheHierarchy, core: usize, paddr: u64, is_write: bool) -> Stri
         "c{core}{} {level} {snoop} i{} {}{}",
         if is_write { "W" } else { "R" },
         r.invalidated,
-        h.line_state(0, paddr).letter(),
-        h.line_state(1, paddr).letter(),
+        h.line_state(0, paddr).unwrap().letter(),
+        h.line_state(1, paddr).unwrap().letter(),
     )
 }
 
-fn skylake_2core() -> CacheHierarchy {
+fn skylake_cores(n: usize) -> CacheHierarchy {
     let cfg = cpu_by_microarch("Skylake").unwrap().hierarchy_config();
-    let mut h = CacheHierarchy::new_multi(&cfg, 7, 2);
-    for core in 0..2 {
+    let mut h = CacheHierarchy::new_multi(&cfg, 7, n);
+    for core in 0..n {
         h.prefetchers_of_mut(core).disable_all();
     }
     h
+}
+
+fn skylake_2core() -> CacheHierarchy {
+    skylake_cores(2)
 }
 
 #[test]
@@ -101,16 +110,16 @@ fn snoop_latencies_follow_the_config() {
     let mut h = skylake_2core();
     let lat = h.config().latencies;
     let line = 0xC_0000;
-    h.access_from(0, line, true); // c0 owns the line Modified
-    let r = h.access_from(1, line, false);
+    h.access_from(0, line, true).unwrap(); // c0 owns the line Modified
+    let r = h.access_from(1, line, false).unwrap();
     assert_eq!(r.snoop, SnoopResult::HitM);
     assert_eq!(
         r.latency, lat.snoop_hitm,
         "HITM forwards at the cross-core latency"
     );
     let clean = 0xC_1000;
-    h.access_from(0, clean, false); // Exclusive, clean, in core 0
-    let r = h.access_from(1, clean, false);
+    h.access_from(0, clean, false).unwrap(); // Exclusive, clean, in core 0
+    let r = h.access_from(1, clean, false).unwrap();
     assert_eq!(r.snoop, SnoopResult::Hit);
     assert_eq!(r.latency, lat.l3, "clean snoop hits serve at L3 latency");
 }
@@ -121,8 +130,8 @@ fn inclusive_l3_eviction_back_invalidates_all_cores() {
     // line core 1 holds gets back-invalidated when the L3 evicts it.
     let mut h = skylake_2core();
     let line = 0x10_0000;
-    h.access_from(1, line, false);
-    assert_eq!(h.line_state(1, line), LineState::Exclusive);
+    h.access_from(1, line, false).unwrap();
+    assert_eq!(h.line_state(1, line).unwrap(), LineState::Exclusive);
     let (slice, set) = h.l3_location(line);
     let assoc = h.config().l3.assoc;
     // Generate enough conflicting lines (same slice and set) to evict.
@@ -131,13 +140,164 @@ fn inclusive_l3_eviction_back_invalidates_all_cores() {
     while conflicts < 4 * assoc {
         addr += 64 * h.config().l3.sets_per_slice() as u64;
         if h.l3_location(addr) == (slice, set) {
-            h.access_from(0, addr, false);
+            h.access_from(0, addr, false).unwrap();
             conflicts += 1;
         }
     }
     assert_eq!(
-        h.line_state(1, line),
+        h.line_state(1, line).unwrap(),
         LineState::Invalid,
         "inclusive eviction must invalidate the remote private copy"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Spec-derived 3-core traces. Expectations below are computed step by
+// step from `nanobench_analysis::mesi::step` — the pure protocol written
+// from DESIGN.md §3d — so the golden coverage tracks the checked spec
+// instead of a hand-transcribed table.
+// ---------------------------------------------------------------------------
+
+/// Distinct 64-byte lines mapping to distinct sets in every Skylake level
+/// (no organic capacity eviction can interleave with the trace).
+const LINES: [u64; 2] = [0x4_0000, 0x4_0040];
+
+/// Replays `ops` through the spec and the real hierarchy in lockstep,
+/// asserting every observable matches: read/write hit level, snoop
+/// result, invalidation count, latency, and the per-core MESI state of
+/// every line after every step. Returns the rendered trace.
+fn run_spec_derived(h: &mut CacheHierarchy, cfg: SpecConfig, ops: &[Op]) -> Vec<String> {
+    let lat = h.config().latencies;
+    let mut state = SpecState::initial();
+    let mut rendered = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        let (next, spec_out) = mesi::step(&state, cfg, op, None);
+        let impl_out = match op {
+            Op::Read { core, line } => Some(h.access_from(core, LINES[line], false).unwrap()),
+            Op::Write { core, line } => Some(h.access_from(core, LINES[line], true).unwrap()),
+            Op::EvictL3 { line } => {
+                assert!(h.force_evict_l3(LINES[line]), "step {i}: line not in L3");
+                None
+            }
+            other => panic!("op {other:?} not used by the golden traces"),
+        };
+        if let (Some(so), Some(io)) = (spec_out, impl_out) {
+            let want_level = match so.level {
+                mesi::Level::L1 => HitLevel::L1,
+                mesi::Level::L2 => HitLevel::L2,
+                mesi::Level::L3 => HitLevel::L3,
+                mesi::Level::Memory => HitLevel::Memory,
+            };
+            let want_snoop = match so.snoop {
+                mesi::Snoop::Miss => SnoopResult::Miss,
+                mesi::Snoop::Hit => SnoopResult::Hit,
+                mesi::Snoop::HitM => SnoopResult::HitM,
+            };
+            // The spec's latency rule: serving level, except HITM
+            // forwards and S->M RFO upgrades, which cost uncore trips.
+            let upgrade = matches!(op, Op::Write { core, line }
+                if state.core_state(core, line) == mesi::Mesi::S);
+            let want_latency = if upgrade {
+                lat.l3
+            } else {
+                match so.level {
+                    mesi::Level::L1 => lat.l1,
+                    mesi::Level::L2 => lat.l2,
+                    mesi::Level::L3 if so.snoop == mesi::Snoop::HitM => lat.snoop_hitm,
+                    mesi::Level::L3 => lat.l3,
+                    mesi::Level::Memory => lat.mem,
+                }
+            };
+            assert_eq!(io.level, want_level, "step {i} ({}): level", op.describe());
+            assert_eq!(io.snoop, want_snoop, "step {i} ({}): snoop", op.describe());
+            assert_eq!(
+                io.invalidated,
+                so.invalidated,
+                "step {i} ({}): invalidations",
+                op.describe()
+            );
+            assert_eq!(
+                io.latency,
+                want_latency,
+                "step {i} ({}): latency",
+                op.describe()
+            );
+            assert!(so.fresh, "step {i}: the spec predicts a stale access");
+        }
+        for (line, &line_paddr) in LINES.iter().enumerate().take(cfg.lines) {
+            let mut letters = String::new();
+            for core in 0..cfg.cores {
+                let impl_state = h.line_state(core, line_paddr).unwrap();
+                let spec_state = next.core_state(core, line);
+                assert_eq!(
+                    impl_state.letter(),
+                    spec_state.letter(),
+                    "step {i} ({}): core {core} state of line{line}",
+                    op.describe()
+                );
+                letters.push(impl_state.letter());
+            }
+            rendered.push(format!("{}: line{line}={letters}", op.describe()));
+        }
+        state = next;
+    }
+    rendered
+}
+
+#[test]
+fn three_core_chained_hitm_forwards_match_the_spec() {
+    // Ownership hops c0 -> c2 -> c0 with HITM forwards and reads chained
+    // between every hop; each step's expectation comes from the spec.
+    let cfg = SpecConfig { cores: 3, lines: 1 };
+    let mut h = skylake_cores(3);
+    let ops = [
+        Op::Write { core: 0, line: 0 }, // c0 owns M
+        Op::Read { core: 1, line: 0 },  // HITM forward, c0/c1 Shared
+        Op::Write { core: 2, line: 0 }, // RFO kills both copies
+        Op::Read { core: 0, line: 0 },  // HITM forward from c2
+        Op::Read { core: 1, line: 0 },  // clean snoop hit
+        Op::Write { core: 0, line: 0 }, // upgrade storm: S->M over 3 sharers
+    ];
+    run_spec_derived(&mut h, cfg, &ops);
+    assert!(h.check_invariants().is_ok());
+}
+
+#[test]
+fn three_core_upgrade_storm_matches_the_spec() {
+    // All three cores read-share, then take turns stealing ownership:
+    // every S->M upgrade must invalidate exactly the live remote copies.
+    let cfg = SpecConfig { cores: 3, lines: 2 };
+    let mut h = skylake_cores(3);
+    let ops = [
+        Op::Read { core: 0, line: 0 },
+        Op::Read { core: 1, line: 0 },
+        Op::Read { core: 2, line: 0 },
+        Op::Write { core: 0, line: 0 }, // invalidates c1 + c2
+        Op::Read { core: 1, line: 1 },
+        Op::Write { core: 1, line: 0 }, // HITM RFO against c0
+        Op::Read { core: 2, line: 0 },
+        Op::Write { core: 2, line: 0 }, // upgrade against c1's survivor
+        Op::Read { core: 0, line: 1 },  // second line stays clean-shared
+    ];
+    run_spec_derived(&mut h, cfg, &ops);
+    assert!(h.check_invariants().is_ok());
+}
+
+#[test]
+fn three_core_l3_eviction_back_invalidates_per_the_spec() {
+    // A dirty line and a shared line both die when the inclusive L3
+    // evicts them; the spec's EvictL3 op models the back-invalidation.
+    let cfg = SpecConfig { cores: 3, lines: 2 };
+    let mut h = skylake_cores(3);
+    let ops = [
+        Op::Write { core: 0, line: 0 }, // dirty in c0
+        Op::Read { core: 1, line: 1 },
+        Op::Read { core: 2, line: 1 }, // line1 shared c1/c2
+        Op::EvictL3 { line: 0 },       // back-invalidates c0's M copy
+        Op::EvictL3 { line: 1 },       // back-invalidates both sharers
+        Op::Read { core: 0, line: 0 }, // refetches from memory, Exclusive
+        Op::Read { core: 1, line: 1 },
+    ];
+    run_spec_derived(&mut h, cfg, &ops);
+    assert!(h.check_invariants().is_ok());
 }

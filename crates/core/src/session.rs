@@ -24,7 +24,10 @@ use crate::codegen::{self, Arenas, CodegenRequest, ARENA_REGS, ARENA_SIZE, NO_ME
 use crate::error::NbError;
 use crate::result::{BenchmarkResult, FIXED_COUNTER_NAMES, RESULT_FORMAT_VERSION};
 use crate::runner::{measure, user_syscall_stub, Aggregate};
-use nanobench_analysis::{analyze_spec, has_errors, AnalysisEnv, Diagnostic, Severity};
+use nanobench_analysis::{
+    analyze_corunner, analyze_spec, has_errors, AnalysisEnv, Diagnostic, Severity,
+};
+use nanobench_cache::hierarchy::CoherenceViolation;
 use nanobench_machine::{Machine, Mode};
 use nanobench_pmu::{parse_config, PerfEvent};
 use nanobench_store::{Fnv1a, ResultStore, StoreKey, StoreStats};
@@ -467,6 +470,20 @@ impl Session {
         &self.machine
     }
 
+    /// Audits every valid line in the machine's cache hierarchy against
+    /// the MESI safety invariants (single writer, E-uniqueness, inclusive
+    /// L3 — the properties the `nbverify` model checker proves on the
+    /// bounded abstract protocol). The debug-build runtime monitor checks
+    /// these per access; this is the on-demand release-build entry point,
+    /// e.g. between the phases of a cacheSeq campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoherenceViolation`] found.
+    pub fn coherence_audit(&self) -> Result<(), CoherenceViolation> {
+        self.machine.hierarchy().check_invariants()
+    }
+
     /// The base address of the memory area register `reg` points into, if
     /// it is one of the dedicated arena registers (§III-G).
     pub fn arena_base(&self, reg: nanobench_x86::reg::Gpr) -> Option<u64> {
@@ -489,8 +506,14 @@ impl Session {
             arena_size: ARENA_SIZE,
             arena_regs: ARENA_REGS.to_vec(),
             regions: self.machine.mapped_regions(),
+            arena_bases: self.arenas.arena_bases.to_vec(),
         };
-        analyze_spec(&spec.init, &spec.code, &env)
+        let mut diags = analyze_spec(&spec.init, &spec.code, &env);
+        for (i, corunner) in spec.corunners.iter().enumerate() {
+            diags.extend(analyze_corunner(i, corunner, &spec.init, &spec.code, &env));
+        }
+        diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        diags
     }
 
     /// Sets what [`Session::run`] does with the analyzer's verdict

@@ -167,7 +167,8 @@ impl Bus for Env {
         self.walks += 1;
         Ok(self
             .hierarchy
-            .access_from(self.current_core, paddr, is_write))
+            .access_from(self.current_core, paddr, is_write)
+            .expect("current_core is bounded by Machine::with_cores"))
     }
 
     #[inline]
@@ -184,7 +185,8 @@ impl Bus for Env {
         self.walks += 1;
         let res = self
             .hierarchy
-            .access_from(self.current_core, paddr, is_write);
+            .access_from(self.current_core, paddr, is_write)
+            .expect("current_core is bounded by Machine::with_cores");
         let value = self.phys.read(paddr, len);
         Ok((res, value))
     }
@@ -198,7 +200,10 @@ impl Bus for Env {
     ) -> Result<MemAccessResult, CpuFault> {
         let paddr = self.translate_or_fault(vaddr)?;
         self.walks += 1;
-        let res = self.hierarchy.access_from(self.current_core, paddr, true);
+        let res = self
+            .hierarchy
+            .access_from(self.current_core, paddr, true)
+            .expect("current_core is bounded by Machine::with_cores");
         self.phys.write(paddr, len, value);
         Ok(res)
     }

@@ -159,3 +159,44 @@ fn every_table1_preset_boots_and_measures() {
         assert!((cyc - 1.0).abs() < 0.05, "{}: {cyc}", cpu.model);
     }
 }
+
+#[test]
+fn coherence_audit_is_clean_after_an_interference_run() {
+    use nanobench::machine::Mode;
+    use nanobench::nb::{BenchSpec, Session, NB_SEED};
+
+    // A deliberately contended run: core 1 stores into the very line the
+    // measured pointer chase keeps hot. The coherence layer is exercised
+    // hard (RFO upgrades, HITM forwards, downgrades) — and afterwards the
+    // hierarchy must still satisfy every MESI safety invariant nbverify
+    // proves on the abstract protocol.
+    let mut session = Session::with_seed_cores(MicroArch::Skylake, Mode::Kernel, NB_SEED, 3);
+    let base = session
+        .arena_base(nanobench::x86::reg::Gpr::R14)
+        .expect("r14 is an arena register");
+    let mut spec = BenchSpec::new();
+    spec.asm("mov R14, [R14]")
+        .expect("parses")
+        .asm_init("mov [R14], R14")
+        .expect("parses")
+        .corunner_asm(&format!("mov [{base:#x}], rbx"))
+        .expect("parses")
+        .unroll_count(50)
+        .warm_up_count(1);
+
+    // The new lint flags the false sharing the spec sets up on purpose...
+    let diags = session.analyze(&spec);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == nanobench::analysis::Code::CorunnerFalseShare),
+        "the interference spec should trip the false-sharing lint: {diags:?}"
+    );
+
+    // ...the run still executes (warnings are not errors), and the
+    // hierarchy comes out of it coherent.
+    session.run(&spec).expect("contended benchmark runs");
+    session
+        .coherence_audit()
+        .expect("post-run hierarchy satisfies the MESI invariants");
+}

@@ -145,6 +145,49 @@ fn seeded_negatives_are_rejected_with_code_and_span() {
     }
 }
 
+/// The co-runner false-sharing lint end to end through a real session's
+/// arena bases, pinned by code AND span in both directions.
+#[test]
+fn corunner_false_sharing_is_pinned() {
+    use nanobench::x86::reg::Gpr;
+    let kernel = Session::kernel(MicroArch::Skylake);
+    let base = kernel
+        .arena_base(Gpr::R14)
+        .expect("r14 is an arena register");
+
+    // Positive: the co-runner's store provably lands on the cache line the
+    // measured pointer chase keeps in `[r14]`.
+    let mut s = spec("mov [r14], r14", "mov r14, [r14]");
+    s.corunner_asm(&format!("mov rax, {base:#x}; mov qword [rax], 1"))
+        .expect("corunner parses");
+    let diags = kernel.analyze(&s);
+    let d = diags
+        .iter()
+        .find(|d| d.code == Code::CorunnerFalseShare)
+        .expect("corunner-false-sharing diagnostic");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(
+        d.span.start, 1,
+        "the offending store is corunner instruction 1"
+    );
+
+    // Negative: the same co-runner streaming a line of its own, far from
+    // anything the kernel touches, must stay clean.
+    let mut s = spec("mov [r14], r14", "mov r14, [r14]");
+    s.corunner_asm(&format!(
+        "mov rax, {:#x}; mov qword [rax], 1",
+        base + 0x8_0000
+    ))
+    .expect("corunner parses");
+    assert!(
+        kernel
+            .analyze(&s)
+            .iter()
+            .all(|d| d.code != Code::CorunnerFalseShare),
+        "a co-runner on its own lines must not warn"
+    );
+}
+
 /// The `-lint` gate end to end: a Deny-gated run returns a structured
 /// `NbError::Lint` carrying only the error-severity diagnostics.
 #[test]
